@@ -1,0 +1,169 @@
+// mxnviz is the CUMULVS-style visualization front end: it runs a
+// distributed heat-equation simulation, attaches a viewer over the M×N
+// middleware, and renders decimated frames of the live temperature field
+// as ASCII animation frames (or a final PGM image on stdout with -pgm).
+//
+// The middleware path is the point: the viewer sees the field through a
+// persistent parallel data channel with free-running synchronization and
+// a region-of-interest/stride view — the simulation never waits for the
+// renderer.
+//
+// Run:
+//
+//	go run ./cmd/mxnviz -n 96 -ranks 6 -steps 600 -stride 6 -frames 4
+//	go run ./cmd/mxnviz -pgm > heat.pgm
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+
+	"mxn"
+	"mxn/internal/cumulvs"
+	"mxn/internal/meshsim"
+)
+
+func main() {
+	n := flag.Int("n", 96, "grid size (n×n)")
+	ranks := flag.Int("ranks", 6, "simulation cohort width")
+	steps := flag.Int("steps", 600, "time steps")
+	stride := flag.Int("stride", 6, "view decimation stride")
+	frames := flag.Int("frames", 4, "ASCII frames to render")
+	alpha := flag.Float64("alpha", 0.2, "diffusivity")
+	pgm := flag.Bool("pgm", false, "write the final frame as PGM to stdout instead of ASCII")
+	flag.Parse()
+
+	solver, err := meshsim.NewHeat2D(*n, *ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simSide, viewSide := mxn.BridgePair()
+	sim := cumulvs.NewSim(*ranks, simSide)
+	desc, err := mxn.NewDescriptor("temperature", mxn.Float64, mxn.ReadOnly, solver.Template())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.RegisterField(desc); err != nil {
+		log.Fatal(err)
+	}
+
+	go func() {
+		for {
+			cont, err := sim.Service(1)
+			if err != nil || !cont {
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		view(viewSide, *stride, *frames, *steps, *pgm)
+	}()
+
+	mxn.Run(*ranks, func(c *mxn.Comm) {
+		u := solver.Init(c.Rank())
+		for s := 0; s < *steps; s++ {
+			u = solver.Step(c, c.Rank(), u, *alpha, 0)
+			if err := sim.PostFrame("temperature", c.Rank(), u); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := sim.CloseFrames("temperature", c.Rank()); err != nil {
+			log.Fatal(err)
+		}
+	})
+	wg.Wait()
+}
+
+func view(bridge mxn.Bridge, stride, frames, steps int, pgm bool) {
+	viewer := cumulvs.NewViewer(bridge)
+	ch, err := viewer.OpenView("viz", cumulvs.View{
+		Field:  "temperature",
+		Stride: []int{stride, stride},
+		Sync:   cumulvs.Latest,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dims := ch.Dims()
+	frame := make([]float64, ch.FrameLen())
+	last := make([]float64, len(frame))
+	var lastEpoch uint64
+	next := uint64(0)
+	for {
+		epoch, err := ch.NextFrame(frame)
+		if errors.Is(err, cumulvs.ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		copy(last, frame)
+		lastEpoch = epoch
+		if !pgm && epoch >= next {
+			fmt.Printf("-- epoch %d --\n%s", epoch, ascii(frame, dims))
+			next += uint64(steps / frames)
+		}
+	}
+	if pgm {
+		writePGM(os.Stdout, last, dims)
+	} else {
+		fmt.Printf("-- final epoch %d --\n%s", lastEpoch, ascii(last, dims))
+	}
+	viewer.Stop()
+}
+
+func ascii(frame []float64, dims []int) string {
+	shades := " .:-=+*#%@"
+	maxV := 0.0
+	for _, v := range frame {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for i := 0; i < dims[0]; i++ {
+		for j := 0; j < dims[1]; j++ {
+			k := int(frame[i*dims[1]+j] / maxV * float64(len(shades)-1))
+			if k >= len(shades) {
+				k = len(shades) - 1
+			}
+			if k < 0 {
+				k = 0
+			}
+			b.WriteByte(shades[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func writePGM(w *os.File, frame []float64, dims []int) {
+	maxV := 0.0
+	for _, v := range frame {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	fmt.Fprintf(w, "P2\n%d %d\n255\n", dims[1], dims[0])
+	for i := 0; i < dims[0]; i++ {
+		for j := 0; j < dims[1]; j++ {
+			fmt.Fprintf(w, "%d ", int(frame[i*dims[1]+j]/maxV*255))
+		}
+		fmt.Fprintln(w)
+	}
+}

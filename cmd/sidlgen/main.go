@@ -1,0 +1,63 @@
+// sidlgen generates typed Go client stubs and server skeletons from SIDL
+// interface declarations — the offline glue-code generation of the
+// SCIRun2 approach, for this library's PRMI runtime.
+//
+// Usage:
+//
+//	sidlgen [-pkg name] [-o out.go] input.sidl
+//
+// With no input file, SIDL is read from stdin; with no -o, Go source goes
+// to stdout. Point go:generate at it:
+//
+//	//go:generate go run mxn/cmd/sidlgen -pkg main -o stubs_gen.go vector.sidl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mxn/internal/sidl"
+	"mxn/internal/sidlgen"
+)
+
+func main() {
+	pkgName := flag.String("pkg", "stubs", "package name for the generated Go source")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sidlgen [-pkg name] [-o out.go] [input.sidl]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sidlgen:", err)
+		os.Exit(1)
+	}
+	pkg, err := sidl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sidlgen:", err)
+		os.Exit(1)
+	}
+	code, err := sidlgen.Generate(pkg, *pkgName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sidlgen:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(code), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "sidlgen:", err)
+		os.Exit(1)
+	}
+}

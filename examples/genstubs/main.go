@@ -1,0 +1,150 @@
+// Generated stubs: the SCIRun2-style IDL-compiler workflow end to end.
+//
+// vector.sidl declares the VectorOps interface; stubs_gen.go is the
+// typed glue code produced by cmd/sidlgen (regenerate with go:generate
+// below). The application then programs against Go signatures — no
+// name-string dispatch, no manual argument wrapping — while the runtime
+// still performs all the PRMI machinery: collective grouping, parallel
+// argument redistribution between the caller's cyclic and the callee's
+// block decomposition, ghost returns, and one-way delivery.
+//
+// Run:
+//
+//	go run ./examples/genstubs
+//
+//go:generate go run mxn/cmd/sidlgen -pkg main -o stubs_gen.go vector.sidl
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"mxn"
+)
+
+const (
+	m = 3 // caller ranks
+	n = 2 // server ranks
+	d = 12
+)
+
+// vectorServer implements the generated VectorOpsServer contract.
+type vectorServer struct {
+	cohort *mxn.Comm
+}
+
+func (s *vectorServer) Dot(meta *mxn.Incoming, x, y []float64) (float64, error) {
+	partial := 0.0
+	for i := range x {
+		partial += x[i] * y[i]
+	}
+	return s.cohort.AllreduceFloat64(partial, 0), nil
+}
+
+func (s *vectorServer) Normalize(meta *mxn.Incoming, x []float64, norm float64) error {
+	for i := range x {
+		x[i] /= norm
+	}
+	return nil
+}
+
+func (s *vectorServer) Element(meta *mxn.Incoming, i int64) (float64, error) {
+	return float64(i + 1), nil
+}
+
+func (s *vectorServer) Report(meta *mxn.Incoming, phase string) error {
+	return nil
+}
+
+func main() {
+	pkg, err := mxn.ParseSIDL(vectorSIDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iface, _ := pkg.Interface("VectorOps")
+
+	callerTpl, _ := mxn.NewTemplate([]int{d}, []mxn.AxisDist{mxn.CyclicAxis(m)})
+	calleeTpl, _ := mxn.NewTemplate([]int{d}, []mxn.AxisDist{mxn.BlockAxis(n)})
+
+	world := mxn.NewWorld(m + n)
+	all := world.Comms()
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			serverCohort := all[m+j].Split(1)
+			ep := mxn.NewEndpoint(iface, mxn.NewCommLink(all[m+j], 0, 0), j, n, m)
+			for _, p := range [][2]string{{"dot", "x"}, {"dot", "y"}, {"normalize", "x"}} {
+				if err := ep.RegisterArgLayout(p[0], p[1], calleeTpl); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := RegisterVectorOps(ep, &vectorServer{cohort: serverCohort}); err != nil {
+				log.Fatal(err)
+			}
+			if err := ep.Serve(); err != nil {
+				log.Fatalf("server %d: %v", j, err)
+			}
+		}(j)
+	}
+	results := make([]string, 2)
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cohort := all[i].Split(0)
+			port := mxn.NewCallerPort(iface, mxn.NewCommLink(all[i], m, 0), i, n, mxn.BarrierDelayed)
+			for _, p := range [][2]string{{"dot", "x"}, {"dot", "y"}, {"normalize", "x"}} {
+				if err := port.SetCalleeLayout(p[0], p[1], calleeTpl); err != nil {
+					log.Fatal(err)
+				}
+			}
+			client := &VectorOpsClient{Port: port}
+			part := mxn.FullParticipation(cohort)
+
+			if err := client.Report(part, "start"); err != nil {
+				log.Fatal(err)
+			}
+			x := make([]float64, callerTpl.LocalCount(i))
+			for li := range x {
+				x[li] = float64(i + li*m + 1) // global value g+1 under cyclic layout
+			}
+			dot, err := client.Dot(part, callerTpl, x, callerTpl, x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := client.Normalize(part, callerTpl, x, dot); err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				results[0] = fmt.Sprintf("client.Dot(x, x) = %.0f (sum of squares 1..%d = 650)", dot, d)
+				elem, err := client.Element(1, 7)
+				if err != nil {
+					log.Fatal(err)
+				}
+				results[1] = fmt.Sprintf("client.Element(7) on server rank 1 = %v; x[0] after Normalize = %.6f", elem, x[0])
+			}
+			port.Close()
+		}(i)
+	}
+	wg.Wait()
+	for _, line := range results {
+		fmt.Println(line)
+	}
+}
+
+// vectorSIDL mirrors vector.sidl; both the generator (offline) and the
+// runtime (here) parse the same declaration, like SIDL files shared
+// between the IDL compiler and the framework.
+const vectorSIDL = `
+package demo version 1.0;
+
+interface VectorOps {
+    collective double dot(in parallel array<double> x, in parallel array<double> y);
+    collective void normalize(inout parallel array<double> x, in double norm);
+    independent double element(in int i);
+    collective oneway void report(in string phase);
+}
+`

@@ -1,0 +1,3 @@
+module mxn
+
+go 1.22

@@ -1,0 +1,321 @@
+package mxn
+
+// Integration tests: each couples several subsystems end to end, the way
+// the examples do, but with assertions so the full flows stay covered by
+// `go test`.
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"mxn/internal/comm"
+	"mxn/internal/cumulvs"
+	"mxn/internal/dad"
+	"mxn/internal/mct"
+	"mxn/internal/meshsim"
+)
+
+// TestIntegrationClimateCoupling runs a compact version of the climate
+// example: atmosphere (4 ranks, fine grid) and ocean (2 ranks, coarse
+// grid) coupled through MCT routers and sparse-matrix interpolation, with
+// accumulation and conservation checks.
+func TestIntegrationClimateCoupling(t *testing.T) {
+	const (
+		atmNLat, atmNLon = 12, 24
+		ocnNLat, ocnNLon = 6, 12
+		atmRanks         = 4
+		ocnRanks         = 2
+		intervals        = 4
+		stepsPerCouple   = 3
+	)
+	atm := meshsim.NewAtmosphere(atmNLat, atmNLon)
+	ocn := meshsim.NewOcean(ocnNLat, ocnNLon)
+	finePts := atmNLat * atmNLon
+	coarsePts := ocnNLat * ocnNLon
+	atmMap := mct.BlockMap(finePts, atmRanks)
+	ocnMap := mct.BlockMap(coarsePts, ocnRanks)
+	fineOnOcn := mct.BlockMap(finePts, ocnRanks)
+	a2o, err := mct.NewRouter(atmMap, fineOnOcn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2c := meshsim.RegridMatrix(atmNLat, atmNLon, ocnNLat, ocnNLon)
+
+	drift := make([]float64, intervals)
+	sstTrend := make([]float64, intervals)
+	var mu sync.Mutex
+
+	comm.Run(atmRanks+ocnRanks, func(world *comm.Comm) {
+		color := 0
+		if world.Rank() >= atmRanks {
+			color = 1
+		}
+		cohort := world.Split(color)
+		atmComm, ocnComm := cohort, cohort
+		if world.Rank() < atmRanks {
+			rank := world.Rank()
+			lsize := atmMap.LocalSize(rank)
+			state := mct.MustAttrVect([]string{"t", "q"}, lsize)
+			acc, _ := mct.NewAccumulator([]string{"t", "q"}, lsize)
+			grid, _ := atm.Grid.LocalGrid(atmMap, rank)
+			step := 0
+			for iv := 0; iv < intervals; iv++ {
+				acc.Reset()
+				for s := 0; s < stepsPerCouple; s++ {
+					atm.Eval(atmMap, rank, step, state)
+					acc.Accumulate(state)
+					step++
+				}
+				avg, _ := acc.Average()
+				if err := a2o.Send(world, atmRanks, rank, avg, 0); err != nil {
+					t.Errorf("atm send: %v", err)
+					return
+				}
+				// Conservation check: fine-side average vs coarse-side
+				// average reported back by the ocean.
+				fineAvg, _ := mct.SpatialAverage(atmComm, avg, "t", grid)
+				payload, _ := world.Recv(atmRanks, 7)
+				coarseAvg := payload.(float64)
+				if rank == 0 {
+					mu.Lock()
+					drift[iv] = math.Abs(fineAvg - coarseAvg)
+					mu.Unlock()
+				}
+			}
+		} else {
+			rank := world.Rank() - atmRanks
+			lsize := ocnMap.LocalSize(rank)
+			sst := make([]float64, lsize)
+			ocn.InitSST(ocnMap, rank, sst)
+			grid, _ := ocn.Grid.LocalGrid(ocnMap, rank)
+			mv, err := mct.NewMatVec(ocnComm, meshsim.LocalMatrix(f2c, ocnMap, rank), fineOnOcn, ocnMap, 20)
+			if err != nil {
+				t.Errorf("matvec: %v", err)
+				return
+			}
+			for iv := 0; iv < intervals; iv++ {
+				fine := mct.MustAttrVect([]string{"t", "q"}, fineOnOcn.LocalSize(rank))
+				if err := a2o.Recv(world, 0, rank, fine, 0); err != nil {
+					t.Errorf("ocn recv: %v", err)
+					return
+				}
+				coarse := mct.MustAttrVect([]string{"t", "q"}, lsize)
+				if err := mv.Apply(ocnComm, fine, coarse, 40); err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+				// Report the interpolated coarse average for conservation.
+				cAvg, _ := mct.SpatialAverage(ocnComm, coarse, "t", grid)
+				ocn.Relax(sst, coarse.Field("t"))
+				sAvgVect := mct.MustAttrVect([]string{"t"}, lsize)
+				copy(sAvgVect.Field("t"), sst)
+				sAvg, _ := mct.SpatialAverage(ocnComm, sAvgVect, "t", grid)
+				if rank == 0 {
+					mu.Lock()
+					sstTrend[iv] = sAvg
+					mu.Unlock()
+					for a := 0; a < atmRanks; a++ {
+						world.Send(a, 7, cAvg)
+					}
+				} else {
+					// Only rank 0 reports; others continue.
+					_ = sAvg
+				}
+			}
+		}
+	})
+
+	// The row-normalized regrid preserves means to first order on these
+	// smooth fields: drift must be tiny.
+	for iv, d := range drift {
+		if d > 0.05 {
+			t.Errorf("interval %d: conservation drift %v", iv, d)
+		}
+	}
+	// SST relaxes monotonically toward the atmospheric mean (≈288 K): the
+	// distance to the forcing must shrink every interval.
+	const atmMean = 288.0
+	for iv := 1; iv < intervals; iv++ {
+		if math.Abs(sstTrend[iv]-atmMean) >= math.Abs(sstTrend[iv-1]-atmMean) {
+			t.Errorf("SST not relaxing toward forcing: %v", sstTrend)
+			break
+		}
+	}
+}
+
+// TestIntegrationSteeredViz runs the steering example's flow: a parallel
+// heat solver publishes frames through a CUMULVS channel while a viewer
+// steers the diffusivity; the steering must observably accelerate decay.
+func TestIntegrationSteeredViz(t *testing.T) {
+	const n, np, steps = 32, 4, 120
+	solver, err := meshsim.NewHeat2D(n, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSide, viewSide := BridgePair()
+	sim := cumulvs.NewSim(np, simSide)
+	desc, _ := dad.NewDescriptor("u", dad.Float64, dad.ReadOnly, solver.Template())
+	if err := sim.RegisterField(desc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RegisterParam("alpha", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			cont, err := sim.Service(1)
+			if err != nil || !cont {
+				return
+			}
+		}
+	}()
+
+	type sample struct {
+		epoch uint64
+		peak  float64
+	}
+	samples := make(chan sample, steps+1)
+	viewReady := make(chan struct{})
+	var viewerWG sync.WaitGroup
+	viewerWG.Add(1)
+	go func() {
+		defer viewerWG.Done()
+		defer close(samples)
+		viewer := cumulvs.NewViewer(viewSide)
+		ch, err := viewer.OpenView("v", cumulvs.View{Field: "u", Stride: []int{2, 2}, Sync: cumulvs.EachFrame})
+		// The simulation must not post frames before the view exists, or
+		// early epochs are missed (each-frame consumers count every one).
+		close(viewReady)
+		if err != nil {
+			t.Errorf("open view: %v", err)
+			return
+		}
+		frame := make([]float64, ch.FrameLen())
+		steered := false
+		for {
+			epoch, err := ch.NextFrame(frame)
+			if errors.Is(err, cumulvs.ErrStreamEnded) {
+				viewer.Stop()
+				return
+			}
+			if err != nil {
+				t.Errorf("next frame: %v", err)
+				return
+			}
+			peak := 0.0
+			for _, v := range frame {
+				if v > peak {
+					peak = v
+				}
+			}
+			samples <- sample{epoch, peak}
+			if !steered && epoch >= steps/2 {
+				steered = true
+				if err := viewer.SetParam("alpha", 0.24); err != nil {
+					t.Errorf("steer: %v", err)
+				}
+			}
+		}
+	}()
+
+	<-viewReady
+	comm.Run(np, func(c *comm.Comm) {
+		u := solver.Init(c.Rank())
+		for s := 0; s < steps; s++ {
+			var alpha float64
+			if c.Rank() == 0 {
+				alpha, _ = sim.Param("alpha")
+			}
+			alpha = c.Bcast(0, alpha).(float64)
+			u = solver.Step(c, c.Rank(), u, alpha, 0)
+			if err := sim.PostFrame("u", c.Rank(), u); err != nil {
+				t.Errorf("post: %v", err)
+				return
+			}
+		}
+		sim.CloseFrames("u", c.Rank())
+	})
+	viewerWG.Wait()
+
+	// Decay rate before steering (tiny alpha) must be far smaller than
+	// after (large alpha).
+	var peaks []float64
+	for s := range samples {
+		peaks = append(peaks, s.peak)
+	}
+	if len(peaks) != steps {
+		t.Fatalf("viewer saw %d of %d frames", len(peaks), steps)
+	}
+	q := steps / 4
+	earlyDecay := peaks[q] - peaks[2*q-1]             // well before steering
+	lateDecay := peaks[steps/2+q/2] - peaks[steps-1]  // after steering
+	if !(lateDecay > 4*earlyDecay && lateDecay > 0) { // steering visibly accelerated diffusion
+		t.Errorf("steering had no visible effect: early decay %v, late decay %v", earlyDecay, lateDecay)
+	}
+}
+
+// TestIntegrationDeferredPullThroughFacade couples the facade's PRMI
+// surface with the deferred-transfer strategy over real worlds.
+func TestIntegrationDeferredPullThroughFacade(t *testing.T) {
+	pkg, err := ParseSIDL(`package p; interface I { collective double mean(in parallel array<double> x, in int parts); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, _ := pkg.Interface("I")
+	const m, n, d = 3, 2, 18
+	callerTpl, _ := NewTemplate([]int{d}, []AxisDist{BlockAxis(m)})
+	w := NewWorld(m + n)
+	all := w.Comms()
+	ranks := []int{0, 1, 2}
+	cohort := w.Group(ranks)
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			ep := NewEndpoint(iface, NewCommLink(all[m+j], 0, 0), j, n, m)
+			ep.Handle("mean", func(in *Incoming, out *Outgoing) error {
+				parts := int(in.Simple["parts"].(int64))
+				layout, err := NewTemplate([]int{d}, []AxisDist{CyclicAxis(parts)})
+				if err != nil {
+					return err
+				}
+				local, err := in.Pull("x", layout)
+				if err != nil {
+					return err
+				}
+				sum := 0.0
+				for _, v := range local {
+					sum += v
+				}
+				out.Return = sum
+				return nil
+			})
+			if err := ep.Serve(); err != nil {
+				t.Errorf("serve %d: %v", j, err)
+			}
+		}(j)
+	}
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := NewCallerPort(iface, NewCommLink(all[i], m, 0), i, n, BarrierDelayed)
+			local := make([]float64, callerTpl.LocalCount(i))
+			for li := range local {
+				local[li] = 1
+			}
+			res, err := p.CallCollective("mean", FullParticipation(cohort[i]),
+				ParallelRef("x", callerTpl, local), Simple("parts", n))
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			} else if res.Return != float64(d)/n {
+				t.Errorf("caller %d: partial sum %v, want %v", i, res.Return, float64(d)/n)
+			}
+			p.Close()
+		}(i)
+	}
+	wg.Wait()
+}

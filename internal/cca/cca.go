@@ -1,0 +1,308 @@
+// Package cca implements the component model of the Common Component
+// Architecture as the paper describes it (Section 2.1): components
+// instantiated as cohorts across a set of parallel processes, uses/provides
+// ports connected by a framework, and Go ports launched concurrently at
+// startup.
+//
+// This package provides the direct-connected framework, in which all
+// components of one process live in the same address space and a port
+// invocation is "a refined form of library call": GetPort hands the user
+// the provider's port object itself. Distributed frameworks — where ports
+// become parallel remote method invocations — are built on the same
+// component model by internal/prmi and internal/frameworks.
+package cca
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mxn/internal/comm"
+)
+
+// PortType labels the interface a port carries. Connections require equal
+// port types on both ends; this stands in for SIDL interface types.
+type PortType string
+
+// Component is the unit of composition. SetServices is called once per
+// cohort instance at instantiation, mirroring the CCA setServices call:
+// the component registers its provides and uses ports there.
+type Component interface {
+	SetServices(svc Services) error
+}
+
+// GoPort is the component equivalent of a main function: frameworks start
+// every provided go port concurrently when the application is launched
+// (the DCA behaviour the paper describes in Section 4.3).
+type GoPort interface {
+	Go() error
+}
+
+// GoPortType is the conventional type label for Go ports.
+const GoPortType PortType = "cca.GoPort"
+
+// Services is each cohort instance's handle on its framework, passed to
+// SetServices.
+type Services interface {
+	// AddProvidesPort publishes a port object under a name and type.
+	AddProvidesPort(name string, typ PortType, port any) error
+	// RegisterUsesPort declares a connection end point this component will
+	// later resolve with GetPort.
+	RegisterUsesPort(name string, typ PortType) error
+	// GetPort resolves a registered uses port to the connected provider's
+	// port object. In a direct-connected framework the returned value is
+	// the provider instance's object itself, co-located in this process.
+	GetPort(name string) (any, error)
+	// Rank returns this instance's rank within its cohort.
+	Rank() int
+	// CohortSize returns the number of instances in the cohort.
+	CohortSize() int
+	// Cohort returns the intra-cohort communicator — the out-of-band
+	// channel (the paper's "e.g. using MPI") for interactions among the
+	// cohort that do not go through ports.
+	Cohort() *comm.Comm
+}
+
+// instance is one cohort member of one component.
+type instance struct {
+	comp     Component
+	services *services
+}
+
+// componentEntry is a named parallel component: a cohort of instances.
+type componentEntry struct {
+	name      string
+	instances []*instance
+}
+
+// connection wires a uses port to a provides port between two components.
+type connection struct {
+	provider *componentEntry
+	provPort string
+}
+
+// DirectFramework is a direct-connected CCA framework: all components are
+// instantiated as cohorts over the same set of processes, one instance of
+// each component per process, and port invocations stay in-process.
+type DirectFramework struct {
+	np    int
+	world *comm.World
+
+	mu         sync.Mutex
+	components map[string]*componentEntry
+	running    bool
+}
+
+// NewDirectFramework creates a framework whose components will run as
+// cohorts of np parallel processes.
+func NewDirectFramework(np int) *DirectFramework {
+	return &DirectFramework{
+		np:         np,
+		world:      comm.NewWorld(np),
+		components: map[string]*componentEntry{},
+	}
+}
+
+// NumProcs returns the framework's cohort width.
+func (f *DirectFramework) NumProcs() int { return f.np }
+
+// AddComponent instantiates a component cohort: factory is called once per
+// rank and each instance immediately receives SetServices. The factory
+// runs on the caller's goroutine; components needing rank-parallel setup
+// do it in their Go port.
+func (f *DirectFramework) AddComponent(name string, factory func(rank int) Component) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.running {
+		return fmt.Errorf("cca: framework is running")
+	}
+	if _, dup := f.components[name]; dup {
+		return fmt.Errorf("cca: component %q already exists", name)
+	}
+	cohortComms := f.world.Comms()
+	entry := &componentEntry{name: name}
+	for r := 0; r < f.np; r++ {
+		comp := factory(r)
+		svc := &services{
+			framework: f,
+			owner:     entry,
+			rank:      r,
+			cohort:    cohortComms[r],
+			provides:  map[string]providesEntry{},
+			uses:      map[string]usesEntry{},
+		}
+		inst := &instance{comp: comp, services: svc}
+		entry.instances = append(entry.instances, inst)
+		if err := comp.SetServices(svc); err != nil {
+			return fmt.Errorf("cca: %s rank %d setServices: %w", name, r, err)
+		}
+	}
+	f.components[name] = entry
+	return nil
+}
+
+// Connect attaches component user's uses port to component provider's
+// provides port, for every rank of the cohorts. Port types must match.
+func (f *DirectFramework) Connect(user, usesPort, provider, providesPort string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ue, ok := f.components[user]
+	if !ok {
+		return fmt.Errorf("cca: no component %q", user)
+	}
+	pe, ok := f.components[provider]
+	if !ok {
+		return fmt.Errorf("cca: no component %q", provider)
+	}
+	for r := 0; r < f.np; r++ {
+		us := ue.instances[r].services
+		ps := pe.instances[r].services
+		u, ok := us.uses[usesPort]
+		if !ok {
+			return fmt.Errorf("cca: %s has no uses port %q", user, usesPort)
+		}
+		p, ok := ps.provides[providesPort]
+		if !ok {
+			return fmt.Errorf("cca: %s has no provides port %q", provider, providesPort)
+		}
+		if u.typ != p.typ {
+			return fmt.Errorf("cca: port type mismatch: %s.%s is %q, %s.%s is %q",
+				user, usesPort, u.typ, provider, providesPort, p.typ)
+		}
+		u.conn = &connection{provider: pe, provPort: providesPort}
+		us.uses[usesPort] = u
+	}
+	return nil
+}
+
+// Run launches the application: every provided Go port of every component
+// starts concurrently on every rank, and Run returns once all have
+// finished, reporting the first error.
+func (f *DirectFramework) Run() error {
+	f.mu.Lock()
+	if f.running {
+		f.mu.Unlock()
+		return fmt.Errorf("cca: framework already running")
+	}
+	f.running = true
+	type job struct {
+		label string
+		port  GoPort
+	}
+	var jobs []job
+	names := make([]string, 0, len(f.components))
+	for name := range f.components {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entry := f.components[name]
+		for r, inst := range entry.instances {
+			for portName, p := range inst.services.provides {
+				gp, ok := p.port.(GoPort)
+				if !ok || p.typ != GoPortType {
+					continue
+				}
+				jobs = append(jobs, job{
+					label: fmt.Sprintf("%s.%s[rank %d]", name, portName, r),
+					port:  gp,
+				})
+			}
+		}
+	}
+	f.mu.Unlock()
+
+	errs := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			if err := j.port.Go(); err != nil {
+				errs <- fmt.Errorf("cca: %s: %w", j.label, err)
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errs)
+	f.mu.Lock()
+	f.running = false
+	f.mu.Unlock()
+	return <-errs // nil if channel drained empty
+}
+
+// providesEntry is one published port of one instance.
+type providesEntry struct {
+	typ  PortType
+	port any
+}
+
+// usesEntry is one declared connection end point of one instance.
+type usesEntry struct {
+	typ  PortType
+	conn *connection
+}
+
+// services implements Services for a direct-connected framework.
+type services struct {
+	framework *DirectFramework
+	owner     *componentEntry
+	rank      int
+	cohort    *comm.Comm
+
+	mu       sync.Mutex
+	provides map[string]providesEntry
+	uses     map[string]usesEntry
+}
+
+func (s *services) AddProvidesPort(name string, typ PortType, port any) error {
+	if port == nil {
+		return fmt.Errorf("cca: provides port %q is nil", name)
+	}
+	if typ == GoPortType {
+		if _, ok := port.(GoPort); !ok {
+			return fmt.Errorf("cca: port %q declared %q but does not implement GoPort", name, typ)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.provides[name]; dup {
+		return fmt.Errorf("cca: provides port %q already registered", name)
+	}
+	s.provides[name] = providesEntry{typ: typ, port: port}
+	return nil
+}
+
+func (s *services) RegisterUsesPort(name string, typ PortType) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.uses[name]; dup {
+		return fmt.Errorf("cca: uses port %q already registered", name)
+	}
+	s.uses[name] = usesEntry{typ: typ}
+	return nil
+}
+
+func (s *services) GetPort(name string) (any, error) {
+	s.mu.Lock()
+	u, ok := s.uses[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cca: no uses port %q", name)
+	}
+	if u.conn == nil {
+		return nil, fmt.Errorf("cca: uses port %q is not connected", name)
+	}
+	provInst := u.conn.provider.instances[s.rank]
+	provInst.services.mu.Lock()
+	p, ok := provInst.services.provides[u.conn.provPort]
+	provInst.services.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cca: provider dropped port %q", u.conn.provPort)
+	}
+	return p.port, nil
+}
+
+func (s *services) Rank() int          { return s.rank }
+func (s *services) CohortSize() int    { return s.framework.np }
+func (s *services) Cohort() *comm.Comm { return s.cohort }

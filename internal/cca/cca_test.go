@@ -1,0 +1,312 @@
+package cca
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// integratorPort is a toy provides-port interface.
+type integratorPort interface {
+	Integrate(lo, hi float64) float64
+}
+
+// midpointIntegrator provides the integrator port.
+type midpointIntegrator struct {
+	svc   Services
+	calls atomic.Int64
+}
+
+func (m *midpointIntegrator) SetServices(svc Services) error {
+	m.svc = svc
+	return svc.AddProvidesPort("integrator", "test.Integrator", m)
+}
+
+func (m *midpointIntegrator) Integrate(lo, hi float64) float64 {
+	m.calls.Add(1)
+	return (hi - lo) * (lo + hi) / 2
+}
+
+// driver uses the integrator port from its Go port.
+type driver struct {
+	svc    Services
+	result chan float64
+	fail   bool
+}
+
+func (d *driver) SetServices(svc Services) error {
+	d.svc = svc
+	if err := svc.RegisterUsesPort("calc", "test.Integrator"); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort("go", GoPortType, d)
+}
+
+func (d *driver) Go() error {
+	if d.fail {
+		return errors.New("driver failed")
+	}
+	p, err := d.svc.GetPort("calc")
+	if err != nil {
+		return err
+	}
+	integ := p.(integratorPort)
+	// Each rank integrates its own slice; the cohort sums out-of-band.
+	lo := float64(d.svc.Rank())
+	part := integ.Integrate(lo, lo+1)
+	total := d.svc.Cohort().AllreduceFloat64(part, 0) // OpSum
+	if d.svc.Rank() == 0 {
+		d.result <- total
+	}
+	return nil
+}
+
+func TestDirectFrameworkEndToEnd(t *testing.T) {
+	const np = 4
+	f := NewDirectFramework(np)
+	results := make(chan float64, 1)
+	integrators := make([]*midpointIntegrator, np)
+	if err := f.AddComponent("integrator", func(rank int) Component {
+		integrators[rank] = &midpointIntegrator{}
+		return integrators[rank]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddComponent("driver", func(rank int) Component {
+		return &driver{result: results}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect("driver", "calc", "integrator", "integrator"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Sum over ranks r of integral of x from r to r+1 = sum (2r+1)/2 = 8.
+	got := <-results
+	if got != 8 {
+		t.Errorf("result = %v, want 8", got)
+	}
+	// Direct connection means the provider instance itself was invoked —
+	// one call per rank, in-process.
+	for r, m := range integrators {
+		if m.calls.Load() != 1 {
+			t.Errorf("integrator rank %d called %d times", r, m.calls.Load())
+		}
+	}
+}
+
+func TestGetPortReturnsProviderObjectItself(t *testing.T) {
+	// The defining property of a direct-connected framework: the port is a
+	// library-call reference, not a proxy.
+	f := NewDirectFramework(1)
+	var provided *midpointIntegrator
+	f.AddComponent("p", func(rank int) Component {
+		provided = &midpointIntegrator{}
+		return provided
+	})
+	var got any
+	f.AddComponent("u", func(rank int) Component {
+		return componentFunc(func(svc Services) error {
+			if err := svc.RegisterUsesPort("x", "test.Integrator"); err != nil {
+				return err
+			}
+			return svc.AddProvidesPort("go", GoPortType, goFunc(func() error {
+				var err error
+				got, err = svc.GetPort("x")
+				return err
+			}))
+		})
+	})
+	if err := f.Connect("u", "x", "p", "integrator"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != provided {
+		t.Error("GetPort did not return the provider's own object")
+	}
+}
+
+// componentFunc adapts a function to Component.
+type componentFunc func(svc Services) error
+
+func (f componentFunc) SetServices(svc Services) error { return f(svc) }
+
+// goFunc adapts a function to GoPort.
+type goFunc func() error
+
+func (f goFunc) Go() error { return f() }
+
+func TestConnectValidation(t *testing.T) {
+	f := NewDirectFramework(2)
+	f.AddComponent("p", func(rank int) Component { return &midpointIntegrator{} })
+	f.AddComponent("u", func(rank int) Component {
+		return componentFunc(func(svc Services) error {
+			return svc.RegisterUsesPort("calc", "test.Integrator")
+		})
+	})
+	cases := []struct{ u, up, p, pp string }{
+		{"nobody", "calc", "p", "integrator"},
+		{"u", "calc", "nobody", "integrator"},
+		{"u", "wrong", "p", "integrator"},
+		{"u", "calc", "p", "wrong"},
+	}
+	for _, c := range cases {
+		if err := f.Connect(c.u, c.up, c.p, c.pp); err == nil {
+			t.Errorf("Connect(%v) succeeded", c)
+		}
+	}
+	if err := f.Connect("u", "calc", "p", "integrator"); err != nil {
+		t.Errorf("valid connect failed: %v", err)
+	}
+}
+
+func TestConnectTypeMismatch(t *testing.T) {
+	f := NewDirectFramework(1)
+	f.AddComponent("p", func(rank int) Component { return &midpointIntegrator{} })
+	f.AddComponent("u", func(rank int) Component {
+		return componentFunc(func(svc Services) error {
+			return svc.RegisterUsesPort("calc", "test.SomethingElse")
+		})
+	})
+	if err := f.Connect("u", "calc", "p", "integrator"); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestDuplicateRegistrations(t *testing.T) {
+	f := NewDirectFramework(1)
+	err := f.AddComponent("c", func(rank int) Component {
+		return componentFunc(func(svc Services) error {
+			if err := svc.AddProvidesPort("p", "t", struct{}{}); err != nil {
+				return err
+			}
+			return svc.AddProvidesPort("p", "t", struct{}{})
+		})
+	})
+	if err == nil {
+		t.Error("duplicate provides port accepted")
+	}
+	f2 := NewDirectFramework(1)
+	if err := f2.AddComponent("c", func(rank int) Component { return &midpointIntegrator{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.AddComponent("c", func(rank int) Component { return &midpointIntegrator{} }); err == nil {
+		t.Error("duplicate component name accepted")
+	}
+}
+
+func TestGoPortMustImplementInterface(t *testing.T) {
+	f := NewDirectFramework(1)
+	err := f.AddComponent("c", func(rank int) Component {
+		return componentFunc(func(svc Services) error {
+			return svc.AddProvidesPort("go", GoPortType, struct{}{})
+		})
+	})
+	if err == nil {
+		t.Error("non-GoPort under GoPortType accepted")
+	}
+}
+
+func TestGetPortUnconnected(t *testing.T) {
+	f := NewDirectFramework(1)
+	var svc Services
+	f.AddComponent("c", func(rank int) Component {
+		return componentFunc(func(s Services) error {
+			svc = s
+			return s.RegisterUsesPort("calc", "t")
+		})
+	})
+	if _, err := svc.GetPort("calc"); err == nil {
+		t.Error("unconnected uses port resolved")
+	}
+	if _, err := svc.GetPort("never-registered"); err == nil {
+		t.Error("unregistered uses port resolved")
+	}
+}
+
+func TestRunPropagatesGoErrors(t *testing.T) {
+	f := NewDirectFramework(2)
+	f.AddComponent("d", func(rank int) Component {
+		return &driver{fail: true, result: make(chan float64, 2)}
+	})
+	if err := f.Run(); err == nil {
+		t.Error("Run did not report Go error")
+	}
+}
+
+func TestMultipleGoComponentsRunConcurrently(t *testing.T) {
+	// Two components that must run concurrently to finish: they exchange a
+	// value through a shared channel in both directions.
+	f := NewDirectFramework(1)
+	ab := make(chan int, 1)
+	ba := make(chan int, 1)
+	mk := func(send chan<- int, recv <-chan int) func(rank int) Component {
+		return func(rank int) Component {
+			return componentFunc(func(svc Services) error {
+				return svc.AddProvidesPort("go", GoPortType, goFunc(func() error {
+					send <- 1
+					<-recv
+					return nil
+				}))
+			})
+		}
+	}
+	f.AddComponent("a", mk(ab, ba))
+	f.AddComponent("b", mk(ba, ab))
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCohortCommunicatorIsPerComponent(t *testing.T) {
+	const np = 3
+	f := NewDirectFramework(np)
+	mk := func(name string) func(rank int) Component {
+		return func(rank int) Component {
+			return componentFunc(func(svc Services) error {
+				return svc.AddProvidesPort("go", GoPortType, goFunc(func() error {
+					// Heavy concurrent collective traffic on both cohorts.
+					for i := 0; i < 20; i++ {
+						if got := svc.Cohort().AllreduceInt(1, 0); got != np {
+							return fmt.Errorf("%s: allreduce = %d", name, got)
+						}
+					}
+					return nil
+				}))
+			})
+		}
+	}
+	f.AddComponent("a", mk("a"))
+	f.AddComponent("b", mk("b"))
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServicesRankAndSize(t *testing.T) {
+	const np = 5
+	f := NewDirectFramework(np)
+	seen := make([]bool, np)
+	f.AddComponent("c", func(rank int) Component {
+		return componentFunc(func(svc Services) error {
+			if svc.Rank() != rank {
+				t.Errorf("rank = %d, want %d", svc.Rank(), rank)
+			}
+			if svc.CohortSize() != np {
+				t.Errorf("cohort size = %d", svc.CohortSize())
+			}
+			seen[rank] = true
+			return nil
+		})
+	})
+	for r, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d never instantiated", r)
+		}
+	}
+}

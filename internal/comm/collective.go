@@ -1,0 +1,191 @@
+package comm
+
+import "fmt"
+
+// Collective operations. Like their MPI counterparts, these must be called
+// by every rank of the communicator's group, and every rank must execute
+// the same sequence of collectives. Because point-to-point delivery between
+// a pair of ranks is FIFO per tag, successive collectives by the same group
+// cannot cross-match and need no epoch counters.
+
+// Barrier blocks until every rank of the group has entered it.
+func (c *Comm) Barrier() {
+	c.Allgather(nil)
+}
+
+// Bcast distributes root's value to every rank and returns it. Non-root
+// callers pass any value (conventionally nil); the root's value wins.
+func (c *Comm) Bcast(root int, v any) any {
+	if c.Size() == 1 {
+		return v
+	}
+	if c.rank == root {
+		for peer := 0; peer < c.Size(); peer++ {
+			if peer != root {
+				c.send(peer, tagBcast, v)
+			}
+		}
+		return v
+	}
+	m := c.recv(root, tagBcast)
+	return m.payload
+}
+
+// Gather collects one value from every rank at root. At the root the
+// returned slice is indexed by group rank; at other ranks it is nil.
+func (c *Comm) Gather(root int, v any) []any {
+	if c.rank != root {
+		c.send(root, tagGather, v)
+		return nil
+	}
+	out := make([]any, c.Size())
+	out[c.rank] = v
+	for peer := 0; peer < c.Size(); peer++ {
+		if peer == root {
+			continue
+		}
+		m := c.recv(peer, tagGather)
+		out[peer] = m.payload
+	}
+	return out
+}
+
+// Allgather collects one value from every rank at every rank. The returned
+// slice is indexed by group rank.
+func (c *Comm) Allgather(v any) []any {
+	all := c.Gather(0, v)
+	got := c.Bcast(0, all)
+	return got.([]any)
+}
+
+// Scatter distributes values[i] from root to group rank i and returns the
+// caller's element. At the root, values must have length Size(); elsewhere
+// it is ignored.
+func (c *Comm) Scatter(root int, values []any) any {
+	if c.rank == root {
+		if len(values) != c.Size() {
+			panic(fmt.Sprintf("comm: Scatter needs %d values, got %d", c.Size(), len(values)))
+		}
+		for peer := 0; peer < c.Size(); peer++ {
+			if peer != root {
+				c.send(peer, tagScatter, values[peer])
+			}
+		}
+		return values[root]
+	}
+	m := c.recv(root, tagScatter)
+	return m.payload
+}
+
+// Alltoall sends values[j] to group rank j and returns the values received
+// from every rank, indexed by source rank. values must have length Size().
+func (c *Comm) Alltoall(values []any) []any {
+	if len(values) != c.Size() {
+		panic(fmt.Sprintf("comm: Alltoall needs %d values, got %d", c.Size(), len(values)))
+	}
+	out := make([]any, c.Size())
+	out[c.rank] = values[c.rank]
+	for peer := 0; peer < c.Size(); peer++ {
+		if peer != c.rank {
+			c.send(peer, tagAlltoall, values[peer])
+		}
+	}
+	for peer := 0; peer < c.Size(); peer++ {
+		if peer != c.rank {
+			m := c.recv(peer, tagAlltoall)
+			out[peer] = m.payload
+		}
+	}
+	return out
+}
+
+// AlltoallvFloat64 is the irregular all-to-all exchange the DCA framework
+// exposes to applications: send[j] goes to rank j, and the result is
+// indexed by source rank. Unlike MPI no displacement bookkeeping is needed
+// because slices carry their lengths.
+func (c *Comm) AlltoallvFloat64(send [][]float64) [][]float64 {
+	vals := make([]any, len(send))
+	for i, s := range send {
+		vals[i] = s
+	}
+	got := c.Alltoall(vals)
+	out := make([][]float64, len(got))
+	for i, g := range got {
+		if g != nil {
+			out[i] = g.([]float64)
+		}
+	}
+	return out
+}
+
+// AlltoallvBytes is AlltoallvFloat64 for raw byte payloads.
+func (c *Comm) AlltoallvBytes(send [][]byte) [][]byte {
+	vals := make([]any, len(send))
+	for i, s := range send {
+		vals[i] = s
+	}
+	got := c.Alltoall(vals)
+	out := make([][]byte, len(got))
+	for i, g := range got {
+		if g != nil {
+			out[i] = g.([]byte)
+		}
+	}
+	return out
+}
+
+// ReduceOp names a reduction operator for ReduceFloat64/AllreduceFloat64.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMin
+	OpMax
+)
+
+func (op ReduceOp) apply(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	panic(fmt.Sprintf("comm: unknown reduce op %d", op))
+}
+
+// ReduceFloat64 folds one float64 per rank at root. Non-root callers
+// receive 0 and ok=false.
+func (c *Comm) ReduceFloat64(root int, v float64, op ReduceOp) (float64, bool) {
+	all := c.Gather(root, v)
+	if all == nil {
+		return 0, false
+	}
+	acc := all[0].(float64)
+	for _, x := range all[1:] {
+		acc = op.apply(acc, x.(float64))
+	}
+	return acc, true
+}
+
+// AllreduceFloat64 folds one float64 per rank and returns the result at
+// every rank.
+func (c *Comm) AllreduceFloat64(v float64, op ReduceOp) float64 {
+	r, _ := c.ReduceFloat64(0, v, op)
+	got := c.Bcast(0, r)
+	return got.(float64)
+}
+
+// AllreduceInt folds one int per rank with OpSum/OpMin/OpMax semantics and
+// returns the result at every rank.
+func (c *Comm) AllreduceInt(v int, op ReduceOp) int {
+	return int(c.AllreduceFloat64(float64(v), op))
+}

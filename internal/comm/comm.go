@@ -1,0 +1,343 @@
+// Package comm provides an in-process message-passing runtime with
+// MPI-like semantics: a fixed set of ranks (one goroutine each), tagged
+// point-to-point messages, communicator groups, and the collective
+// operations the M×N middleware needs (barrier, broadcast, gather,
+// allgather, reduce, alltoallv).
+//
+// The package substitutes for MPI in this reproduction: the redistribution
+// and PRMI algorithms only depend on MPI's semantics — ranked processes,
+// tagged ordered messages between pairs, and group collectives — all of
+// which are preserved here. Receives block until a matching message
+// arrives, so incorrect orderings deadlock exactly as they would under MPI
+// (which the Figure 5 experiment relies on).
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// message is a queued point-to-point message. gid identifies the
+// communicator group: like MPI communicators, distinct groups are isolated
+// traffic domains even over the same ranks.
+type message struct {
+	from    int // world rank of sender
+	tag     int
+	gid     uint64
+	payload any
+}
+
+// mailbox is the receive queue of one world rank.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.msgs = append(mb.msgs, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (group, from, tag),
+// blocking until one arrives.
+func (mb *mailbox) take(gid uint64, from, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.msgs {
+			if m.gid == gid && (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag) {
+				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// tryTake is the non-blocking variant of take.
+func (mb *mailbox) tryTake(gid uint64, from, tag int) (message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.msgs {
+		if m.gid == gid && (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag) {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// World is a fixed-size set of ranks that can exchange messages.
+// It plays the role of MPI_COMM_WORLD's underlying process set.
+type World struct {
+	size  int
+	boxes []*mailbox
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: world size must be positive, got %d", n))
+	}
+	w := &World{size: n, boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Comms returns one communicator handle per world rank, all belonging to a
+// single group spanning the whole world (the MPI_COMM_WORLD analogue).
+func (w *World) Comms() []*Comm {
+	ranks := make([]int, w.size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return w.Group(ranks)
+}
+
+// Group creates a new communicator over the given world ranks and returns
+// one handle per member, in group order. Collectives on the returned
+// communicators involve exactly these ranks.
+func (w *World) Group(ranks []int) []*Comm {
+	g := &group{
+		world: w,
+		ranks: append([]int(nil), ranks...),
+		gid:   nextGroupID.Add(1),
+	}
+	cs := make([]*Comm, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= w.size {
+			panic(fmt.Sprintf("comm: rank %d outside world of size %d", r, w.size))
+		}
+		cs[i] = &Comm{group: g, rank: i}
+	}
+	return cs
+}
+
+// Run spawns n goroutines, one per rank of a fresh world-spanning
+// communicator, and blocks until all have returned. It is the common way to
+// stand up a parallel cohort in tests, examples and benchmarks.
+func Run(n int, body func(c *Comm)) {
+	w := NewWorld(n)
+	cs := w.Comms()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(c *Comm) {
+			defer wg.Done()
+			body(c)
+		}(cs[i])
+	}
+	wg.Wait()
+}
+
+// nextGroupID hands out process-unique communicator identities.
+var nextGroupID atomic.Uint64
+
+// group is the shared state of one communicator.
+type group struct {
+	world *World
+	ranks []int // group rank -> world rank
+	gid   uint64
+}
+
+// Comm is one rank's handle on a communicator. All methods are relative to
+// the group: Send/Recv peer arguments and collective roots are group ranks.
+type Comm struct {
+	group *group
+	rank  int // this handle's rank within the group
+}
+
+// Rank returns the caller's rank within the communicator's group.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator's group.
+func (c *Comm) Size() int { return len(c.group.ranks) }
+
+// WorldRank returns the underlying world rank of this handle.
+func (c *Comm) WorldRank() int { return c.group.ranks[c.rank] }
+
+// Send delivers payload to group rank "to" with the given tag. Sends are
+// buffered and never block. Tags must be non-negative; negative tags are
+// reserved for internal use.
+func (c *Comm) Send(to, tag int, payload any) {
+	if tag < 0 {
+		panic(fmt.Sprintf("comm: user tags must be non-negative, got %d", tag))
+	}
+	c.send(to, tag, payload)
+}
+
+func (c *Comm) send(to, tag int, payload any) {
+	if to < 0 || to >= len(c.group.ranks) {
+		panic(fmt.Sprintf("comm: send to rank %d outside group of size %d", to, len(c.group.ranks)))
+	}
+	wr := c.group.ranks[to]
+	c.group.world.boxes[wr].put(message{from: c.group.ranks[c.rank], tag: tag, gid: c.group.gid, payload: payload})
+}
+
+// Recv blocks until a message with a matching source and tag arrives and
+// returns its payload and actual source group rank. Use AnySource/AnyTag as
+// wildcards.
+func (c *Comm) Recv(from, tag int) (payload any, source int) {
+	m := c.recv(from, tag)
+	return m.payload, c.groupRankOf(m.from)
+}
+
+func (c *Comm) recv(from, tag int) message {
+	wfrom := from
+	if from != AnySource {
+		if from < 0 || from >= len(c.group.ranks) {
+			panic(fmt.Sprintf("comm: recv from rank %d outside group of size %d", from, len(c.group.ranks)))
+		}
+		wfrom = c.group.ranks[from]
+	}
+	wr := c.group.ranks[c.rank]
+	return c.group.world.boxes[wr].take(c.group.gid, wfrom, tag)
+}
+
+// TryRecv is the non-blocking variant of Recv. ok reports whether a
+// matching message was available.
+func (c *Comm) TryRecv(from, tag int) (payload any, source int, ok bool) {
+	wfrom := from
+	if from != AnySource {
+		wfrom = c.group.ranks[from]
+	}
+	wr := c.group.ranks[c.rank]
+	m, ok := c.group.world.boxes[wr].tryTake(c.group.gid, wfrom, tag)
+	if !ok {
+		return nil, 0, false
+	}
+	return m.payload, c.groupRankOf(m.from), true
+}
+
+func (c *Comm) groupRankOf(worldRank int) int {
+	for g, wr := range c.group.ranks {
+		if wr == worldRank {
+			return g
+		}
+	}
+	return -1
+}
+
+// Sub creates a sub-communicator over the given group ranks of c. Every
+// member of the subgroup must call Sub with the identical rank list; each
+// caller receives its own handle. Callers not in ranks receive nil.
+//
+// Sub is collective over c's full group so that the shared state is built
+// exactly once.
+func (c *Comm) Sub(ranks []int) *Comm {
+	// Rank 0 of the parent builds the subgroup communicators and scatters
+	// the handles; this mirrors MPI_Comm_create's collective nature.
+	worldRanks := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(c.group.ranks) {
+			panic(fmt.Sprintf("comm: Sub rank %d outside group of size %d", r, len(c.group.ranks)))
+		}
+		worldRanks[i] = c.group.ranks[r]
+	}
+	var mine *Comm
+	if c.rank == 0 {
+		subs := c.group.world.Group(worldRanks)
+		handles := make([]any, len(c.group.ranks))
+		for i, r := range ranks {
+			handles[r] = subs[i]
+		}
+		for peer := 1; peer < len(c.group.ranks); peer++ {
+			c.send(peer, tagSub, handles[peer])
+		}
+		if h := handles[0]; h != nil {
+			mine = h.(*Comm)
+		}
+	} else {
+		m := c.recv(0, tagSub)
+		if m.payload != nil {
+			mine = m.payload.(*Comm)
+		}
+	}
+	return mine
+}
+
+// Split partitions the communicator by color, like MPI_Comm_split: every
+// rank of the group must call it; ranks passing the same non-negative
+// color form a new communicator, ordered by their rank in the parent.
+// Ranks passing a negative color opt out and receive nil.
+//
+// Unlike Sub, Split is uniformly collective — no rank needs to know any
+// other rank's membership — which makes it the safe way to carve a world
+// into model cohorts.
+func (c *Comm) Split(color int) *Comm {
+	colors := c.Allgather(color)
+	var mine *Comm
+	if c.rank == 0 {
+		// Build one subgroup per distinct non-negative color, members in
+		// parent-rank order.
+		groupsByColor := map[int][]int{}
+		order := []int{}
+		for r, v := range colors {
+			col := v.(int)
+			if col < 0 {
+				continue
+			}
+			if _, seen := groupsByColor[col]; !seen {
+				order = append(order, col)
+			}
+			groupsByColor[col] = append(groupsByColor[col], r)
+		}
+		handles := make([]any, len(c.group.ranks))
+		for _, col := range order {
+			members := groupsByColor[col]
+			worldRanks := make([]int, len(members))
+			for i, r := range members {
+				worldRanks[i] = c.group.ranks[r]
+			}
+			subs := c.group.world.Group(worldRanks)
+			for i, r := range members {
+				handles[r] = subs[i]
+			}
+		}
+		for peer := 1; peer < len(c.group.ranks); peer++ {
+			c.send(peer, tagSplit, handles[peer])
+		}
+		if h := handles[0]; h != nil {
+			mine = h.(*Comm)
+		}
+	} else {
+		m := c.recv(0, tagSplit)
+		if m.payload != nil {
+			mine = m.payload.(*Comm)
+		}
+	}
+	return mine
+}
+
+// Internal tags. User tags are non-negative, so any negative constant is
+// collision-free; distinct constants keep distinct protocols from matching
+// each other's messages.
+const (
+	tagSub = -1000 - iota
+	tagSplit
+	tagBcast
+	tagGather
+	tagScatter
+	tagAlltoall
+)

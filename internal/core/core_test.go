@@ -1,0 +1,474 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mxn/internal/dad"
+	"mxn/internal/transport"
+)
+
+func blockTpl(t *testing.T, n, p int) *dad.Template {
+	t.Helper()
+	tpl, err := dad.NewTemplate([]int{n}, []dad.AxisDist{dad.BlockAxis(p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+func desc(t *testing.T, name string, mode dad.Access, tpl *dad.Template) *dad.Descriptor {
+	t.Helper()
+	d, err := dad.NewDescriptor(name, dad.Float64, mode, tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// pairHubs builds two hubs over an in-memory bridge with one registered
+// field each.
+func pairHubs(t *testing.T, m, n, elems int) (*Hub, *Hub) {
+	t.Helper()
+	ba, bb := BridgePair()
+	src := NewHub("A", m, ba)
+	dst := NewHub("B", n, bb)
+	if err := src.Register(desc(t, "temp", dad.ReadWrite, blockTpl(t, elems, m))); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Register(desc(t, "temp", dad.ReadWrite, blockTpl(t, elems, n))); err != nil {
+		t.Fatal(err)
+	}
+	return src, dst
+}
+
+func TestRegisterValidation(t *testing.T) {
+	ba, _ := BridgePair()
+	h := NewHub("A", 2, ba)
+	if err := h.Register(desc(t, "f", dad.ReadOnly, blockTpl(t, 8, 3))); err == nil {
+		t.Error("wrong-width field accepted")
+	}
+	if err := h.Register(desc(t, "f", dad.ReadOnly, blockTpl(t, 8, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(desc(t, "f", dad.ReadOnly, blockTpl(t, 8, 2))); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	h.Unregister("f")
+	if err := h.Register(desc(t, "f", dad.ReadOnly, blockTpl(t, 8, 2))); err != nil {
+		t.Errorf("re-register after unregister: %v", err)
+	}
+}
+
+// runTransfer performs one matched DataReady epoch on every rank of both
+// sides and returns the destination buffers.
+func runTransfer(t *testing.T, srcConn, dstConn *Connection, m, n, elems int) [][]float64 {
+	t.Helper()
+	srcT := srcConn.local.Template
+	dstT := dstConn.local.Template
+	dst := make([][]float64, n)
+	var wg sync.WaitGroup
+	for r := 0; r < m; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			local := make([]float64, srcT.LocalCount(r))
+			for li := range local {
+				local[li] = float64(r*(elems/m) + li) // block layout: global index
+			}
+			if _, err := srcConn.DataReady(r, local); err != nil {
+				t.Errorf("src rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]float64, dstT.LocalCount(r))
+			if _, err := dstConn.DataReady(r, buf); err != nil {
+				t.Errorf("dst rank %d: %v", r, err)
+			}
+			dst[r] = buf
+		}(r)
+	}
+	wg.Wait()
+	return dst
+}
+
+func verifyDst(t *testing.T, dst *dad.Template, got [][]float64) {
+	t.Helper()
+	dims := dst.Dims()
+	for g := 0; g < dims[0]; g++ {
+		r := dst.OwnerOf([]int{g})
+		off := dst.LocalOffset(r, []int{g})
+		if got[r][off] != float64(g) {
+			t.Errorf("global %d on rank %d: got %v", g, r, got[r][off])
+		}
+	}
+}
+
+func TestProposeAcceptOneShot(t *testing.T) {
+	const m, n, elems = 2, 3, 24
+	src, dst := pairHubs(t, m, n, elems)
+	var dstConn *Connection
+	var acceptErr error
+	done := make(chan struct{})
+	go func() {
+		dstConn, acceptErr = dst.Accept()
+		close(done)
+	}()
+	srcConn, err := src.Propose("c1", "temp", "temp", AsSource, ConnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if acceptErr != nil {
+		t.Fatal(acceptErr)
+	}
+	if srcConn.Dir() != AsSource || dstConn.Dir() != AsDestination {
+		t.Error("directions wrong")
+	}
+	verifyDst(t, dstConn.local.Template, runTransfer(t, srcConn, dstConn, m, n, elems))
+	tr, el := srcConn.Stats()
+	if tr != m || el != elems {
+		t.Errorf("src stats: %d transfers %d elems", tr, el)
+	}
+}
+
+func TestDestinationInitiated(t *testing.T) {
+	// The destination proposes (dir = AsDestination); the source accepts.
+	const m, n, elems = 3, 2, 12
+	src, dst := pairHubs(t, m, n, elems)
+	var srcConn *Connection
+	var acceptErr error
+	done := make(chan struct{})
+	go func() {
+		srcConn, acceptErr = src.Accept()
+		close(done)
+	}()
+	dstConn, err := dst.Propose("c2", "temp", "temp", AsDestination, ConnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if acceptErr != nil {
+		t.Fatal(acceptErr)
+	}
+	verifyDst(t, dstConn.local.Template, runTransfer(t, srcConn, dstConn, m, n, elems))
+}
+
+func TestThirdPartyConnect(t *testing.T) {
+	const m, n, elems = 2, 2, 16
+	src, dst := pairHubs(t, m, n, elems)
+	srcConn, dstConn, err := Connect("c3", src, "temp", dst, "temp", ConnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyDst(t, dstConn.local.Template, runTransfer(t, srcConn, dstConn, m, n, elems))
+}
+
+func TestModeEnforcement(t *testing.T) {
+	ba, bb := BridgePair()
+	a := NewHub("A", 1, ba)
+	b := NewHub("B", 1, bb)
+	a.Register(desc(t, "wo", dad.WriteOnly, blockTpl(t, 4, 1)))
+	b.Register(desc(t, "ro", dad.ReadOnly, blockTpl(t, 4, 1)))
+	// Local mode violation detected before any control traffic.
+	if _, err := a.Propose("x", "wo", "ro", AsSource, ConnOpts{}); err == nil {
+		t.Error("write-only field allowed as source")
+	}
+	// Remote mode violation: propose b's read-only field as destination.
+	a.Register(desc(t, "ok", dad.ReadOnly, blockTpl(t, 4, 1)))
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Accept()
+		done <- err
+	}()
+	if _, err := a.Propose("y", "ok", "ro", AsSource, ConnOpts{}); err == nil {
+		t.Error("peer read-only field accepted as destination")
+	}
+	if err := <-done; err == nil {
+		t.Error("acceptor did not report rejection")
+	}
+}
+
+func TestRejectUnknownFieldAndNonConforming(t *testing.T) {
+	ba, bb := BridgePair()
+	a := NewHub("A", 1, ba)
+	b := NewHub("B", 1, bb)
+	a.Register(desc(t, "f", dad.ReadWrite, blockTpl(t, 4, 1)))
+	b.Register(desc(t, "g", dad.ReadWrite, blockTpl(t, 5, 1))) // different size
+
+	done := make(chan error, 1)
+	go func() { _, err := b.Accept(); done <- err }()
+	if _, err := a.Propose("x", "f", "missing", AsSource, ConnOpts{}); err == nil {
+		t.Error("unknown remote field accepted")
+	}
+	<-done
+
+	go func() { _, err := b.Accept(); done <- err }()
+	if _, err := a.Propose("y", "f", "g", AsSource, ConnOpts{}); err == nil {
+		t.Error("non-conforming templates accepted")
+	}
+	<-done
+
+	if _, err := a.Propose("z", "missing", "g", AsSource, ConnOpts{}); err == nil {
+		t.Error("unknown local field accepted")
+	}
+}
+
+func TestPersistentSyncEachFrame(t *testing.T) {
+	const m, n, elems, frames = 2, 2, 8, 5
+	src, dst := pairHubs(t, m, n, elems)
+	srcConn, dstConn, err := Connect("p1", src, "temp", dst, "temp",
+		ConnOpts{Persistent: true, Sync: SyncEachFrame})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	seen := make([][]uint64, n)
+	for r := 0; r < m; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			local := make([]float64, srcConn.local.Template.LocalCount(r))
+			err := srcConn.RunProducer(r, func(epoch uint64) []float64 {
+				if epoch >= frames {
+					return nil
+				}
+				for li := range local {
+					g := r*(elems/m) + li
+					local[li] = float64(g)*1000 + float64(epoch)
+				}
+				return local
+			})
+			if err != nil {
+				t.Errorf("producer %d: %v", r, err)
+			}
+		}(r)
+	}
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			err := dstConn.RunConsumer(r, func(epoch uint64, frame []float64) bool {
+				seen[r] = append(seen[r], epoch)
+				for li, v := range frame {
+					g := r*(elems/n) + li
+					if want := float64(g)*1000 + float64(epoch); v != want {
+						t.Errorf("rank %d epoch %d: frame[%d] = %v, want %v", r, epoch, li, v, want)
+						return false
+					}
+				}
+				return true
+			})
+			if err != nil {
+				t.Errorf("consumer %d: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if len(seen[r]) != frames {
+			t.Fatalf("rank %d saw %d frames", r, len(seen[r]))
+		}
+		for k, e := range seen[r] {
+			if e != uint64(k) {
+				t.Errorf("rank %d frame %d has epoch %d (must see every epoch in order)", r, k, e)
+			}
+		}
+	}
+}
+
+func TestPersistentFreeRunningSamplesLatest(t *testing.T) {
+	const elems = 4
+	src, dst := pairHubs(t, 1, 1, elems)
+	srcConn, dstConn, err := Connect("p2", src, "temp", dst, "temp",
+		ConnOpts{Persistent: true, Sync: FreeRunning})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Produce 10 frames before the consumer looks at all.
+	local := make([]float64, elems)
+	for epoch := 0; epoch < 10; epoch++ {
+		for i := range local {
+			local[i] = float64(epoch)
+		}
+		if _, err := srcConn.DataReady(0, local); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]float64, elems)
+	epoch, err := dstConn.DataReady(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 9 || buf[0] != 9 {
+		t.Errorf("sampled epoch %d value %v, want the newest (9)", epoch, buf[0])
+	}
+	// After close, the consumer sees the stream end.
+	if err := srcConn.CloseStream(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dstConn.DataReady(0, buf); !errors.Is(err, ErrChannelClosed) {
+		t.Errorf("after close: %v, want ErrChannelClosed", err)
+	}
+}
+
+func TestDataReadyValidation(t *testing.T) {
+	src, dst := pairHubs(t, 1, 1, 4)
+	srcConn, dstConn, err := Connect("v", src, "temp", dst, "temp", ConnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srcConn.DataReady(5, make([]float64, 4)); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if _, err := srcConn.DataReady(0, make([]float64, 3)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := dstConn.CloseStream(0); err == nil {
+		t.Error("CloseStream on destination accepted")
+	}
+	if err := srcConn.RunConsumer(0, nil); err == nil {
+		t.Error("RunConsumer on source accepted")
+	}
+	if err := dstConn.RunProducer(0, nil); err == nil {
+		t.Error("RunProducer on destination accepted")
+	}
+}
+
+func TestDuplicateConnectionID(t *testing.T) {
+	src, dst := pairHubs(t, 1, 1, 4)
+	if _, _, err := Connect("dup", src, "temp", dst, "temp", ConnOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Connect("dup", src, "temp", dst, "temp", ConnOpts{}); err == nil {
+		t.Error("duplicate connection id accepted")
+	}
+	if _, ok := src.Connection("dup"); !ok {
+		t.Error("connection lookup failed")
+	}
+	if _, ok := src.Connection("nope"); ok {
+		t.Error("phantom connection found")
+	}
+}
+
+func TestNetBridgeTransfer(t *testing.T) {
+	// The distributed deployment: two hubs joined by a transport pipe
+	// wrapped in net bridges (same code path as TCP).
+	const m, n, elems = 2, 3, 12
+	ca, cb := transport.Pipe()
+	src := NewHub("A", m, NewNetBridge(ca))
+	dst := NewHub("B", n, NewNetBridge(cb))
+	if err := src.Register(desc(t, "temp", dad.ReadOnly, blockTpl(t, elems, m))); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Register(desc(t, "temp", dad.WriteOnly, blockTpl(t, elems, n))); err != nil {
+		t.Fatal(err)
+	}
+	var dstConn *Connection
+	var acceptErr error
+	done := make(chan struct{})
+	go func() {
+		dstConn, acceptErr = dst.Accept()
+		close(done)
+	}()
+	srcConn, err := src.Propose("net", "temp", "temp", AsSource, ConnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if acceptErr != nil {
+		t.Fatal(acceptErr)
+	}
+	verifyDst(t, dstConn.local.Template, runTransfer(t, srcConn, dstConn, m, n, elems))
+}
+
+func TestNetBridgeTCP(t *testing.T) {
+	l, err := transport.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var srvConn transport.Conn
+	accDone := make(chan error, 1)
+	go func() {
+		var err error
+		srvConn, err = l.Accept()
+		accDone <- err
+	}()
+	cliConn, err := transport.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-accDone; err != nil {
+		t.Fatal(err)
+	}
+	const m, n, elems = 1, 2, 10
+	src := NewHub("A", m, NewNetBridge(cliConn))
+	dst := NewHub("B", n, NewNetBridge(srvConn))
+	src.Register(desc(t, "f", dad.ReadOnly, blockTpl(t, elems, m)))
+	dst.Register(desc(t, "f", dad.WriteOnly, blockTpl(t, elems, n)))
+	var dstConn *Connection
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		dstConn, err = dst.Accept()
+		done <- err
+	}()
+	srcConn, err := src.Propose("tcp", "f", "f", AsSource, ConnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	verifyDst(t, dstConn.local.Template, runTransfer(t, srcConn, dstConn, m, n, elems))
+	cliConn.Close()
+	srvConn.Close()
+}
+
+func TestNetBridgeConnDeathFailsPendingRecv(t *testing.T) {
+	ca, cb := transport.Pipe()
+	src := NewHub("A", 1, NewNetBridge(ca))
+	dst := NewHub("B", 1, NewNetBridge(cb))
+	tpl := blockTpl(t, 4, 1)
+	src.Register(desc(t, "f", dad.ReadOnly, tpl))
+	dst.Register(desc(t, "f", dad.WriteOnly, tpl))
+	srcConn, dstConn, err := Connect("death", src, "f", dst, "f", ConnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srcConn
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]float64, 4)
+		_, err := dstConn.DataReady(0, buf)
+		done <- err
+	}()
+	// The source side dies before sending anything.
+	ca.Close()
+	if err := <-done; err == nil {
+		t.Fatal("DataReady returned nil after bridge death")
+	}
+}
+
+func TestNetBridgeCorruptFrame(t *testing.T) {
+	ca, cb := transport.Pipe()
+	bridge := NewNetBridge(cb)
+	// Deliver a malformed data frame directly.
+	if err := ca.Send([]byte{1 /* netData */, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bridge.RecvData("x", 0); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+	// Control reads also observe the failure.
+	if _, err := bridge.RecvControl(); err == nil {
+		t.Fatal("control channel survived corrupt stream")
+	}
+	ca.Close()
+}

@@ -1,0 +1,379 @@
+// Package cumulvs reimplements the CUMULVS-style interactive
+// visualization and computational steering layer the paper's M×N
+// component specification absorbed (Section 4.1): persistent parallel
+// data channels with periodic frame transfers, a choice of
+// synchronization options, viewer-selected regions of interest with
+// decimation (sub-sampled patches), and steering parameters pushed back
+// into the running simulation.
+//
+// The simulation side registers distributed fields and steerable
+// parameters; a front-end viewer attaches over a core.Bridge, requests a
+// view (field, region, stride, synchronization policy) and then receives
+// frames for as long as the simulation keeps posting them. Neither side
+// blocks the other beyond the chosen synchronization option: a
+// free-running viewer samples the newest frame, an each-frame viewer sees
+// every epoch.
+package cumulvs
+
+import (
+	"fmt"
+	"sync"
+
+	"mxn/internal/core"
+	"mxn/internal/dad"
+	"mxn/internal/wire"
+)
+
+// Sync selects the frame synchronization policy of a view.
+type Sync int
+
+// Synchronization options.
+const (
+	// EachFrame delivers every posted frame in epoch order.
+	EachFrame Sync = iota
+	// Latest delivers the newest available frame, discarding older ones —
+	// the policy for interactive visualization of a fast simulation.
+	Latest
+)
+
+// View describes what a viewer wants: a rectangular region of interest in
+// the field's global index space, decimated by a per-axis stride.
+type View struct {
+	Field  string
+	Lo, Hi []int // region of interest, half-open; nil = whole field
+	Stride []int // per-axis decimation; nil = 1 everywhere
+	Sync   Sync
+}
+
+// CoarseDims returns the view's frame shape.
+func (v *View) coarseDims(fine []int) []int {
+	out := make([]int, len(fine))
+	for a := range fine {
+		n := v.Hi[a] - v.Lo[a]
+		out[a] = (n + v.Stride[a] - 1) / v.Stride[a]
+	}
+	return out
+}
+
+// normalize fills defaulted region/stride against a field's dims.
+func (v *View) normalize(dims []int) error {
+	na := len(dims)
+	if v.Lo == nil && v.Hi == nil {
+		v.Lo = make([]int, na)
+		v.Hi = append([]int(nil), dims...)
+	}
+	if v.Stride == nil {
+		v.Stride = make([]int, na)
+		for a := range v.Stride {
+			v.Stride[a] = 1
+		}
+	}
+	if len(v.Lo) != na || len(v.Hi) != na || len(v.Stride) != na {
+		return fmt.Errorf("cumulvs: view arity mismatch with %d-d field", na)
+	}
+	for a := 0; a < na; a++ {
+		if v.Lo[a] < 0 || v.Hi[a] > dims[a] || v.Lo[a] >= v.Hi[a] {
+			return fmt.Errorf("cumulvs: view region [%d,%d) out of bounds on axis %d (dim %d)", v.Lo[a], v.Hi[a], a, dims[a])
+		}
+		if v.Stride[a] < 1 {
+			return fmt.Errorf("cumulvs: stride %d on axis %d", v.Stride[a], a)
+		}
+	}
+	return nil
+}
+
+// lattice computes, for one simulation rank, the fine-buffer offsets of
+// the view's sample points it owns, together with the coarse row-major
+// positions they map to. Both lists are sorted by coarse position, so a
+// frame fragment is just the values in list order.
+func lattice(tpl *dad.Template, v *View, rank int) (fineOff, coarsePos []int) {
+	dims := tpl.Dims()
+	na := len(dims)
+	cd := v.coarseDims(dims)
+	cstride := make([]int, na)
+	s := 1
+	for a := na - 1; a >= 0; a-- {
+		cstride[a] = s
+		s *= cd[a]
+	}
+	idx := make([]int, na)
+	cidx := make([]int, na)
+	var walk func(a int)
+	walk = func(a int) {
+		if a == na {
+			if tpl.OwnerOf(idx) == rank {
+				pos := 0
+				for x := 0; x < na; x++ {
+					pos += cidx[x] * cstride[x]
+				}
+				coarsePos = append(coarsePos, pos)
+				fineOff = append(fineOff, tpl.LocalOffset(rank, idx))
+			}
+			return
+		}
+		for c := 0; c < cd[a]; c++ {
+			cidx[a] = c
+			idx[a] = v.Lo[a] + c*v.Stride[a]
+			walk(a + 1)
+		}
+	}
+	walk(0)
+	return fineOff, coarsePos
+}
+
+// control message kinds (on top of the bridge control stream).
+const (
+	ctlViewReq byte = 10
+	ctlViewAck byte = 11
+	ctlViewErr byte = 12
+	ctlSteer   byte = 13
+	ctlStop    byte = 14
+)
+
+// Sim is the simulation-side endpoint: a cohort-shared registry of
+// published fields and steerable parameters.
+type Sim struct {
+	np     int
+	bridge core.Bridge
+
+	mu     sync.Mutex
+	fields map[string]*dad.Descriptor
+	params map[string]float64
+	views  map[string]*simView
+	stop   bool
+}
+
+// simView is the simulation side of one active view.
+type simView struct {
+	id     string
+	view   View
+	field  *dad.Descriptor
+	lat    [][]int // per rank: fine offsets
+	epochs []uint64
+}
+
+// NewSim creates the simulation-side endpoint for a cohort of np ranks.
+func NewSim(np int, bridge core.Bridge) *Sim {
+	return &Sim{
+		np:     np,
+		bridge: bridge,
+		fields: map[string]*dad.Descriptor{},
+		params: map[string]float64{},
+		views:  map[string]*simView{},
+	}
+}
+
+// RegisterField publishes a distributed field for viewing. The mode must
+// permit reads.
+func (s *Sim) RegisterField(desc *dad.Descriptor) error {
+	if !desc.Mode.CanRead() {
+		return fmt.Errorf("cumulvs: field %q mode %s forbids viewing", desc.Name, desc.Mode)
+	}
+	if desc.Template.NumProcs() != s.np {
+		return fmt.Errorf("cumulvs: field %q decomposed over %d ranks, sim has %d", desc.Name, desc.Template.NumProcs(), s.np)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.fields[desc.Name]; dup {
+		return fmt.Errorf("cumulvs: field %q already registered", desc.Name)
+	}
+	s.fields[desc.Name] = desc
+	return nil
+}
+
+// RegisterParam publishes a steerable parameter with its initial value.
+func (s *Sim) RegisterParam(name string, initial float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.params[name]; dup {
+		return fmt.Errorf("cumulvs: parameter %q already registered", name)
+	}
+	s.params[name] = initial
+	return nil
+}
+
+// Param returns a steering parameter's current value. The simulation
+// polls it each step; viewers update it asynchronously.
+func (s *Sim) Param(name string) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.params[name]
+	if !ok {
+		return 0, fmt.Errorf("cumulvs: no parameter %q", name)
+	}
+	return v, nil
+}
+
+// Service processes pending viewer control traffic: view requests,
+// steering updates and stop notices. The simulation calls it between
+// steps (typically from rank 0's loop); it blocks only while a message is
+// being handled, processing exactly `max` messages or until Stop arrives.
+// It returns false once the viewer has disconnected.
+func (s *Sim) Service(max int) (bool, error) {
+	for i := 0; i < max; i++ {
+		msg, err := s.bridge.RecvControl()
+		if err != nil {
+			return false, err
+		}
+		d := wire.NewDecoder(msg)
+		switch kind := d.Byte(); kind {
+		case ctlViewReq:
+			if err := s.handleViewReq(d); err != nil {
+				return true, err
+			}
+		case ctlSteer:
+			name := d.String()
+			val := d.Float64()
+			if d.Err() != nil {
+				return true, d.Err()
+			}
+			s.mu.Lock()
+			if _, ok := s.params[name]; ok {
+				s.params[name] = val
+			}
+			s.mu.Unlock()
+		case ctlStop:
+			s.mu.Lock()
+			s.stop = true
+			s.mu.Unlock()
+			return false, nil
+		default:
+			return true, fmt.Errorf("cumulvs: unexpected control kind %d", kind)
+		}
+	}
+	return true, nil
+}
+
+func (s *Sim) handleViewReq(d *wire.Decoder) error {
+	id := d.String()
+	v := View{
+		Field:  d.String(),
+		Lo:     d.Ints(),
+		Hi:     d.Ints(),
+		Stride: d.Ints(),
+		Sync:   Sync(d.Byte()),
+	}
+	if len(v.Lo) == 0 {
+		v.Lo, v.Hi = nil, nil
+	}
+	if len(v.Stride) == 0 {
+		v.Stride = nil
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	reject := func(reason string) error {
+		e := wire.NewEncoder(nil)
+		e.PutByte(ctlViewErr)
+		e.PutString(id)
+		e.PutString(reason)
+		return s.bridge.SendControl(e.Bytes())
+	}
+	s.mu.Lock()
+	desc, ok := s.fields[v.Field]
+	s.mu.Unlock()
+	if !ok {
+		return reject(fmt.Sprintf("no field %q", v.Field))
+	}
+	if err := v.normalize(desc.Template.Dims()); err != nil {
+		return reject(err.Error())
+	}
+	sv := &simView{id: id, view: v, field: desc, lat: make([][]int, s.np), epochs: make([]uint64, s.np)}
+	for r := 0; r < s.np; r++ {
+		sv.lat[r], _ = lattice(desc.Template, &v, r)
+	}
+	s.mu.Lock()
+	if _, dup := s.views[id]; dup {
+		s.mu.Unlock()
+		return reject(fmt.Sprintf("view %q already exists", id))
+	}
+	s.views[id] = sv
+	s.mu.Unlock()
+
+	e := wire.NewEncoder(nil)
+	e.PutByte(ctlViewAck)
+	e.PutString(id)
+	e.PutInt(s.np)
+	e.PutInts(v.Lo)
+	e.PutInts(v.Hi)
+	e.PutInts(v.Stride)
+	desc.Template.Encode(e)
+	return s.bridge.SendControl(e.Bytes())
+}
+
+// PostFrame publishes rank's fragment of every active view of a field for
+// one epoch. The simulation calls it each (coupling) step on every rank
+// with the field's local buffer; it extracts the decimated sample points
+// and posts them without waiting for the viewer.
+func (s *Sim) PostFrame(field string, rank int, local []float64) error {
+	s.mu.Lock()
+	var targets []*simView
+	for _, sv := range s.views {
+		if sv.view.Field == field {
+			targets = append(targets, sv)
+		}
+	}
+	desc, ok := s.fields[field]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cumulvs: no field %q", field)
+	}
+	if want := desc.Template.LocalCount(rank); len(local) != want {
+		return fmt.Errorf("cumulvs: field %q rank %d buffer has %d elements, descriptor says %d", field, rank, len(local), want)
+	}
+	for _, sv := range targets {
+		offs := sv.lat[rank]
+		frag := make([]float64, len(offs))
+		for i, off := range offs {
+			frag[i] = local[off]
+		}
+		epoch := sv.epochs[rank]
+		sv.epochs[rank]++
+		if err := s.bridge.SendData(sv.id+"/"+itoa(rank), epoch, frag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloseFrames ends rank's frame stream for every active view of a field:
+// the viewer's NextFrame returns ErrStreamEnded once it has consumed the
+// remaining frames. Each simulation rank calls it after its last
+// PostFrame.
+func (s *Sim) CloseFrames(field string, rank int) error {
+	s.mu.Lock()
+	var targets []*simView
+	for _, sv := range s.views {
+		if sv.view.Field == field {
+			targets = append(targets, sv)
+		}
+	}
+	s.mu.Unlock()
+	for _, sv := range targets {
+		// Each-frame consumers match exact epochs, so the end marker uses
+		// the next epoch; free-running consumers sample the newest, so it
+		// uses the maximum sequence.
+		seq := sv.epochs[rank]
+		if sv.view.Sync == Latest {
+			seq = eosSeq
+		}
+		if err := s.bridge.SendData(sv.id+"/"+itoa(rank), seq, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eosSeq marks end-of-stream frames; the maximum sequence keeps them
+// "newest" for free-running consumers.
+const eosSeq = ^uint64(0)
+
+// Stopped reports whether the viewer has asked the simulation to stop
+// publishing.
+func (s *Sim) Stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stop
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,325 @@
+package cumulvs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"mxn/internal/core"
+	"mxn/internal/dad"
+)
+
+func fieldDesc(t *testing.T, name string, dims []int, p, q int) *dad.Descriptor {
+	t.Helper()
+	tpl, err := dad.NewTemplate(dims, []dad.AxisDist{dad.BlockAxis(p), dad.BlockAxis(q)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dad.NewDescriptor(name, dad.Float64, dad.ReadOnly, tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// fillField writes value(gidx) into each rank's local buffer.
+func fillField(tpl *dad.Template, value func(idx []int) float64) [][]float64 {
+	locals := make([][]float64, tpl.NumProcs())
+	for r := range locals {
+		locals[r] = make([]float64, tpl.LocalCount(r))
+	}
+	dims := tpl.Dims()
+	idx := make([]int, len(dims))
+	var walk func(a int)
+	walk = func(a int) {
+		if a == len(dims) {
+			r := tpl.OwnerOf(idx)
+			locals[r][tpl.LocalOffset(r, idx)] = value(idx)
+			return
+		}
+		for i := 0; i < dims[a]; i++ {
+			idx[a] = i
+			walk(a + 1)
+		}
+	}
+	walk(0)
+	return locals
+}
+
+func TestFullFieldView(t *testing.T) {
+	const np = 4
+	ba, bb := core.BridgePair()
+	sim := NewSim(np, ba)
+	viewer := NewViewer(bb)
+	desc := fieldDesc(t, "heat", []int{8, 8}, 2, 2)
+	if err := sim.RegisterField(desc); err != nil {
+		t.Fatal(err)
+	}
+	// Handle the view request concurrently with OpenView.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := sim.Service(1); err != nil {
+			t.Errorf("service: %v", err)
+		}
+	}()
+	ch, err := viewer.OpenView("v1", View{Field: "heat", Sync: EachFrame})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if d := ch.Dims(); d[0] != 8 || d[1] != 8 {
+		t.Fatalf("dims = %v", d)
+	}
+	// Post two epochs and read them in order.
+	for epoch := 0; epoch < 2; epoch++ {
+		locals := fillField(desc.Template, func(idx []int) float64 {
+			return float64(epoch*1000 + idx[0]*8 + idx[1])
+		})
+		for r := 0; r < np; r++ {
+			if err := sim.PostFrame("heat", r, locals[r]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	frame := make([]float64, ch.FrameLen())
+	for epoch := 0; epoch < 2; epoch++ {
+		got, err := ch.NextFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(epoch) {
+			t.Errorf("epoch = %d, want %d", got, epoch)
+		}
+		for p, v := range frame {
+			if want := float64(epoch*1000 + p); v != want {
+				t.Fatalf("epoch %d frame[%d] = %v, want %v", epoch, p, v, want)
+			}
+		}
+	}
+}
+
+func TestRegionOfInterestAndStride(t *testing.T) {
+	const np = 4
+	ba, bb := core.BridgePair()
+	sim := NewSim(np, ba)
+	viewer := NewViewer(bb)
+	desc := fieldDesc(t, "heat", []int{12, 12}, 2, 2)
+	sim.RegisterField(desc)
+	go sim.Service(1)
+	ch, err := viewer.OpenView("roi", View{
+		Field:  "heat",
+		Lo:     []int{2, 4},
+		Hi:     []int{10, 12},
+		Stride: []int{2, 4},
+		Sync:   EachFrame,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarse shape: (10-2)/2 = 4 by (12-4)/4 = 2.
+	if d := ch.Dims(); d[0] != 4 || d[1] != 2 {
+		t.Fatalf("dims = %v", d)
+	}
+	locals := fillField(desc.Template, func(idx []int) float64 {
+		return float64(idx[0]*100 + idx[1])
+	})
+	for r := 0; r < np; r++ {
+		if err := sim.PostFrame("heat", r, locals[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame := make([]float64, ch.FrameLen())
+	if _, err := ch.NextFrame(frame); err != nil {
+		t.Fatal(err)
+	}
+	// Sample (ci, cj) maps to fine (2+2ci, 4+4cj).
+	for ci := 0; ci < 4; ci++ {
+		for cj := 0; cj < 2; cj++ {
+			want := float64((2+2*ci)*100 + (4 + 4*cj))
+			if got := frame[ci*2+cj]; got != want {
+				t.Errorf("frame[%d,%d] = %v, want %v", ci, cj, got, want)
+			}
+		}
+	}
+}
+
+func TestLatestSamplingSkipsFrames(t *testing.T) {
+	ba, bb := core.BridgePair()
+	sim := NewSim(1, ba)
+	viewer := NewViewer(bb)
+	tpl, _ := dad.NewTemplate([]int{4}, []dad.AxisDist{dad.BlockAxis(1)})
+	desc, _ := dad.NewDescriptor("f", dad.Float64, dad.ReadOnly, tpl)
+	sim.RegisterField(desc)
+	go sim.Service(1)
+	ch, err := viewer.OpenView("v", View{Field: "f", Sync: Latest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := make([]float64, 4)
+	for epoch := 0; epoch < 7; epoch++ {
+		for i := range local {
+			local[i] = float64(epoch)
+		}
+		sim.PostFrame("f", 0, local)
+	}
+	frame := make([]float64, 4)
+	epoch, err := ch.NextFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 6 || frame[0] != 6 {
+		t.Errorf("sampled epoch %d value %v, want newest (6)", epoch, frame[0])
+	}
+}
+
+func TestSteering(t *testing.T) {
+	ba, bb := core.BridgePair()
+	sim := NewSim(1, ba)
+	viewer := NewViewer(bb)
+	if err := sim.RegisterParam("dt", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RegisterParam("dt", 0.2); err == nil {
+		t.Error("duplicate parameter accepted")
+	}
+	if v, _ := sim.Param("dt"); v != 0.1 {
+		t.Errorf("initial dt = %v", v)
+	}
+	if err := viewer.SetParam("dt", 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if cont, err := sim.Service(1); err != nil || !cont {
+		t.Fatalf("service: cont=%v err=%v", cont, err)
+	}
+	if v, _ := sim.Param("dt"); v != 0.05 {
+		t.Errorf("steered dt = %v", v)
+	}
+	// Unknown parameter updates are ignored without error.
+	viewer.SetParam("nope", 1)
+	if cont, err := sim.Service(1); err != nil || !cont {
+		t.Fatalf("service: %v %v", cont, err)
+	}
+	if _, err := sim.Param("nope"); err == nil {
+		t.Error("phantom parameter exists")
+	}
+}
+
+func TestStop(t *testing.T) {
+	ba, bb := core.BridgePair()
+	sim := NewSim(1, ba)
+	viewer := NewViewer(bb)
+	if sim.Stopped() {
+		t.Fatal("stopped before start")
+	}
+	if err := viewer.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	cont, err := sim.Service(10)
+	if err != nil || cont {
+		t.Errorf("service after stop: cont=%v err=%v", cont, err)
+	}
+	if !sim.Stopped() {
+		t.Error("stop not recorded")
+	}
+}
+
+func TestViewRejections(t *testing.T) {
+	ba, bb := core.BridgePair()
+	sim := NewSim(1, ba)
+	viewer := NewViewer(bb)
+	tpl, _ := dad.NewTemplate([]int{4}, []dad.AxisDist{dad.BlockAxis(1)})
+	desc, _ := dad.NewDescriptor("f", dad.Float64, dad.ReadOnly, tpl)
+	sim.RegisterField(desc)
+
+	cases := []struct {
+		name string
+		view View
+		want string
+	}{
+		{"unknown field", View{Field: "ghost"}, "no field"},
+		{"bad region", View{Field: "f", Lo: []int{0}, Hi: []int{99}, Stride: []int{1}}, "out of bounds"},
+		{"bad stride", View{Field: "f", Lo: []int{0}, Hi: []int{4}, Stride: []int{0}}, "stride"},
+	}
+	for _, c := range cases {
+		go sim.Service(1)
+		_, err := viewer.OpenView(c.name, c.view)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v", c.name, err)
+		}
+	}
+	// Duplicate view id.
+	go sim.Service(1)
+	if _, err := viewer.OpenView("dup", View{Field: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	go sim.Service(1)
+	if _, err := viewer.OpenView("dup", View{Field: "f"}); err == nil {
+		t.Error("duplicate view id accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	ba, _ := core.BridgePair()
+	sim := NewSim(2, ba)
+	tpl, _ := dad.NewTemplate([]int{4}, []dad.AxisDist{dad.BlockAxis(2)})
+	wo, _ := dad.NewDescriptor("w", dad.Float64, dad.WriteOnly, tpl)
+	if err := sim.RegisterField(wo); err == nil {
+		t.Error("write-only field accepted for viewing")
+	}
+	narrow, _ := dad.NewTemplate([]int{4}, []dad.AxisDist{dad.BlockAxis(1)})
+	nd, _ := dad.NewDescriptor("n", dad.Float64, dad.ReadOnly, narrow)
+	if err := sim.RegisterField(nd); err == nil {
+		t.Error("wrong-width field accepted")
+	}
+	ok, _ := dad.NewDescriptor("ok", dad.Float64, dad.ReadOnly, tpl)
+	if err := sim.RegisterField(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RegisterField(ok); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	// PostFrame validation.
+	if err := sim.PostFrame("ghost", 0, nil); err == nil {
+		t.Error("post to unknown field accepted")
+	}
+	if err := sim.PostFrame("ok", 0, make([]float64, 99)); err == nil {
+		t.Error("bad buffer length accepted")
+	}
+}
+
+func TestCloseFramesEndsStream(t *testing.T) {
+	for _, sync := range []Sync{EachFrame, Latest} {
+		ba, bb := core.BridgePair()
+		sim := NewSim(1, ba)
+		viewer := NewViewer(bb)
+		tpl, _ := dad.NewTemplate([]int{4}, []dad.AxisDist{dad.BlockAxis(1)})
+		desc, _ := dad.NewDescriptor("f", dad.Float64, dad.ReadOnly, tpl)
+		sim.RegisterField(desc)
+		go sim.Service(1)
+		ch, err := viewer.OpenView("v", View{Field: "f", Sync: sync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := []float64{1, 2, 3, 4}
+		if err := sim.PostFrame("f", 0, local); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.CloseFrames("f", 0); err != nil {
+			t.Fatal(err)
+		}
+		frame := make([]float64, 4)
+		if sync == EachFrame {
+			// The posted frame is still delivered, then the end marker.
+			if _, err := ch.NextFrame(frame); err != nil {
+				t.Fatalf("sync %v: first frame: %v", sync, err)
+			}
+		}
+		_, err = ch.NextFrame(frame)
+		if !errors.Is(err, ErrStreamEnded) {
+			t.Errorf("sync %v: err = %v, want ErrStreamEnded", sync, err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package cumulvs
+
+import (
+	"errors"
+	"fmt"
+
+	"mxn/internal/core"
+	"mxn/internal/dad"
+	"mxn/internal/wire"
+)
+
+// ErrStreamEnded reports that the simulation closed the view's frame
+// stream (CloseFrames): no further frames will arrive.
+var ErrStreamEnded = errors.New("cumulvs: frame stream ended by simulation")
+
+// Viewer is the front-end side: it attaches to a running simulation over
+// the bridge, opens views and receives frames, and pushes steering
+// parameter updates back.
+type Viewer struct {
+	bridge core.Bridge
+}
+
+// NewViewer creates the front-end endpoint.
+func NewViewer(bridge core.Bridge) *Viewer {
+	return &Viewer{bridge: bridge}
+}
+
+// Channel is an open view: a persistent parallel data channel delivering
+// decimated frames of one field.
+type Channel struct {
+	id     string
+	bridge core.Bridge
+	view   View
+	np     int
+	dims   []int   // coarse frame shape
+	pos    [][]int // per sim rank: coarse positions of its fragment
+	epoch  []uint64
+}
+
+// OpenView requests a view from the simulation. The simulation must
+// Service the request; OpenView blocks until the acknowledgement arrives.
+func (v *Viewer) OpenView(id string, view View) (*Channel, error) {
+	e := wire.NewEncoder(nil)
+	e.PutByte(ctlViewReq)
+	e.PutString(id)
+	e.PutString(view.Field)
+	e.PutInts(view.Lo)
+	e.PutInts(view.Hi)
+	e.PutInts(view.Stride)
+	e.PutByte(byte(view.Sync))
+	if err := v.bridge.SendControl(e.Bytes()); err != nil {
+		return nil, err
+	}
+	msg, err := v.bridge.RecvControl()
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(msg)
+	switch kind := d.Byte(); kind {
+	case ctlViewErr:
+		_ = d.String() // id, unused in the error path
+		return nil, fmt.Errorf("cumulvs: view rejected: %s", d.String())
+	case ctlViewAck:
+		gotID := d.String()
+		np := d.Int()
+		view.Lo = d.Ints()
+		view.Hi = d.Ints()
+		view.Stride = d.Ints()
+		tpl, terr := dad.DecodeTemplate(d)
+		if terr != nil {
+			return nil, terr
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if gotID != id {
+			return nil, fmt.Errorf("cumulvs: acknowledgement for %q, wanted %q", gotID, id)
+		}
+		ch := &Channel{
+			id:     id,
+			bridge: v.bridge,
+			view:   view,
+			np:     np,
+			dims:   view.coarseDims(tpl.Dims()),
+			pos:    make([][]int, np),
+			epoch:  make([]uint64, np),
+		}
+		for r := 0; r < np; r++ {
+			_, ch.pos[r] = lattice(tpl, &view, r)
+		}
+		return ch, nil
+	default:
+		return nil, fmt.Errorf("cumulvs: unexpected control kind %d", kind)
+	}
+}
+
+// SetParam pushes a steering parameter update to the simulation. It never
+// blocks on the simulation; the new value takes effect when the sim next
+// services its control stream.
+func (v *Viewer) SetParam(name string, value float64) error {
+	e := wire.NewEncoder(nil)
+	e.PutByte(ctlSteer)
+	e.PutString(name)
+	e.PutFloat64(value)
+	return v.bridge.SendControl(e.Bytes())
+}
+
+// Stop tells the simulation the viewer is done.
+func (v *Viewer) Stop() error {
+	e := wire.NewEncoder(nil)
+	e.PutByte(ctlStop)
+	return v.bridge.SendControl(e.Bytes())
+}
+
+// Dims returns the coarse frame shape of the channel.
+func (ch *Channel) Dims() []int { return append([]int(nil), ch.dims...) }
+
+// FrameLen returns the number of values in one assembled frame.
+func (ch *Channel) FrameLen() int {
+	n := 1
+	for _, d := range ch.dims {
+		n *= d
+	}
+	return n
+}
+
+// NextFrame assembles the next frame according to the view's
+// synchronization policy: for EachFrame, the next epoch in order from
+// every simulation rank; for Latest, the newest fragment of every rank
+// (fragments may then come from slightly different epochs — the
+// free-running tradeoff). The returned epoch is the minimum across
+// fragments.
+func (ch *Channel) NextFrame(frame []float64) (uint64, error) {
+	if len(frame) != ch.FrameLen() {
+		return 0, fmt.Errorf("cumulvs: frame buffer has %d values, view needs %d", len(frame), ch.FrameLen())
+	}
+	minEpoch := ^uint64(0)
+	for r := 0; r < ch.np; r++ {
+		if len(ch.pos[r]) == 0 {
+			continue
+		}
+		var frag []float64
+		var seq uint64
+		var err error
+		if ch.view.Sync == Latest {
+			seq, frag, err = ch.bridge.RecvLatest(ch.id + "/" + itoa(r))
+		} else {
+			seq = ch.epoch[r]
+			ch.epoch[r]++
+			frag, err = ch.bridge.RecvData(ch.id+"/"+itoa(r), seq)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if len(frag) == 0 {
+			// Real fragments for ranks the viewer consumes are never
+			// empty; an empty frame is the end-of-stream marker.
+			return 0, ErrStreamEnded
+		}
+		if len(frag) != len(ch.pos[r]) {
+			return 0, fmt.Errorf("cumulvs: fragment from rank %d has %d values, lattice says %d", r, len(frag), len(ch.pos[r]))
+		}
+		for i, p := range ch.pos[r] {
+			frame[p] = frag[i]
+		}
+		if seq < minEpoch {
+			minEpoch = seq
+		}
+	}
+	return minEpoch, nil
+}

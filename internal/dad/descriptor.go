@@ -1,0 +1,109 @@
+package dad
+
+import "fmt"
+
+// Access enumerates the M×N transfer modes a component may allow on a
+// registered data field (Section 4.1 of the paper).
+type Access int
+
+// Access modes.
+const (
+	ReadOnly Access = 1 << iota
+	WriteOnly
+	ReadWrite Access = ReadOnly | WriteOnly
+)
+
+// CanRead reports whether the mode permits outbound transfers.
+func (a Access) CanRead() bool { return a&ReadOnly != 0 }
+
+// CanWrite reports whether the mode permits inbound transfers.
+func (a Access) CanWrite() bool { return a&WriteOnly != 0 }
+
+// String returns the conventional mode name.
+func (a Access) String() string {
+	switch a {
+	case ReadOnly:
+		return "read"
+	case WriteOnly:
+		return "write"
+	case ReadWrite:
+		return "read/write"
+	}
+	return fmt.Sprintf("Access(%d)", int(a))
+}
+
+// ElemKind identifies the element type of a distributed array.
+type ElemKind int
+
+// Supported element kinds.
+const (
+	Float64 ElemKind = iota
+	Float32
+	Int64
+	Int32
+	Byte
+)
+
+// Bytes returns the element size in bytes.
+func (k ElemKind) Bytes() int {
+	switch k {
+	case Float64, Int64:
+		return 8
+	case Float32, Int32:
+		return 4
+	case Byte:
+		return 1
+	}
+	panic(fmt.Sprintf("dad: unknown element kind %d", int(k)))
+}
+
+// String returns the element kind's name.
+func (k ElemKind) String() string {
+	switch k {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	case Int64:
+		return "int64"
+	case Int32:
+		return "int32"
+	case Byte:
+		return "byte"
+	}
+	return fmt.Sprintf("ElemKind(%d)", int(k))
+}
+
+// Descriptor is the run-time handle a component registers with the M×N
+// middleware: a named, typed distributed array aligned to a template, with
+// an access mode constraining the transfers it may participate in. The
+// descriptor is metadata only — local storage is provided per rank at
+// transfer time, in the template's canonical local layout.
+type Descriptor struct {
+	Name     string
+	Elem     ElemKind
+	Mode     Access
+	Template *Template
+}
+
+// NewDescriptor builds a descriptor and validates its parts.
+func NewDescriptor(name string, elem ElemKind, mode Access, t *Template) (*Descriptor, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dad: descriptor needs a name")
+	}
+	if t == nil {
+		return nil, fmt.Errorf("dad: descriptor %q needs a template", name)
+	}
+	if !mode.CanRead() && !mode.CanWrite() {
+		return nil, fmt.Errorf("dad: descriptor %q has no access mode", name)
+	}
+	return &Descriptor{Name: name, Elem: elem, Mode: mode, Template: t}, nil
+}
+
+// LocalLen returns the length (in elements) of rank's local buffer.
+func (d *Descriptor) LocalLen(rank int) int { return d.Template.LocalCount(rank) }
+
+// String summarizes the descriptor.
+func (d *Descriptor) String() string {
+	return fmt.Sprintf("%s %s %s %s", d.Name, d.Elem, d.Mode, d.Template)
+}

@@ -1,0 +1,114 @@
+package dad
+
+import (
+	"fmt"
+
+	"mxn/internal/wire"
+)
+
+// Template wire encoding: templates cross framework boundaries when an M×N
+// connection is negotiated between distributed components, so they need a
+// stable serialization.
+
+const (
+	encRegular  byte = 1
+	encExplicit byte = 2
+)
+
+// Encode appends the template's wire form to e.
+func (t *Template) Encode(e *wire.Encoder) {
+	if t.IsExplicit() {
+		e.PutByte(encExplicit)
+		e.PutInts(t.dims)
+		e.PutInt(t.nprocs)
+		e.PutUvarint(uint64(len(t.explicit)))
+		for _, p := range t.explicit {
+			e.PutInts(p.Lo)
+			e.PutInts(p.Hi)
+			e.PutInt(p.Owner)
+		}
+		return
+	}
+	e.PutByte(encRegular)
+	e.PutInts(t.dims)
+	e.PutUvarint(uint64(len(t.axes)))
+	for _, ax := range t.axes {
+		e.PutByte(byte(ax.Kind))
+		e.PutInt(ax.Procs)
+		e.PutInt(ax.BlockSize)
+		e.PutInts(ax.Sizes)
+		e.PutInts(ax.Owner)
+	}
+}
+
+// DecodeTemplate reads a template written by Encode. The result is
+// revalidated, so a corrupt or hostile peer cannot produce an inconsistent
+// descriptor.
+func DecodeTemplate(d *wire.Decoder) (*Template, error) {
+	switch tag := d.Byte(); tag {
+	case encExplicit:
+		dims := d.Ints()
+		nprocs := d.Int()
+		n := d.Uvarint()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		patches := make([]Patch, 0, n)
+		for i := uint64(0); i < n; i++ {
+			lo := d.Ints()
+			hi := d.Ints()
+			owner := d.Int()
+			patches = append(patches, Patch{Lo: lo, Hi: hi, Owner: owner})
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return NewExplicitTemplate(dims, nprocs, patches)
+	case encRegular:
+		dims := d.Ints()
+		n := d.Uvarint()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		axes := make([]AxisDist, 0, n)
+		for i := uint64(0); i < n; i++ {
+			ax := AxisDist{
+				Kind:      Kind(d.Byte()),
+				Procs:     d.Int(),
+				BlockSize: d.Int(),
+				Sizes:     d.Ints(),
+				Owner:     d.Ints(),
+			}
+			axes = append(axes, ax)
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return NewTemplate(dims, axes)
+	default:
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, fmt.Errorf("dad: unknown template encoding tag %d", tag)
+	}
+}
+
+// EncodeDescriptor appends the descriptor's wire form to e.
+func (desc *Descriptor) Encode(e *wire.Encoder) {
+	e.PutString(desc.Name)
+	e.PutByte(byte(desc.Elem))
+	e.PutByte(byte(desc.Mode))
+	desc.Template.Encode(e)
+}
+
+// DecodeDescriptor reads a descriptor written by Descriptor.Encode.
+func DecodeDescriptor(d *wire.Decoder) (*Descriptor, error) {
+	name := d.String()
+	elem := ElemKind(d.Byte())
+	mode := Access(d.Byte())
+	t, err := DecodeTemplate(d)
+	if err != nil {
+		return nil, err
+	}
+	return NewDescriptor(name, elem, mode, t)
+}

@@ -1,0 +1,118 @@
+package dad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Patch is an axis-aligned rectangular region of a template's global index
+// space, assigned to one rank. Bounds are half-open: the patch covers
+// indices idx with Lo[a] <= idx[a] < Hi[a] on every axis a.
+type Patch struct {
+	Lo, Hi []int
+	Owner  int
+}
+
+// NewPatch returns a patch with copied bounds.
+func NewPatch(lo, hi []int, owner int) Patch {
+	return Patch{
+		Lo:    append([]int(nil), lo...),
+		Hi:    append([]int(nil), hi...),
+		Owner: owner,
+	}
+}
+
+// NumAxes returns the patch dimensionality.
+func (p Patch) NumAxes() int { return len(p.Lo) }
+
+// Size returns the number of elements the patch covers.
+func (p Patch) Size() int {
+	n := 1
+	for a := range p.Lo {
+		d := p.Hi[a] - p.Lo[a]
+		if d <= 0 {
+			return 0
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the per-axis extents of the patch.
+func (p Patch) Shape() []int {
+	s := make([]int, len(p.Lo))
+	for a := range s {
+		s[a] = p.Hi[a] - p.Lo[a]
+	}
+	return s
+}
+
+// Contains reports whether idx lies inside the patch.
+func (p Patch) Contains(idx []int) bool {
+	for a := range p.Lo {
+		if idx[a] < p.Lo[a] || idx[a] >= p.Hi[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the overlap of two patches (owner taken from p) and
+// whether it is non-empty.
+func (p Patch) Intersect(q Patch) (Patch, bool) {
+	out := Patch{Lo: make([]int, len(p.Lo)), Hi: make([]int, len(p.Hi)), Owner: p.Owner}
+	for a := range p.Lo {
+		lo, hi := p.Lo[a], p.Hi[a]
+		if q.Lo[a] > lo {
+			lo = q.Lo[a]
+		}
+		if q.Hi[a] < hi {
+			hi = q.Hi[a]
+		}
+		if lo >= hi {
+			return Patch{}, false
+		}
+		out.Lo[a], out.Hi[a] = lo, hi
+	}
+	return out, true
+}
+
+// String renders the patch as [lo0:hi0,lo1:hi1,...]@owner.
+func (p Patch) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for a := range p.Lo {
+		if a > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", p.Lo[a], p.Hi[a])
+	}
+	fmt.Fprintf(&b, "]@%d", p.Owner)
+	return b.String()
+}
+
+// validate checks the patch against a global shape.
+func (p Patch) validate(dims []int, nprocs int) error {
+	if len(p.Lo) != len(dims) || len(p.Hi) != len(dims) {
+		return fmt.Errorf("dad: patch %v has %d axes, template has %d", p, len(p.Lo), len(dims))
+	}
+	if p.Owner < 0 || p.Owner >= nprocs {
+		return fmt.Errorf("dad: patch %v owner outside [0,%d)", p, nprocs)
+	}
+	for a := range dims {
+		if p.Lo[a] < 0 || p.Hi[a] > dims[a] || p.Lo[a] >= p.Hi[a] {
+			return fmt.Errorf("dad: patch %v out of bounds on axis %d (dim %d)", p, a, dims[a])
+		}
+	}
+	return nil
+}
+
+// rowMajorOffset returns the row-major offset of idx relative to patch
+// origin lo within a region of the given shape.
+func rowMajorOffset(idx, lo, shape []int) int {
+	off := 0
+	for a := range shape {
+		off = off*shape[a] + (idx[a] - lo[a])
+	}
+	return off
+}

@@ -1,0 +1,195 @@
+// Package dapkg models the distributed-array package interoperability
+// problem of Section 2.2.2: different DA packages (Global Arrays, HPF
+// runtimes, ScaLAPACK-style libraries, ...) store each rank's local patch
+// in different memory layouts, so components built on different packages
+// cannot share data without conversion.
+//
+// The paper's argument for the DAD is quantitative: with a common
+// intermediate representation, interoperating N packages needs 2N
+// converters (to and from the DAD's canonical layout) instead of N²
+// pairwise ones. This package makes both sides of that trade measurable:
+// it implements several mock package layouts, conversions through the
+// canonical hub, and direct pairwise conversions — the hub pays roughly
+// one extra copy per conversion, the pairwise approach pays quadratic
+// engineering (converter count).
+package dapkg
+
+import (
+	"fmt"
+
+	"mxn/internal/dad"
+)
+
+// Order is a DA package's local storage convention for a rank's dense
+// local array (the canonical DAD layout is row-major).
+type Order int
+
+// Storage conventions.
+const (
+	// RowMajor: last axis fastest — the canonical DAD local layout.
+	RowMajor Order = iota
+	// ColMajor: first axis fastest (Fortran libraries).
+	ColMajor
+	// Reversed: row-major with all axes reversed end-to-start (a stand-in
+	// for bottom-up image-style layouts).
+	Reversed
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case RowMajor:
+		return "row-major"
+	case ColMajor:
+		return "column-major"
+	case Reversed:
+		return "reversed"
+	}
+	return fmt.Sprintf("Order(%d)", int(o))
+}
+
+// Package is one mock DA package: a name and its local layout convention.
+type Package struct {
+	Name  string
+	Order Order
+}
+
+// Builtin returns n distinct mock packages (n ≤ 6), cycling through the
+// layout conventions.
+func Builtin(n int) []Package {
+	names := []string{"globalarrays", "hpfrt", "scalapack", "pooma", "petscda", "chaos"}
+	orders := []Order{RowMajor, ColMajor, Reversed}
+	if n > len(names) {
+		n = len(names)
+	}
+	out := make([]Package, n)
+	for i := 0; i < n; i++ {
+		out[i] = Package{Name: names[i], Order: orders[i%len(orders)]}
+	}
+	return out
+}
+
+// permutation returns perm such that packageBuffer[i] =
+// canonicalBuffer[perm[i]] for a local array of the given shape stored in
+// the given order.
+func permutation(order Order, shape []int) []int {
+	size := 1
+	for _, d := range shape {
+		size *= d
+	}
+	perm := make([]int, size)
+	switch order {
+	case RowMajor:
+		for i := range perm {
+			perm[i] = i
+		}
+	case ColMajor:
+		// Column-major position of canonical index idx.
+		idx := make([]int, len(shape))
+		for can := 0; can < size; can++ {
+			// Decode canonical (row-major) index.
+			rem := can
+			for a := len(shape) - 1; a >= 0; a-- {
+				idx[a] = rem % shape[a]
+				rem /= shape[a]
+			}
+			pos := 0
+			stride := 1
+			for a := 0; a < len(shape); a++ {
+				pos += idx[a] * stride
+				stride *= shape[a]
+			}
+			perm[pos] = can
+		}
+	case Reversed:
+		for i := range perm {
+			perm[i] = size - 1 - i
+		}
+	}
+	return perm
+}
+
+// Converter relocates a rank's local data between one package's layout
+// and the canonical DAD layout. Build converters once per (package,
+// template, rank) and reuse them — like communication schedules, layout
+// plans amortize.
+type Converter struct {
+	pkg  Package
+	perm []int
+}
+
+// NewConverter plans the conversion for one rank of a regular template.
+func NewConverter(p Package, tpl *dad.Template, rank int) (*Converter, error) {
+	if tpl.IsExplicit() {
+		return nil, fmt.Errorf("dapkg: explicit templates have no dense local shape")
+	}
+	return &Converter{pkg: p, perm: permutation(p.Order, tpl.LocalShape(rank))}, nil
+}
+
+// Len returns the local element count.
+func (c *Converter) Len() int { return len(c.perm) }
+
+// ToCanonical converts package-layout data into canonical layout.
+func (c *Converter) ToCanonical(in, out []float64) {
+	for i, can := range c.perm {
+		out[can] = in[i]
+	}
+}
+
+// FromCanonical converts canonical-layout data into package layout.
+func (c *Converter) FromCanonical(in, out []float64) {
+	for i, can := range c.perm {
+		out[i] = in[can]
+	}
+}
+
+// DirectConverter is a specialized pairwise converter between two
+// packages' layouts: one fused pass instead of two, at the cost of one
+// implementation per ordered package pair.
+type DirectConverter struct {
+	perm []int // dstBuffer[i] = srcBuffer[perm[i]]
+}
+
+// NewDirectConverter plans the fused conversion.
+func NewDirectConverter(src, dst Package, tpl *dad.Template, rank int) (*DirectConverter, error) {
+	if tpl.IsExplicit() {
+		return nil, fmt.Errorf("dapkg: explicit templates have no dense local shape")
+	}
+	shape := tpl.LocalShape(rank)
+	sp := permutation(src.Order, shape)
+	dp := permutation(dst.Order, shape)
+	// src[i] = can[sp[i]]  ⇒  can[x] = src[spInv[x]];  dst[i] = can[dp[i]]
+	// = src[spInv[dp[i]]].
+	spInv := make([]int, len(sp))
+	for i, x := range sp {
+		spInv[x] = i
+	}
+	perm := make([]int, len(dp))
+	for i, x := range dp {
+		perm[i] = spInv[x]
+	}
+	return &DirectConverter{perm: perm}, nil
+}
+
+// Convert performs the fused one-pass conversion.
+func (c *DirectConverter) Convert(in, out []float64) {
+	for i, s := range c.perm {
+		out[i] = in[s]
+	}
+}
+
+// ViaHub converts src-layout data to dst layout through the canonical
+// representation, using scratch as the intermediate buffer: the 2N-
+// converter path, paying one extra copy.
+func ViaHub(src, dst *Converter, in, scratch, out []float64) {
+	src.ToCanonical(in, scratch)
+	dst.FromCanonical(scratch, out)
+}
+
+// HubConverterCount returns how many converter implementations n
+// interoperating packages need with a common intermediate representation.
+func HubConverterCount(n int) int { return 2 * n }
+
+// PairwiseConverterCount returns how many specialized converters n
+// packages need without one (ordered pairs).
+func PairwiseConverterCount(n int) int { return n * (n - 1) }

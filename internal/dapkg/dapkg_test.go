@@ -1,0 +1,138 @@
+package dapkg
+
+import (
+	"testing"
+
+	"mxn/internal/dad"
+)
+
+func tpl2D(t *testing.T) *dad.Template {
+	t.Helper()
+	tpl, err := dad.NewTemplate([]int{6, 4}, []dad.AxisDist{dad.BlockAxis(2), dad.CollapsedAxis()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+func TestPermutationsAreBijections(t *testing.T) {
+	for _, o := range []Order{RowMajor, ColMajor, Reversed} {
+		perm := permutation(o, []int{3, 4})
+		seen := make([]bool, len(perm))
+		for _, p := range perm {
+			if p < 0 || p >= len(perm) || seen[p] {
+				t.Fatalf("%s: not a bijection: %v", o, perm)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestColMajorSemantics(t *testing.T) {
+	// Shape 2×3 canonical [a b c; d e f] → col-major storage a d b e c f.
+	perm := permutation(ColMajor, []int{2, 3})
+	want := []int{0, 3, 1, 4, 2, 5}
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+}
+
+func TestRoundTripAllOrders(t *testing.T) {
+	tpl := tpl2D(t)
+	for _, p := range Builtin(6) {
+		conv, err := NewConverter(p, tpl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := conv.Len()
+		canonical := make([]float64, n)
+		for i := range canonical {
+			canonical[i] = float64(i + 1)
+		}
+		pkgBuf := make([]float64, n)
+		back := make([]float64, n)
+		conv.FromCanonical(canonical, pkgBuf)
+		conv.ToCanonical(pkgBuf, back)
+		for i := range canonical {
+			if back[i] != canonical[i] {
+				t.Fatalf("%s: round trip broke at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestDirectMatchesViaHub(t *testing.T) {
+	tpl := tpl2D(t)
+	pkgs := Builtin(3)
+	for _, src := range pkgs {
+		for _, dst := range pkgs {
+			cs, _ := NewConverter(src, tpl, 1)
+			cd, _ := NewConverter(dst, tpl, 1)
+			direct, err := NewDirectConverter(src, dst, tpl, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := cs.Len()
+			in := make([]float64, n)
+			for i := range in {
+				in[i] = float64(i * 7 % 13)
+			}
+			viaHub := make([]float64, n)
+			scratch := make([]float64, n)
+			ViaHub(cs, cd, in, scratch, viaHub)
+			gotDirect := make([]float64, n)
+			direct.Convert(in, gotDirect)
+			for i := range in {
+				if viaHub[i] != gotDirect[i] {
+					t.Fatalf("%s→%s differ at %d: hub %v direct %v", src.Name, dst.Name, i, viaHub[i], gotDirect[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExplicitTemplateRejected(t *testing.T) {
+	patches := []dad.Patch{dad.NewPatch([]int{0}, []int{4}, 0)}
+	tpl, err := dad.NewExplicitTemplate([]int{4}, 1, patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewConverter(Package{"x", RowMajor}, tpl, 0); err == nil {
+		t.Error("explicit template accepted")
+	}
+	if _, err := NewDirectConverter(Package{"x", RowMajor}, Package{"y", ColMajor}, tpl, 0); err == nil {
+		t.Error("explicit template accepted by direct converter")
+	}
+}
+
+func TestConverterCounts(t *testing.T) {
+	if HubConverterCount(8) != 16 {
+		t.Error("hub count")
+	}
+	if PairwiseConverterCount(8) != 56 {
+		t.Error("pairwise count")
+	}
+	// The crossover the paper implies: pairwise exceeds hub from n = 4.
+	if !(PairwiseConverterCount(3) <= HubConverterCount(3)) {
+		t.Error("at n=3 pairwise should not exceed hub")
+	}
+	if !(PairwiseConverterCount(4) > HubConverterCount(4)) {
+		t.Error("at n=4 pairwise should exceed hub")
+	}
+}
+
+func TestBuiltinDistinct(t *testing.T) {
+	pkgs := Builtin(10) // capped at 6
+	if len(pkgs) != 6 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	names := map[string]bool{}
+	for _, p := range pkgs {
+		if names[p.Name] {
+			t.Errorf("duplicate package %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+}

@@ -1,0 +1,213 @@
+// Package dca reimplements the Distributed CCA Architecture framework the
+// paper describes in Section 4.3: a parallel and distributed
+// CCA-compliant framework built directly on MPI-style primitives.
+//
+// DCA's distinguishing choices, all reproduced here:
+//
+//   - Process participation is decided by the application on the calling
+//     side through a communicator passed (by the generated stub) as an
+//     extra argument to every port method; on the callee side all
+//     processes participate.
+//   - Parallel data redistribution follows the MPI all-to-all model: the
+//     user describes the layout by supplying one chunk per destination
+//     rank (the Go-idiomatic equivalent of MPI datatypes plus count and
+//     displacement arrays — slices carry their counts). The framework
+//     moves the chunks; interpreting them is the user's job. This is
+//     flexible and familiar to MPI users, and exactly as low-level as the
+//     paper says: more responsibility on the user than a DAD.
+//   - A barrier over the participation communicator precedes every
+//     delivery, which is DCA's answer to the Figure 5 synchronization
+//     problem (the prmi package demonstrates the failure mode this
+//     avoids).
+//   - All Go ports start concurrently at startup, and one-way methods
+//     provide component concurrency.
+package dca
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mxn/internal/comm"
+)
+
+// Handler services one method on one provider rank. simple holds the
+// replicated simple arguments; chunks[k] is the data chunk sent by the
+// k-th participant (alltoallv semantics). It returns the replicated
+// return values and reply[k], the chunk sent back to the k-th
+// participant. For one-way methods the returns are ignored.
+type Handler func(rank int, simple []any, chunks [][]float64) (ret []any, reply [][]float64, err error)
+
+// GoComponent is a component body started at framework launch, one per
+// rank of its cohort (DCA starts every Go port concurrently).
+type GoComponent interface {
+	Go(svc *Services) error
+}
+
+// GoFunc adapts a function to GoComponent.
+type GoFunc func(svc *Services) error
+
+// Go implements GoComponent.
+func (f GoFunc) Go(svc *Services) error { return f(svc) }
+
+// componentEntry is one component cohort. Handler tables are per rank:
+// every cohort member provides its own implementation instance, exactly
+// as every process of a DCA component runs the same generated skeleton.
+type componentEntry struct {
+	name   string
+	ranks  []int // world ranks, ascending
+	comp   func(rank int) GoComponent
+	cohort []*comm.Comm
+
+	mu       sync.Mutex
+	handlers []map[string]Handler // per cohort rank: "port\x00method" -> handler
+}
+
+// connection wires a uses port name to a provider component's port.
+type connection struct {
+	provider *componentEntry
+	provPort string
+}
+
+// Framework is a DCA instance: a world of processes partitioned among
+// component cohorts, with port connections between them.
+type Framework struct {
+	world *comm.World
+	all   []*comm.Comm
+
+	mu            sync.Mutex
+	components    map[string]*componentEntry
+	connections   map[string]*connection // "component/usesPort"
+	rankOwner     map[int]string
+	onewayMethods map[string]bool // "provider/port\x00method"
+}
+
+// New creates a framework over worldSize processes.
+func New(worldSize int) *Framework {
+	w := comm.NewWorld(worldSize)
+	return &Framework{
+		world:         w,
+		all:           w.Comms(),
+		components:    map[string]*componentEntry{},
+		connections:   map[string]*connection{},
+		rankOwner:     map[int]string{},
+		onewayMethods: map[string]bool{},
+	}
+}
+
+// AddComponent places a component cohort on the given world ranks.
+// factory is invoked once per cohort rank at launch.
+func (f *Framework) AddComponent(name string, worldRanks []int, factory func(rank int) GoComponent) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.components[name]; dup {
+		return fmt.Errorf("dca: component %q already exists", name)
+	}
+	if len(worldRanks) == 0 {
+		return fmt.Errorf("dca: component %q has no ranks", name)
+	}
+	ranks := append([]int(nil), worldRanks...)
+	sort.Ints(ranks)
+	for _, wr := range ranks {
+		if wr < 0 || wr >= f.world.Size() {
+			return fmt.Errorf("dca: rank %d outside world of %d", wr, f.world.Size())
+		}
+		if owner, taken := f.rankOwner[wr]; taken {
+			return fmt.Errorf("dca: rank %d already hosts %q", wr, owner)
+		}
+	}
+	for _, wr := range ranks {
+		f.rankOwner[wr] = name
+	}
+	f.components[name] = &componentEntry{
+		name:     name,
+		ranks:    ranks,
+		comp:     factory,
+		cohort:   f.world.Group(ranks),
+		handlers: make([]map[string]Handler, len(ranks)),
+	}
+	return nil
+}
+
+// DeclareOneWay marks a provider method as one-way. In DCA this property
+// comes from the SIDL declaration at stub-generation time, so here it is
+// framework configuration, set before Run: callers consult it to skip
+// waiting for replies.
+func (f *Framework) DeclareOneWay(provider, port, method string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.components[provider]; !ok {
+		return fmt.Errorf("dca: no component %q", provider)
+	}
+	f.onewayMethods[provider+"/"+port+"\x00"+method] = true
+	return nil
+}
+
+// isOneWay reports a method's one-way declaration.
+func (f *Framework) isOneWay(provider, port, method string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.onewayMethods[provider+"/"+port+"\x00"+method]
+}
+
+// Connect wires component user's uses port to component provider's
+// provides port.
+func (f *Framework) Connect(user, usesPort, provider, provPort string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.components[user]; !ok {
+		return fmt.Errorf("dca: no component %q", user)
+	}
+	pe, ok := f.components[provider]
+	if !ok {
+		return fmt.Errorf("dca: no component %q", provider)
+	}
+	key := user + "/" + usesPort
+	if _, dup := f.connections[key]; dup {
+		return fmt.Errorf("dca: uses port %s already connected", key)
+	}
+	f.connections[key] = &connection{provider: pe, provPort: provPort}
+	return nil
+}
+
+// Run launches every component's Go body concurrently on every cohort
+// rank (the DCA startup rule) and returns the first error after all
+// terminate. Provider components typically register handlers and then
+// call Services.Serve; pure callers return when done, which shuts their
+// outgoing ports down.
+func (f *Framework) Run() error {
+	f.mu.Lock()
+	type job struct {
+		entry *componentEntry
+		rank  int
+	}
+	var jobs []job
+	for _, entry := range f.components {
+		for r := range entry.ranks {
+			jobs = append(jobs, job{entry, r})
+		}
+	}
+	f.mu.Unlock()
+
+	errs := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			svc := &Services{fw: f, entry: j.entry, rank: j.rank}
+			body := j.entry.comp(j.rank)
+			err := body.Go(svc)
+			// A terminated rank releases its providers: the framework
+			// signals the shutdown on the component's behalf so provider
+			// Serve loops can drain and return.
+			f.sendShutdowns(j.entry.name, j.rank)
+			if err != nil {
+				errs <- fmt.Errorf("dca: %s rank %d: %w", j.entry.name, j.rank, err)
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

@@ -1,0 +1,283 @@
+package dca
+
+import (
+	"fmt"
+	"sort"
+
+	"mxn/internal/comm"
+)
+
+// World-comm tags of the DCA protocol.
+const (
+	tagCall = iota + 1
+	tagReply
+	tagShut
+)
+
+// callMsg is one caller rank's invocation header to one provider rank.
+// Payloads are in-memory values: DCA is the MPI-based framework, so its
+// wire format is MPI's (here: the comm substrate's) native one.
+type callMsg struct {
+	user, usesPort, method string
+	fromWorld              int
+	participants           []int // world ranks, ascending
+	simple                 []any
+	chunk                  []float64
+	oneway                 bool
+}
+
+type replyMsg struct {
+	ret     []any
+	chunk   []float64
+	errText string
+}
+
+type shutMsg struct{}
+
+// Services is one cohort rank's handle on the framework: the DCA
+// equivalent of CCA services plus the generated-stub call path.
+type Services struct {
+	fw    *Framework
+	entry *componentEntry
+	rank  int
+}
+
+// Rank returns the caller's cohort rank.
+func (s *Services) Rank() int { return s.rank }
+
+// CohortSize returns the component's cohort width.
+func (s *Services) CohortSize() int { return len(s.entry.ranks) }
+
+// Cohort returns the intra-component communicator.
+func (s *Services) Cohort() *comm.Comm { return s.entry.cohort[s.rank] }
+
+// WorldRank returns this rank's world rank.
+func (s *Services) WorldRank() int { return s.entry.ranks[s.rank] }
+
+// world returns this rank's world-spanning communicator handle.
+func (s *Services) world() *comm.Comm { return s.fw.all[s.WorldRank()] }
+
+// Provide registers this rank's handler for a provides-port method.
+// Every cohort rank registers its own instance before calling Serve.
+func (s *Services) Provide(port, method string, h Handler) error {
+	e := s.entry
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.handlers[s.rank] == nil {
+		e.handlers[s.rank] = map[string]Handler{}
+	}
+	key := port + "\x00" + method
+	if _, dup := e.handlers[s.rank][key]; dup {
+		return fmt.Errorf("dca: %s.%s already provided on rank %d", port, method, s.rank)
+	}
+	e.handlers[s.rank][key] = h
+	return nil
+}
+
+// Call invokes a method on the connected provider port. part is the
+// participation communicator — the extra argument DCA's stub generator
+// adds to every port method: exactly its member processes take part, and
+// the delivery barrier runs over it. simple values must be equal on all
+// participants. sendChunks[j] is the data chunk for provider rank j
+// (alltoallv style); it may be nil when the method moves no parallel
+// data. The returned recvChunks[j] is provider rank j's reply chunk.
+func (s *Services) Call(usesPort, method string, part *comm.Comm, simple []any, sendChunks [][]float64) (ret []any, recvChunks [][]float64, err error) {
+	connKey := s.entry.name + "/" + usesPort
+	s.fw.mu.Lock()
+	conn := s.fw.connections[connKey]
+	s.fw.mu.Unlock()
+	if conn == nil {
+		return nil, nil, fmt.Errorf("dca: uses port %s is not connected", connKey)
+	}
+	prov := conn.provider
+	np := len(prov.ranks)
+	if sendChunks != nil && len(sendChunks) != np {
+		return nil, nil, fmt.Errorf("dca: %d send chunks for provider of %d ranks", len(sendChunks), np)
+	}
+	if part == nil {
+		return nil, nil, fmt.Errorf("dca: participation communicator is required (it defines the scope of the call)")
+	}
+
+	// Translate the participation communicator to world ranks, then apply
+	// the DCA rule: a barrier over the participants before delivery.
+	worldRanks := make([]int, part.Size())
+	all := part.Allgather(part.WorldRank())
+	for i, v := range all {
+		worldRanks[i] = v.(int)
+	}
+	sort.Ints(worldRanks)
+	part.Barrier()
+
+	oneway := s.fw.isOneWay(prov.name, conn.provPort, method)
+
+	w := s.world()
+	for j := 0; j < np; j++ {
+		msg := &callMsg{
+			user:         s.entry.name,
+			usesPort:     usesPort,
+			method:       conn.provPort + "\x00" + method,
+			fromWorld:    w.Rank(),
+			participants: worldRanks,
+			simple:       simple,
+			oneway:       oneway,
+		}
+		if sendChunks != nil {
+			msg.chunk = sendChunks[j]
+		}
+		w.Send(prov.ranks[j], tagCall, msg)
+	}
+	if oneway {
+		return nil, nil, nil
+	}
+	recvChunks = make([][]float64, np)
+	for j := 0; j < np; j++ {
+		payload, _ := w.Recv(prov.ranks[j], tagReply)
+		rep, ok := payload.(*replyMsg)
+		if !ok {
+			return nil, nil, fmt.Errorf("dca: caller received %T", payload)
+		}
+		if rep.errText != "" {
+			return nil, nil, fmt.Errorf("dca: %s.%s: %s", usesPort, method, rep.errText)
+		}
+		recvChunks[j] = rep.chunk
+		if j == 0 {
+			ret = rep.ret
+		}
+	}
+	return ret, recvChunks, nil
+}
+
+// Serve processes incoming invocations on this provider rank until every
+// rank of every connected user component has shut down (which the
+// framework signals automatically when a user's Go body returns). All
+// provider ranks participate in every collective call — the DCA callee
+// rule.
+func (s *Services) Serve() error {
+	w := s.world()
+	expected := s.fw.expectedShutdowns(s.entry.name)
+	got := 0
+	for got < expected {
+		payload, src := w.Recv(comm.AnySource, comm.AnyTag)
+		switch msg := payload.(type) {
+		case shutMsg:
+			got++
+		case *callMsg:
+			if err := s.serveCall(w, msg); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dca: provider received %T from %d", payload, src)
+		}
+	}
+	return nil
+}
+
+// serveCall collects one collective invocation and runs the handler.
+func (s *Services) serveCall(w *comm.Comm, first *callMsg) error {
+	chunks := make([][]float64, len(first.participants))
+	pos := map[int]int{}
+	for k, p := range first.participants {
+		pos[p] = k
+	}
+	k0, ok := pos[first.fromWorld]
+	if !ok {
+		return fmt.Errorf("dca: caller %d not in its own participant list", first.fromWorld)
+	}
+	chunks[k0] = first.chunk
+	for _, p := range first.participants {
+		if p == first.fromWorld {
+			continue
+		}
+		payload, _ := w.Recv(p, tagCall)
+		msg, ok := payload.(*callMsg)
+		if !ok {
+			return fmt.Errorf("dca: provider received %T during collection", payload)
+		}
+		if msg.method != first.method {
+			return fmt.Errorf("dca: invocation order violation: committed to %q, caller %d sent %q (the delivery barrier should make this impossible)",
+				first.method, p, msg.method)
+		}
+		chunks[pos[p]] = msg.chunk
+	}
+
+	s.entry.mu.Lock()
+	var h Handler
+	if m := s.entry.handlers[s.rank]; m != nil {
+		h = m[first.method]
+	}
+	s.entry.mu.Unlock()
+
+	var ret []any
+	var reply [][]float64
+	var herr error
+	if h == nil {
+		herr = fmt.Errorf("no handler for %q on rank %d", first.method, s.rank)
+	} else {
+		ret, reply, herr = h(s.rank, first.simple, chunks)
+		if herr == nil && reply != nil && len(reply) != len(first.participants) {
+			herr = fmt.Errorf("handler returned %d reply chunks for %d participants", len(reply), len(first.participants))
+		}
+	}
+	if first.oneway {
+		return nil
+	}
+	for k, p := range first.participants {
+		rep := &replyMsg{}
+		if herr != nil {
+			rep.errText = herr.Error()
+		} else {
+			rep.ret = ret
+			if reply != nil {
+				rep.chunk = reply[k]
+			}
+		}
+		w.Send(p, tagReply, rep)
+	}
+	return nil
+}
+
+// expectedShutdowns counts the user cohort ranks whose termination a
+// provider must observe before Serve returns.
+func (f *Framework) expectedShutdowns(provider string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seen := map[string]bool{}
+	total := 0
+	for key, conn := range f.connections {
+		if conn.provider.name != provider {
+			continue
+		}
+		var user string
+		for i := 0; i < len(key); i++ {
+			if key[i] == '/' {
+				user = key[:i]
+				break
+			}
+		}
+		if !seen[user] {
+			seen[user] = true
+			total += len(f.components[user].ranks)
+		}
+	}
+	return total
+}
+
+// sendShutdowns notifies every provider connected to a user component
+// that one of the user's ranks has terminated.
+func (f *Framework) sendShutdowns(user string, cohortRank int) {
+	f.mu.Lock()
+	entry := f.components[user]
+	providers := map[string]*componentEntry{}
+	for key, conn := range f.connections {
+		if len(key) > len(user) && key[:len(user)+1] == user+"/" {
+			providers[conn.provider.name] = conn.provider
+		}
+	}
+	f.mu.Unlock()
+	w := f.all[entry.ranks[cohortRank]]
+	for _, prov := range providers {
+		for _, wr := range prov.ranks {
+			w.Send(wr, tagShut, shutMsg{})
+		}
+	}
+}

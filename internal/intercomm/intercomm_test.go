@@ -1,0 +1,419 @@
+package intercomm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mxn/internal/comm"
+	"mxn/internal/dad"
+)
+
+func blockTpl(t *testing.T, n, p int) *dad.Template {
+	t.Helper()
+	tpl, err := dad.NewTemplate([]int{n}, []dad.AxisDist{dad.BlockAxis(p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+// setup declares sim.temp (2 ranks) feeding viz.temp (3 ranks).
+func setup(t *testing.T, match MatchKind, interval int) (*Coordinator, *Program, *Program) {
+	t.Helper()
+	c := NewCoordinator()
+	sim := c.AddProgram("sim")
+	viz := c.AddProgram("viz")
+	if err := sim.DeclareArray("temp", blockTpl(t, 12, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := viz.DeclareArray("temp", blockTpl(t, 12, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRule(Rule{
+		SrcProgram: "sim", SrcArray: "temp",
+		DstProgram: "viz", DstArray: "temp",
+		Match: match, Interval: interval,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c, sim, viz
+}
+
+// exportAll publishes one timestamp from every sim rank, values g*scale.
+func exportAll(t *testing.T, sim *Program, ts int, scale float64) {
+	t.Helper()
+	for r := 0; r < 2; r++ {
+		local := make([]float64, 6)
+		for li := range local {
+			local[li] = float64(r*6+li) * scale
+		}
+		if err := sim.Export("temp", ts, r, local); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// importAll gathers all viz fragments for a timestamp.
+func importAll(t *testing.T, viz *Program, ts int) (got []float64, usedTime int) {
+	t.Helper()
+	got = make([]float64, 12)
+	for r := 0; r < 3; r++ {
+		buf := make([]float64, 4)
+		used, err := viz.Import("temp", ts, r, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		usedTime = used
+		copy(got[r*4:], buf)
+	}
+	return got, usedTime
+}
+
+func TestExactTimeTransfer(t *testing.T) {
+	_, sim, viz := setup(t, ExactTime, 0)
+	exportAll(t, sim, 5, 1)
+	got, used := importAll(t, viz, 5)
+	if used != 5 {
+		t.Errorf("used time %d", used)
+	}
+	for g, v := range got {
+		if v != float64(g) {
+			t.Errorf("got[%d] = %v", g, v)
+		}
+	}
+}
+
+func TestImportBlocksUntilExportComplete(t *testing.T) {
+	_, sim, viz := setup(t, ExactTime, 0)
+	done := make(chan struct{})
+	go func() {
+		buf := make([]float64, 4)
+		viz.Import("temp", 1, 0, buf)
+		close(done)
+	}()
+	// Export from only one rank: import must still block.
+	local := make([]float64, 6)
+	if err := sim.Export("temp", 1, 0, local); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+		t.Fatal("import completed before the export was complete on all ranks")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := sim.Export("temp", 1, 1, local); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("import did not complete after full export")
+	}
+}
+
+func TestLowerBoundMatching(t *testing.T) {
+	_, sim, viz := setup(t, LowerBound, 0)
+	exportAll(t, sim, 10, 1)
+	exportAll(t, sim, 20, 2)
+	_, used := importAll(t, viz, 25)
+	if used != 20 {
+		t.Errorf("lower bound picked %d, want 20", used)
+	}
+	got, used := importAll(t, viz, 19)
+	if used != 10 {
+		t.Errorf("lower bound picked %d, want 10", used)
+	}
+	if got[3] != 3 {
+		t.Errorf("data from wrong export: %v", got[3])
+	}
+}
+
+func TestRegularMatching(t *testing.T) {
+	_, sim, viz := setup(t, Regular, 10)
+	exportAll(t, sim, 0, 1)
+	exportAll(t, sim, 10, 2)
+	_, used := importAll(t, viz, 17) // floor(17/10)*10 = 10
+	if used != 10 {
+		t.Errorf("regular picked %d, want 10", used)
+	}
+	_, used = importAll(t, viz, 9)
+	if used != 0 {
+		t.Errorf("regular picked %d, want 0", used)
+	}
+}
+
+func TestConcurrentProducerConsumer(t *testing.T) {
+	// The full intended deployment: sim ranks and viz ranks run
+	// concurrently; imports block until the matching export lands.
+	_, sim, viz := setup(t, ExactTime, 0)
+	const steps = 8
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for ts := 0; ts < steps; ts++ {
+				local := make([]float64, 6)
+				for li := range local {
+					local[li] = float64(ts*100 + r*6 + li)
+				}
+				if err := sim.Export("temp", ts, r, local); err != nil {
+					t.Errorf("export: %v", err)
+				}
+			}
+		}(r)
+	}
+	errCh := make(chan error, 3*steps)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]float64, 4)
+			for ts := 0; ts < steps; ts++ {
+				if _, err := viz.Import("temp", ts, r, buf); err != nil {
+					errCh <- err
+					return
+				}
+				for li, v := range buf {
+					if want := float64(ts*100 + r*4 + li); v != want {
+						t.Errorf("rank %d ts %d: buf[%d]=%v want %v", r, ts, li, v, want)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := NewCoordinator()
+	sim := c.AddProgram("sim")
+	viz := c.AddProgram("viz")
+	tpl := blockTpl(t, 8, 2)
+	if err := sim.DeclareArray("a", tpl); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.DeclareArray("a", tpl); err == nil {
+		t.Error("duplicate declaration accepted")
+	}
+	if err := viz.DeclareArray("b", blockTpl(t, 9, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Rule validation.
+	if err := c.AddRule(Rule{SrcProgram: "sim", SrcArray: "missing", DstProgram: "viz", DstArray: "b"}); err == nil {
+		t.Error("undeclared source accepted")
+	}
+	if err := c.AddRule(Rule{SrcProgram: "sim", SrcArray: "a", DstProgram: "viz", DstArray: "missing"}); err == nil {
+		t.Error("undeclared destination accepted")
+	}
+	if err := c.AddRule(Rule{SrcProgram: "sim", SrcArray: "a", DstProgram: "viz", DstArray: "b"}); err == nil {
+		t.Error("non-conforming rule accepted")
+	}
+	if err := viz.DeclareArray("c", blockTpl(t, 8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRule(Rule{SrcProgram: "sim", SrcArray: "a", DstProgram: "viz", DstArray: "c", Match: Regular}); err == nil {
+		t.Error("regular rule without interval accepted")
+	}
+	if err := c.AddRule(Rule{SrcProgram: "sim", SrcArray: "a", DstProgram: "viz", DstArray: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRule(Rule{SrcProgram: "sim", SrcArray: "a", DstProgram: "viz", DstArray: "c"}); err == nil {
+		t.Error("second rule for one destination accepted")
+	}
+	// Export/import misuse.
+	if err := sim.Export("missing", 0, 0, nil); err == nil {
+		t.Error("export of undeclared array accepted")
+	}
+	if err := sim.Export("a", 0, 9, make([]float64, 4)); err == nil {
+		t.Error("bad export rank accepted")
+	}
+	if err := sim.Export("a", 0, 0, make([]float64, 3)); err == nil {
+		t.Error("bad export length accepted")
+	}
+	if err := sim.Export("a", 0, 0, make([]float64, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Export("a", 0, 0, make([]float64, 4)); err == nil {
+		t.Error("double export from one rank accepted")
+	}
+	buf := make([]float64, 3)
+	if _, err := viz.Import("missing", 0, 0, buf); err == nil {
+		t.Error("import of undeclared array accepted")
+	}
+	if _, err := viz.Import("b", 0, 0, buf); err == nil {
+		t.Error("import without rule accepted")
+	}
+	if _, err := viz.Import("c", 0, 0, make([]float64, 99)); err == nil {
+		t.Error("bad import length accepted")
+	}
+}
+
+func TestRetentionAndRetire(t *testing.T) {
+	c, sim, viz := setup(t, LowerBound, 0)
+	c.Retention = 2
+	exportAll(t, sim, 1, 1)
+	exportAll(t, sim, 2, 1)
+	exportAll(t, sim, 3, 1)
+	// Time 1 was evicted by retention; lower-bound of 1 has nothing.
+	done := make(chan int, 1)
+	go func() {
+		buf := make([]float64, 4)
+		used, _ := viz.Import("temp", 1, 0, buf)
+		done <- used
+	}()
+	select {
+	case used := <-done:
+		t.Fatalf("import satisfied from evicted export %d", used)
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Unblock the pending import with an older export that lower-bound(1)
+	// accepts; widen retention first so it is not evicted on arrival.
+	c.Retention = 3
+	exportAll(t, sim, 0, 5)
+	if used := <-done; used != 0 {
+		t.Errorf("import used %d, want 0", used)
+	}
+	// Explicit retire.
+	if err := sim.Retire("temp", 3); err != nil {
+		t.Fatal(err)
+	}
+	_, used := importAll(t, viz, 99)
+	if used != 3 {
+		t.Errorf("after retire, lower bound picked %d, want 3", used)
+	}
+	if err := sim.Retire("missing", 0); err == nil {
+		t.Error("retire of undeclared array accepted")
+	}
+}
+
+func TestDescriptorFootprint(t *testing.T) {
+	// Block descriptors are small; explicit descriptors grow with patch
+	// count — the InterComm replication-vs-partitioning tradeoff.
+	block := blockTpl(t, 4096, 8)
+	patches := make([]dad.Patch, 0, 128)
+	for i := 0; i < 128; i++ {
+		patches = append(patches, dad.NewPatch([]int{i * 32}, []int{(i + 1) * 32}, i%8))
+	}
+	explicit, err := dad.NewExplicitTemplate([]int{4096}, 8, patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := DescriptorFootprint(block)
+	fe := DescriptorFootprint(explicit)
+	if fb <= 0 || fe <= 0 {
+		t.Fatal("footprints must be positive")
+	}
+	if fe < 10*fb {
+		t.Errorf("explicit footprint %d not much larger than block %d", fe, fb)
+	}
+}
+
+func TestPartitionedDescriptorAssemble(t *testing.T) {
+	// 12 points on 3 ranks, interleaved patches: each rank holds only its
+	// own pieces; Assemble reconstructs the full tiling everywhere.
+	const np = 3
+	pieces := [][]dad.Patch{
+		{dad.NewPatch([]int{0}, []int{2}, 0), dad.NewPatch([]int{6}, []int{8}, 0)},
+		{dad.NewPatch([]int{2}, []int{4}, 1), dad.NewPatch([]int{8}, []int{10}, 1)},
+		{dad.NewPatch([]int{4}, []int{6}, 2), dad.NewPatch([]int{10}, []int{12}, 2)},
+	}
+	comm.Run(np, func(c *comm.Comm) {
+		pd, err := NewPartitionedDescriptor([]int{12}, np, c.Rank(), pieces[c.Rank()])
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		tpl, err := pd.Assemble(c)
+		if err != nil {
+			t.Errorf("rank %d assemble: %v", c.Rank(), err)
+			return
+		}
+		for g := 0; g < 12; g++ {
+			want := (g / 2) % 3
+			if got := tpl.OwnerOf([]int{g}); got != want {
+				t.Errorf("rank %d: owner of %d = %d, want %d", c.Rank(), g, got, want)
+			}
+		}
+	})
+}
+
+func TestPartitionedDescriptorDetectsBadTiling(t *testing.T) {
+	// A gap in the union must surface on every rank.
+	comm.Run(2, func(c *comm.Comm) {
+		var local []dad.Patch
+		if c.Rank() == 0 {
+			local = []dad.Patch{dad.NewPatch([]int{0}, []int{3}, 0)}
+		} else {
+			local = []dad.Patch{dad.NewPatch([]int{4}, []int{8}, 1)} // leaves [3,4) uncovered
+		}
+		pd, err := NewPartitionedDescriptor([]int{8}, 2, c.Rank(), local)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		if _, err := pd.Assemble(c); err == nil {
+			t.Errorf("rank %d: gap not detected", c.Rank())
+		}
+	})
+}
+
+func TestPartitionedDescriptorValidation(t *testing.T) {
+	if _, err := NewPartitionedDescriptor([]int{8}, 0, 0, nil); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	foreign := []dad.Patch{dad.NewPatch([]int{0}, []int{8}, 1)}
+	if _, err := NewPartitionedDescriptor([]int{8}, 2, 0, foreign); err == nil {
+		t.Error("foreign-owned patch accepted")
+	}
+	badArity := []dad.Patch{dad.NewPatch([]int{0, 0}, []int{2, 2}, 0)}
+	if _, err := NewPartitionedDescriptor([]int{8}, 2, 0, badArity); err == nil {
+		t.Error("wrong-arity patch accepted")
+	}
+	pd, _ := NewPartitionedDescriptor([]int{8}, 2, 0, []dad.Patch{dad.NewPatch([]int{0}, []int{4}, 0)})
+	comm.Run(3, func(c *comm.Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		if _, err := pd.Assemble(c); err == nil {
+			t.Error("wrong communicator width accepted")
+		}
+	})
+}
+
+func TestPartitionedFootprintScaling(t *testing.T) {
+	// The point of partitioning: per-rank storage stays O(own patches)
+	// while the replicated descriptor grows with the whole tiling.
+	const np = 8
+	const patchesPerRank = 64
+	var all []dad.Patch
+	pieces := make([][]dad.Patch, np)
+	w := 0
+	for r := 0; r < np; r++ {
+		for k := 0; k < patchesPerRank; k++ {
+			p := dad.NewPatch([]int{w}, []int{w + 1}, r)
+			pieces[r] = append(pieces[r], p)
+			all = append(all, p)
+			w++
+		}
+	}
+	full, err := dad.NewExplicitTemplate([]int{w}, np, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicated := DescriptorFootprint(full)
+	pd, err := NewPartitionedDescriptor([]int{w}, np, 0, pieces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := pd.LocalFootprint()
+	t.Logf("replicated descriptor %d B, partitioned piece %d B per rank", replicated, perRank)
+	if perRank >= replicated/4 {
+		t.Errorf("partitioned piece (%dB) not much smaller than replicated descriptor (%dB)", perRank, replicated)
+	}
+}

@@ -1,0 +1,113 @@
+package intercomm
+
+import (
+	"fmt"
+
+	"mxn/internal/comm"
+	"mxn/internal/dad"
+	"mxn/internal/wire"
+)
+
+// PartitionedDescriptor is the second half of InterComm's descriptor
+// taxonomy (Section 4.4): "For block distributions, the data structure
+// required to describe the distribution is relatively small, so can be
+// replicated on each of the processes... For explicit distributions,
+// there is a one-to-one correspondence between the elements of the array
+// and the number of entries in the data descriptor, therefore, the
+// descriptor itself is rather large and must be partitioned across the
+// participating processes."
+//
+// Each rank holds only its own patch list; nobody stores the global
+// tiling. Building a communication schedule that involves the
+// distribution then requires communication: Assemble performs the
+// collective exchange and returns the full explicit template (validated:
+// the union of per-rank patches must tile the domain).
+type PartitionedDescriptor struct {
+	Dims    []int
+	NumProc int
+	// Local is this rank's patch list. Patch owners must equal the
+	// holding rank.
+	Local []dad.Patch
+}
+
+// NewPartitionedDescriptor validates the local piece held by rank.
+func NewPartitionedDescriptor(dims []int, nproc, rank int, local []dad.Patch) (*PartitionedDescriptor, error) {
+	if nproc < 1 || rank < 0 || rank >= nproc {
+		return nil, fmt.Errorf("intercomm: rank %d of %d", rank, nproc)
+	}
+	for _, p := range local {
+		if p.Owner != rank {
+			return nil, fmt.Errorf("intercomm: partitioned descriptor on rank %d holds patch %v owned by %d", rank, p, p.Owner)
+		}
+		if len(p.Lo) != len(dims) {
+			return nil, fmt.Errorf("intercomm: patch %v arity differs from dims %v", p, dims)
+		}
+	}
+	return &PartitionedDescriptor{
+		Dims:    append([]int(nil), dims...),
+		NumProc: nproc,
+		Local:   append([]dad.Patch(nil), local...),
+	}, nil
+}
+
+// LocalFootprint returns the wire size in bytes of this rank's piece —
+// the per-process storage cost of partitioning, to compare against
+// DescriptorFootprint of the full replicated template.
+func (pd *PartitionedDescriptor) LocalFootprint() int {
+	e := wire.NewEncoder(nil)
+	encodePatches(e, pd.Local)
+	return e.Len()
+}
+
+// Assemble gathers every rank's patches and builds the full explicit
+// template — the communication step InterComm pays when a schedule
+// involves a partitioned descriptor. Collective: every rank of c calls it
+// with its own descriptor; all receive an equivalent template. The
+// assembled tiling is validated, so inconsistent per-rank pieces (overlap
+// or gaps) are detected everywhere.
+func (pd *PartitionedDescriptor) Assemble(c *comm.Comm) (*dad.Template, error) {
+	if c.Size() != pd.NumProc {
+		return nil, fmt.Errorf("intercomm: descriptor spans %d ranks, communicator has %d", pd.NumProc, c.Size())
+	}
+	e := wire.NewEncoder(nil)
+	encodePatches(e, pd.Local)
+	all := c.Allgather(e.Bytes())
+	var patches []dad.Patch
+	for r, payload := range all {
+		buf, ok := payload.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("intercomm: rank %d contributed %T", r, payload)
+		}
+		ps, err := decodePatches(wire.NewDecoder(buf))
+		if err != nil {
+			return nil, fmt.Errorf("intercomm: rank %d piece: %w", r, err)
+		}
+		patches = append(patches, ps...)
+	}
+	return dad.NewExplicitTemplate(pd.Dims, pd.NumProc, patches)
+}
+
+func encodePatches(e *wire.Encoder, ps []dad.Patch) {
+	e.PutUvarint(uint64(len(ps)))
+	for _, p := range ps {
+		e.PutInts(p.Lo)
+		e.PutInts(p.Hi)
+		e.PutInt(p.Owner)
+	}
+}
+
+func decodePatches(d *wire.Decoder) ([]dad.Patch, error) {
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	out := make([]dad.Patch, 0, n)
+	for i := uint64(0); i < n; i++ {
+		p := dad.Patch{Lo: d.Ints(), Hi: d.Ints(), Owner: d.Int()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,332 @@
+// Package linear implements the linearization intermediate representation
+// for M×N data redistribution (Section 2.2.1 of the paper, following
+// Meta-Chaos and the Indiana MPI-IO M×N device).
+//
+// In this method the elements of a distributed data structure are mapped to
+// an abstract one-dimensional arrangement. Source and destination describe
+// which linear positions they own; the mapping between the two sides is
+// implicit — position k on the sender corresponds to position k on the
+// receiver. The linearization is purely logical: no serialized intermediate
+// copy of the data is ever produced, and transfers proceed fully in
+// parallel (the receiver-driven exchange built on this package lives in
+// internal/redist).
+//
+// The package provides the interval-set algebra over linear positions and
+// linearizers for distributed arrays. Applications control the mapping by
+// choosing (or implementing) a Linearizer, which is exactly the flexibility
+// — and the burden — the paper attributes to the approach: the receiver
+// must know how the sender linearized the data to interpret it.
+package linear
+
+import (
+	"fmt"
+	"sort"
+
+	"mxn/internal/dad"
+)
+
+// Interval is a half-open range [Lo, Hi) of linear positions.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Len returns the number of positions in the interval.
+func (iv Interval) Len() int { return iv.Hi - iv.Lo }
+
+// Set is a normalized interval set: sorted, disjoint, non-adjacent,
+// non-empty intervals. The zero value is the empty set.
+type Set []Interval
+
+// NewSet normalizes arbitrary intervals into a Set, merging overlaps and
+// adjacencies and dropping empties.
+func NewSet(ivs ...Interval) Set {
+	var s Set
+	for _, iv := range ivs {
+		if iv.Lo < iv.Hi {
+			s = append(s, iv)
+		}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].Lo < s[j].Lo })
+	out := s[:0]
+	for _, iv := range s {
+		if n := len(out); n > 0 && iv.Lo <= out[n-1].Hi {
+			if iv.Hi > out[n-1].Hi {
+				out[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Len returns the total number of positions in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, iv := range s {
+		n += iv.Len()
+	}
+	return n
+}
+
+// Contains reports whether position p is in the set.
+func (s Set) Contains(p int) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Hi > p })
+	return i < len(s) && s[i].Lo <= p
+}
+
+// Intersect returns the positions common to s and t.
+func (s Set) Intersect(t Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		lo := max(s[i].Lo, t[j].Lo)
+		hi := min(s[i].Hi, t[j].Hi)
+		if lo < hi {
+			out = append(out, Interval{lo, hi})
+		}
+		if s[i].Hi < t[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns the positions in either set.
+func (s Set) Union(t Set) Set {
+	all := make([]Interval, 0, len(s)+len(t))
+	all = append(all, s...)
+	all = append(all, t...)
+	return NewSet(all...)
+}
+
+// Equal reports set equality.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PositionRank returns the rank of position p within the set: the number
+// of set positions strictly below p. p must be in the set. This converts a
+// linear position to an offset within a packed buffer holding exactly the
+// set's positions in order.
+func (s Set) PositionRank(p int) int {
+	rank := 0
+	for _, iv := range s {
+		if p >= iv.Hi {
+			rank += iv.Len()
+			continue
+		}
+		if p >= iv.Lo {
+			return rank + p - iv.Lo
+		}
+		break
+	}
+	panic(fmt.Sprintf("linear: position %d not in set", p))
+}
+
+// String renders the set compactly.
+func (s Set) String() string {
+	out := "{"
+	for i, iv := range s {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d:%d", iv.Lo, iv.Hi)
+	}
+	return out + "}"
+}
+
+// Linearizer maps the elements of one side's distributed data structure to
+// linear positions. Implementations must agree between sender and receiver
+// for the transfer to be meaningful — that agreement is application
+// knowledge, not middleware knowledge (the linearization caveat the paper
+// highlights).
+type Linearizer interface {
+	// TotalLen returns the length of the linear space.
+	TotalLen() int
+	// OwnedBy returns the linear positions rank owns, as a normalized Set.
+	OwnedBy(rank int) Set
+	// Pack copies the elements at the given linear positions (in set
+	// order) out of rank's canonical local buffer into out, which must
+	// have length set.Len().
+	Pack(rank int, local []float64, set Set, out []float64)
+	// Unpack copies data (in set order) into rank's canonical local buffer
+	// at the given linear positions.
+	Unpack(rank int, local []float64, set Set, data []float64)
+}
+
+// RowMajor linearizes a distributed array template by the row-major order
+// of its global index space — the natural linearization for dense arrays.
+type RowMajor struct {
+	T *dad.Template
+
+	strides []int
+}
+
+// NewRowMajor builds a row-major linearizer for a template.
+func NewRowMajor(t *dad.Template) *RowMajor {
+	dims := t.Dims()
+	strides := make([]int, len(dims))
+	s := 1
+	for a := len(dims) - 1; a >= 0; a-- {
+		strides[a] = s
+		s *= dims[a]
+	}
+	return &RowMajor{T: t, strides: strides}
+}
+
+// TotalLen returns the template size.
+func (rm *RowMajor) TotalLen() int { return rm.T.Size() }
+
+// position returns the linear position of a global index.
+func (rm *RowMajor) position(idx []int) int {
+	p := 0
+	for a, i := range idx {
+		p += i * rm.strides[a]
+	}
+	return p
+}
+
+// OwnedBy returns rank's linear positions: each row of each owned patch is
+// one interval.
+func (rm *RowMajor) OwnedBy(rank int) Set {
+	var ivs []Interval
+	for _, p := range rm.T.Patches(rank) {
+		rowLen := p.Hi[len(p.Hi)-1] - p.Lo[len(p.Lo)-1]
+		forEachRow(p, func(rowStart []int) {
+			pos := rm.position(rowStart)
+			ivs = append(ivs, Interval{pos, pos + rowLen})
+		})
+	}
+	return NewSet(ivs...)
+}
+
+// Pack implements Linearizer.
+func (rm *RowMajor) Pack(rank int, local []float64, set Set, out []float64) {
+	k := 0
+	idx := make([]int, rm.T.NumAxes())
+	for _, iv := range set {
+		for p := iv.Lo; p < iv.Hi; p++ {
+			rm.indexOf(p, idx)
+			out[k] = local[rm.T.LocalOffset(rank, idx)]
+			k++
+		}
+	}
+}
+
+// Unpack implements Linearizer.
+func (rm *RowMajor) Unpack(rank int, local []float64, set Set, data []float64) {
+	k := 0
+	idx := make([]int, rm.T.NumAxes())
+	for _, iv := range set {
+		for p := iv.Lo; p < iv.Hi; p++ {
+			rm.indexOf(p, idx)
+			local[rm.T.LocalOffset(rank, idx)] = data[k]
+			k++
+		}
+	}
+}
+
+// indexOf writes the global index of linear position p into idx.
+func (rm *RowMajor) indexOf(p int, idx []int) {
+	for a := range rm.strides {
+		idx[a] = p / rm.strides[a]
+		p %= rm.strides[a]
+	}
+}
+
+// forEachRow invokes fn with the starting global index of every
+// (last-axis) row of the patch. The slice passed to fn is reused.
+func forEachRow(p dad.Patch, fn func(rowStart []int)) {
+	n := p.NumAxes()
+	idx := make([]int, n)
+	copy(idx, p.Lo)
+	for {
+		fn(idx)
+		a := n - 2
+		for a >= 0 {
+			idx[a]++
+			if idx[a] < p.Hi[a] {
+				break
+			}
+			idx[a] = p.Lo[a]
+			a--
+		}
+		if a < 0 {
+			return
+		}
+	}
+}
+
+// LocalOrder linearizes a template by the concatenation of each rank's
+// canonical local buffers in rank order. It demonstrates an
+// application-defined linearization where the sender's layout drives the
+// ordering: a receiver using LocalOrder of the *sender's* template can
+// reconstruct the data only with knowledge of that template — precisely
+// the implicit-knowledge coupling Section 2.2.1 warns about.
+type LocalOrder struct {
+	T *dad.Template
+
+	rankBase []int // starting linear position of each rank's block
+}
+
+// NewLocalOrder builds a local-order linearizer for a template.
+func NewLocalOrder(t *dad.Template) *LocalOrder {
+	lo := &LocalOrder{T: t, rankBase: make([]int, t.NumProcs()+1)}
+	for r := 0; r < t.NumProcs(); r++ {
+		lo.rankBase[r+1] = lo.rankBase[r] + t.LocalCount(r)
+	}
+	return lo
+}
+
+// TotalLen returns the template size.
+func (l *LocalOrder) TotalLen() int { return l.rankBase[len(l.rankBase)-1] }
+
+// OwnedBy returns rank's single contiguous interval.
+func (l *LocalOrder) OwnedBy(rank int) Set {
+	return NewSet(Interval{l.rankBase[rank], l.rankBase[rank+1]})
+}
+
+// Pack implements Linearizer: local order means a straight copy.
+func (l *LocalOrder) Pack(rank int, local []float64, set Set, out []float64) {
+	base := l.rankBase[rank]
+	k := 0
+	for _, iv := range set {
+		copy(out[k:k+iv.Len()], local[iv.Lo-base:iv.Hi-base])
+		k += iv.Len()
+	}
+}
+
+// Unpack implements Linearizer.
+func (l *LocalOrder) Unpack(rank int, local []float64, set Set, data []float64) {
+	base := l.rankBase[rank]
+	k := 0
+	for _, iv := range set {
+		copy(local[iv.Lo-base:iv.Hi-base], data[k:k+iv.Len()])
+		k += iv.Len()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

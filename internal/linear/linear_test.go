@@ -1,0 +1,231 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mxn/internal/dad"
+)
+
+func TestNewSetNormalizes(t *testing.T) {
+	s := NewSet(Interval{5, 8}, Interval{0, 3}, Interval{3, 5}, Interval{10, 10}, Interval{12, 14})
+	want := Set{{0, 8}, {12, 14}}
+	if !s.Equal(want) {
+		t.Errorf("got %v, want %v", s, want)
+	}
+	if s.Len() != 10 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(Interval{2, 5}, Interval{8, 10})
+	for p, want := range map[int]bool{1: false, 2: true, 4: true, 5: false, 8: true, 9: true, 10: false} {
+		if got := s.Contains(p); got != want {
+			t.Errorf("Contains(%d) = %v", p, got)
+		}
+	}
+}
+
+func TestSetIntersectUnion(t *testing.T) {
+	a := NewSet(Interval{0, 10}, Interval{20, 30})
+	b := NewSet(Interval{5, 25})
+	gotI := a.Intersect(b)
+	if !gotI.Equal(Set{{5, 10}, {20, 25}}) {
+		t.Errorf("intersect = %v", gotI)
+	}
+	gotU := a.Union(b)
+	if !gotU.Equal(Set{{0, 30}}) {
+		t.Errorf("union = %v", gotU)
+	}
+	if got := a.Intersect(nil); len(got) != 0 {
+		t.Errorf("intersect empty = %v", got)
+	}
+}
+
+func TestPositionRank(t *testing.T) {
+	s := NewSet(Interval{2, 5}, Interval{8, 10})
+	wants := map[int]int{2: 0, 3: 1, 4: 2, 8: 3, 9: 4}
+	for p, want := range wants {
+		if got := s.PositionRank(p); got != want {
+			t.Errorf("PositionRank(%d) = %d, want %d", p, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PositionRank outside set did not panic")
+		}
+	}()
+	s.PositionRank(6)
+}
+
+// Property: intersect/union are consistent with membership, on random sets.
+func TestQuickSetAlgebra(t *testing.T) {
+	mk := func(seeds []uint8) Set {
+		var ivs []Interval
+		for i := 0; i+1 < len(seeds); i += 2 {
+			lo := int(seeds[i]) % 64
+			hi := lo + int(seeds[i+1])%8
+			ivs = append(ivs, Interval{lo, hi})
+		}
+		return NewSet(ivs...)
+	}
+	f := func(x, y []uint8) bool {
+		a, b := mk(x), mk(y)
+		i := a.Intersect(b)
+		u := a.Union(b)
+		for p := 0; p < 80; p++ {
+			inA, inB := a.Contains(p), b.Contains(p)
+			if i.Contains(p) != (inA && inB) {
+				return false
+			}
+			if u.Contains(p) != (inA || inB) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func block2D(t *testing.T, dims []int, p, q int) *dad.Template {
+	t.Helper()
+	tpl, err := dad.NewTemplate(dims, []dad.AxisDist{dad.BlockAxis(p), dad.BlockAxis(q)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+func TestRowMajorOwnedByPartition(t *testing.T) {
+	tpl := block2D(t, []int{6, 8}, 2, 2)
+	rm := NewRowMajor(tpl)
+	if rm.TotalLen() != 48 {
+		t.Fatalf("total = %d", rm.TotalLen())
+	}
+	var union Set
+	total := 0
+	for r := 0; r < tpl.NumProcs(); r++ {
+		s := rm.OwnedBy(r)
+		if got := s.Intersect(union); got.Len() != 0 {
+			t.Errorf("rank %d overlaps earlier ranks: %v", r, got)
+		}
+		union = union.Union(s)
+		total += s.Len()
+	}
+	if total != 48 || union.Len() != 48 {
+		t.Errorf("partition broken: total=%d union=%d", total, union.Len())
+	}
+}
+
+func TestRowMajorPackUnpackRoundTrip(t *testing.T) {
+	tpl := block2D(t, []int{4, 6}, 2, 3)
+	rm := NewRowMajor(tpl)
+	for r := 0; r < tpl.NumProcs(); r++ {
+		owned := rm.OwnedBy(r)
+		local := make([]float64, tpl.LocalCount(r))
+		for i := range local {
+			local[i] = float64(r*100 + i)
+		}
+		packed := make([]float64, owned.Len())
+		rm.Pack(r, local, owned, packed)
+		restored := make([]float64, len(local))
+		rm.Unpack(r, restored, owned, packed)
+		for i := range local {
+			if restored[i] != local[i] {
+				t.Fatalf("rank %d: restored[%d] = %v, want %v", r, i, restored[i], local[i])
+			}
+		}
+	}
+}
+
+func TestRowMajorPackSubset(t *testing.T) {
+	// 1-D array of 8 on 2 blocks; pack positions {1,2,6} and check values.
+	tpl, err := dad.NewTemplate([]int{8}, []dad.AxisDist{dad.BlockAxis(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := NewRowMajor(tpl)
+	// Global values: v[g] = 10*g. Rank 0 holds g 0..3, rank 1 holds 4..7.
+	local0 := []float64{0, 10, 20, 30}
+	local1 := []float64{40, 50, 60, 70}
+	want := NewSet(Interval{1, 3}, Interval{6, 7})
+	s0 := want.Intersect(rm.OwnedBy(0))
+	s1 := want.Intersect(rm.OwnedBy(1))
+	out0 := make([]float64, s0.Len())
+	out1 := make([]float64, s1.Len())
+	rm.Pack(0, local0, s0, out0)
+	rm.Pack(1, local1, s1, out1)
+	if out0[0] != 10 || out0[1] != 20 {
+		t.Errorf("rank 0 packed %v", out0)
+	}
+	if out1[0] != 60 {
+		t.Errorf("rank 1 packed %v", out1)
+	}
+}
+
+func TestLocalOrder(t *testing.T) {
+	tpl := block2D(t, []int{4, 4}, 2, 2)
+	lo := NewLocalOrder(tpl)
+	if lo.TotalLen() != 16 {
+		t.Fatalf("total = %d", lo.TotalLen())
+	}
+	// Each rank owns one contiguous interval of length 4.
+	base := 0
+	for r := 0; r < 4; r++ {
+		s := lo.OwnedBy(r)
+		if len(s) != 1 || s[0].Lo != base || s[0].Len() != 4 {
+			t.Errorf("rank %d owns %v", r, s)
+		}
+		base += 4
+	}
+	// Pack/unpack round trip.
+	local := []float64{1, 2, 3, 4}
+	owned := lo.OwnedBy(2)
+	out := make([]float64, 4)
+	lo.Pack(2, local, owned, out)
+	back := make([]float64, 4)
+	lo.Unpack(2, back, owned, out)
+	for i := range local {
+		if back[i] != local[i] {
+			t.Fatalf("local order round trip broke at %d", i)
+		}
+	}
+}
+
+// Property: for random templates, every linear position maps back to the
+// owning rank consistently between RowMajor.OwnedBy and dad ownership.
+func TestRowMajorAgreesWithOwnership(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kinds := []func(p int, n int) dad.AxisDist{
+		func(p, n int) dad.AxisDist { return dad.BlockAxis(p) },
+		func(p, n int) dad.AxisDist { return dad.CyclicAxis(p) },
+		func(p, n int) dad.AxisDist { return dad.BlockCyclicAxis(p, 2) },
+	}
+	for trial := 0; trial < 20; trial++ {
+		dims := []int{2 + rng.Intn(6), 2 + rng.Intn(6)}
+		axes := []dad.AxisDist{
+			kinds[rng.Intn(len(kinds))](1+rng.Intn(3), dims[0]),
+			kinds[rng.Intn(len(kinds))](1+rng.Intn(3), dims[1]),
+		}
+		tpl, err := dad.NewTemplate(dims, axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm := NewRowMajor(tpl)
+		idx := make([]int, 2)
+		for p := 0; p < tpl.Size(); p++ {
+			idx[0] = p / dims[1]
+			idx[1] = p % dims[1]
+			owner := tpl.OwnerOf(idx)
+			for r := 0; r < tpl.NumProcs(); r++ {
+				if got := rm.OwnedBy(r).Contains(p); got != (r == owner) {
+					t.Fatalf("%v: pos %d (idx %v): OwnedBy(%d)=%v, owner=%d", tpl, p, idx, r, got, owner)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package mct
+
+import (
+	"fmt"
+	"math"
+
+	"mxn/internal/comm"
+)
+
+// GeneralGrid describes the physical support of a model's data points:
+// per-point coordinate values, per-point cell weights (areas/volumes) for
+// integrals, and an optional mask (e.g. the land/ocean mask the paper
+// mentions). The grid is dimension-agnostic and supports unstructured
+// point sets: it is just coordinates and weights over a point list.
+type GeneralGrid struct {
+	coords  []string
+	weights string
+	av      *AttrVect
+	mask    []bool
+}
+
+// NewGeneralGrid creates a grid over npoints points with named coordinate
+// attributes and a weight attribute. Extra per-point descriptor attributes
+// may be added through the underlying vector.
+func NewGeneralGrid(coords []string, weightAttr string, npoints int) (*GeneralGrid, error) {
+	if len(coords) == 0 {
+		return nil, fmt.Errorf("mct: grid needs at least one coordinate")
+	}
+	attrs := append(append([]string(nil), coords...), weightAttr)
+	av, err := NewAttrVect(attrs, npoints)
+	if err != nil {
+		return nil, err
+	}
+	return &GeneralGrid{coords: coords, weights: weightAttr, av: av}, nil
+}
+
+// Points returns the number of grid points.
+func (g *GeneralGrid) Points() int { return g.av.Len() }
+
+// NumDims returns the coordinate dimensionality.
+func (g *GeneralGrid) NumDims() int { return len(g.coords) }
+
+// Coord returns the named coordinate attribute's storage.
+func (g *GeneralGrid) Coord(name string) []float64 { return g.av.Field(name) }
+
+// Weights returns the integration weight per point.
+func (g *GeneralGrid) Weights() []float64 { return g.av.Field(g.weights) }
+
+// SetMask installs a validity mask: false points are excluded from
+// integrals and merges.
+func (g *GeneralGrid) SetMask(mask []bool) error {
+	if len(mask) != g.Points() {
+		return fmt.Errorf("mct: mask has %d entries for %d points", len(mask), g.Points())
+	}
+	g.mask = append([]bool(nil), mask...)
+	return nil
+}
+
+// Mask returns the mask, or nil when every point is valid.
+func (g *GeneralGrid) Mask() []bool { return g.mask }
+
+// Masked reports whether point i is excluded.
+func (g *GeneralGrid) Masked(i int) bool { return g.mask != nil && !g.mask[i] }
+
+// LatLonGrid builds a global regular latitude–longitude grid with
+// cell-area weights proportional to cos(latitude), points ordered
+// latitude-major. It is the workhorse grid of the climate-coupling
+// examples.
+func LatLonGrid(nlat, nlon int) *GeneralGrid {
+	g, err := NewGeneralGrid([]string{"lat", "lon"}, "area", nlat*nlon)
+	if err != nil {
+		panic(err)
+	}
+	lat := g.Coord("lat")
+	lon := g.Coord("lon")
+	area := g.Weights()
+	dlat := 180.0 / float64(nlat)
+	dlon := 360.0 / float64(nlon)
+	k := 0
+	for i := 0; i < nlat; i++ {
+		phi := -90 + (float64(i)+0.5)*dlat
+		w := math.Cos(phi * math.Pi / 180)
+		for j := 0; j < nlon; j++ {
+			lat[k] = phi
+			lon[k] = -180 + (float64(j)+0.5)*dlon
+			area[k] = w * dlat * dlon
+			k++
+		}
+	}
+	return g
+}
+
+// LocalGrid extracts the sub-grid of the points a rank owns under a
+// segment map (coordinates, weights and mask restricted to the local
+// point list).
+func (g *GeneralGrid) LocalGrid(m *GlobalSegMap, rank int) (*GeneralGrid, error) {
+	if m.GSize() != g.Points() {
+		return nil, fmt.Errorf("mct: map of %d points for grid of %d", m.GSize(), g.Points())
+	}
+	pts := m.LocalPoints(rank)
+	out, err := NewGeneralGrid(g.coords, g.weights, len(pts))
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range append(append([]string(nil), g.coords...), g.weights) {
+		src := g.av.Field(name)
+		dst := out.av.Field(name)
+		for li, gi := range pts {
+			dst[li] = src[gi]
+		}
+	}
+	if g.mask != nil {
+		mask := make([]bool, len(pts))
+		for li, gi := range pts {
+			mask[li] = g.mask[gi]
+		}
+		if err := out.SetMask(mask); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SpatialIntegral computes the global weighted integral of one attribute
+// over a distributed grid: sum of value·weight over unmasked points,
+// reduced across the communicator. Every rank of c must call it.
+func SpatialIntegral(c *comm.Comm, av *AttrVect, attr string, grid *GeneralGrid) (float64, error) {
+	if av.Len() != grid.Points() {
+		return 0, fmt.Errorf("mct: vector of %d points on grid of %d", av.Len(), grid.Points())
+	}
+	vals := av.Field(attr)
+	w := grid.Weights()
+	local := 0.0
+	for i, v := range vals {
+		if grid.Masked(i) {
+			continue
+		}
+		local += v * w[i]
+	}
+	return c.AllreduceFloat64(local, comm.OpSum), nil
+}
+
+// SpatialAverage computes the weighted mean of one attribute over the
+// unmasked points of a distributed grid.
+func SpatialAverage(c *comm.Comm, av *AttrVect, attr string, grid *GeneralGrid) (float64, error) {
+	integral, err := SpatialIntegral(c, av, attr, grid)
+	if err != nil {
+		return 0, err
+	}
+	w := grid.Weights()
+	local := 0.0
+	for i := range w {
+		if grid.Masked(i) {
+			continue
+		}
+		local += w[i]
+	}
+	total := c.AllreduceFloat64(local, comm.OpSum)
+	if total == 0 {
+		return 0, fmt.Errorf("mct: zero total weight")
+	}
+	return integral / total, nil
+}
+
+// PairedIntegralCheck verifies flux conservation across an interpolation:
+// the integrals of attr on the source and destination sides must agree to
+// the given relative tolerance — the "paired integrals for use in
+// conservation of global flux integrals in inter-grid interpolation".
+// Both integrals must already be globally reduced.
+func PairedIntegralCheck(srcIntegral, dstIntegral, tol float64) error {
+	if !approxEqual(srcIntegral, dstIntegral, tol) {
+		return fmt.Errorf("mct: flux not conserved: source integral %g, destination %g", srcIntegral, dstIntegral)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package mct
+
+import (
+	"fmt"
+	"sort"
+
+	"mxn/internal/dad"
+)
+
+// Segment is one contiguous run of global indices assigned to a rank.
+type Segment struct {
+	GStart, Length, Owner int
+}
+
+// GlobalSegMap is MCT's domain decomposition descriptor: an ordered list
+// of segments that together tile the global index space [0, GSize). It is
+// the 1-D, segment-oriented cousin of the CCA DAD, and converts to an
+// explicit DAD template so the generic schedule machinery can serve it.
+type GlobalSegMap struct {
+	gsize int
+	np    int
+	segs  []Segment
+
+	rankSegs  [][]int // rank -> indices into segs, in registration order
+	rankSizes []int
+}
+
+// NewGlobalSegMap validates and builds a segment map over np ranks. The
+// segments must not overlap and must cover [0, gsize) completely.
+func NewGlobalSegMap(gsize, np int, segs []Segment) (*GlobalSegMap, error) {
+	if gsize < 0 || np < 1 {
+		return nil, fmt.Errorf("mct: bad segment map shape gsize=%d np=%d", gsize, np)
+	}
+	g := &GlobalSegMap{
+		gsize:     gsize,
+		np:        np,
+		segs:      append([]Segment(nil), segs...),
+		rankSegs:  make([][]int, np),
+		rankSizes: make([]int, np),
+	}
+	covered := 0
+	sorted := append([]Segment(nil), segs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].GStart < sorted[j].GStart })
+	prevEnd := 0
+	for _, s := range sorted {
+		if s.Length <= 0 {
+			return nil, fmt.Errorf("mct: segment at %d has length %d", s.GStart, s.Length)
+		}
+		if s.Owner < 0 || s.Owner >= np {
+			return nil, fmt.Errorf("mct: segment at %d owned by rank %d of %d", s.GStart, s.Owner, np)
+		}
+		if s.GStart < prevEnd {
+			return nil, fmt.Errorf("mct: segment at %d overlaps previous (ends at %d)", s.GStart, prevEnd)
+		}
+		if s.GStart > prevEnd {
+			return nil, fmt.Errorf("mct: gap in segment map at [%d,%d)", prevEnd, s.GStart)
+		}
+		prevEnd = s.GStart + s.Length
+		covered += s.Length
+	}
+	if covered != gsize {
+		return nil, fmt.Errorf("mct: segments cover %d of %d", covered, gsize)
+	}
+	for i, s := range g.segs {
+		g.rankSegs[s.Owner] = append(g.rankSegs[s.Owner], i)
+		g.rankSizes[s.Owner] += s.Length
+	}
+	return g, nil
+}
+
+// BlockMap builds the simple balanced block decomposition of gsize points
+// over np ranks.
+func BlockMap(gsize, np int) *GlobalSegMap {
+	segs := make([]Segment, 0, np)
+	b := (gsize + np - 1) / np
+	for r := 0; r < np; r++ {
+		lo := r * b
+		hi := lo + b
+		if hi > gsize {
+			hi = gsize
+		}
+		if lo < hi {
+			segs = append(segs, Segment{GStart: lo, Length: hi - lo, Owner: r})
+		}
+	}
+	g, err := NewGlobalSegMap(gsize, np, segs)
+	if err != nil {
+		panic(err) // construction is correct by design
+	}
+	return g
+}
+
+// GSize returns the global number of points.
+func (g *GlobalSegMap) GSize() int { return g.gsize }
+
+// NumProcs returns the number of ranks in the decomposition.
+func (g *GlobalSegMap) NumProcs() int { return g.np }
+
+// LocalSize returns the number of points rank owns.
+func (g *GlobalSegMap) LocalSize(rank int) int { return g.rankSizes[rank] }
+
+// OwnerOf returns the rank owning global point gidx.
+func (g *GlobalSegMap) OwnerOf(gidx int) int {
+	for _, s := range g.segs {
+		if gidx >= s.GStart && gidx < s.GStart+s.Length {
+			return s.Owner
+		}
+	}
+	panic(fmt.Sprintf("mct: point %d outside map of %d", gidx, g.gsize))
+}
+
+// LocalPoints returns rank's global point indices in local storage order
+// (segments in registration order, ascending within each).
+func (g *GlobalSegMap) LocalPoints(rank int) []int {
+	out := make([]int, 0, g.rankSizes[rank])
+	for _, si := range g.rankSegs[rank] {
+		s := g.segs[si]
+		for k := 0; k < s.Length; k++ {
+			out = append(out, s.GStart+k)
+		}
+	}
+	return out
+}
+
+// LocalIndexOf returns the local storage position of global point gidx on
+// rank, or -1 if not owned.
+func (g *GlobalSegMap) LocalIndexOf(rank, gidx int) int {
+	off := 0
+	for _, si := range g.rankSegs[rank] {
+		s := g.segs[si]
+		if gidx >= s.GStart && gidx < s.GStart+s.Length {
+			return off + gidx - s.GStart
+		}
+		off += s.Length
+	}
+	return -1
+}
+
+// Template converts the segment map to an explicit 1-D DAD template, so
+// the generic schedule builder can compute routers. Ranks owning no points
+// are legal (a key MCT property: models occupy subsets of the world).
+func (g *GlobalSegMap) Template() (*dad.Template, error) {
+	patches := make([]dad.Patch, 0, len(g.segs))
+	for _, s := range g.segs {
+		patches = append(patches, dad.NewPatch([]int{s.GStart}, []int{s.GStart + s.Length}, s.Owner))
+	}
+	return dad.NewExplicitTemplate([]int{g.gsize}, g.np, patches)
+}

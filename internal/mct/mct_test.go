@@ -1,0 +1,616 @@
+package mct
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mxn/internal/comm"
+)
+
+func TestAttrVectBasics(t *testing.T) {
+	av, err := NewAttrVect([]string{"t", "q"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av.Len() != 5 || av.NumAttrs() != 2 {
+		t.Fatalf("shape %d×%d", av.NumAttrs(), av.Len())
+	}
+	if !av.HasAttr("t") || av.HasAttr("x") {
+		t.Error("HasAttr wrong")
+	}
+	tf := av.Field("t")
+	for i := range tf {
+		tf[i] = float64(i)
+	}
+	if av.Field("t")[3] != 3 {
+		t.Error("Field does not alias storage")
+	}
+	cl := av.Clone()
+	tf[0] = 99
+	if cl.Field("t")[0] != 0 {
+		t.Error("Clone is shallow")
+	}
+	av.Scale(2)
+	if av.Field("t")[1] != 2 {
+		t.Error("Scale wrong")
+	}
+	av.Zero()
+	if av.Field("t")[1] != 0 {
+		t.Error("Zero wrong")
+	}
+}
+
+func TestAttrVectValidation(t *testing.T) {
+	if _, err := NewAttrVect([]string{"a", "a"}, 2); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewAttrVect([]string{""}, 2); err == nil {
+		t.Error("empty attribute accepted")
+	}
+	if _, err := NewAttrVect([]string{"a"}, -1); err == nil {
+		t.Error("negative size accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Field on missing attribute did not panic")
+		}
+	}()
+	MustAttrVect([]string{"a"}, 1).Field("b")
+}
+
+func TestAttrVectCopyAndAddScaled(t *testing.T) {
+	a := MustAttrVect([]string{"t", "q"}, 3)
+	b := MustAttrVect([]string{"t", "r"}, 3)
+	for i := 0; i < 3; i++ {
+		b.Field("t")[i] = float64(i + 1)
+		b.Field("r")[i] = 100
+	}
+	if err := a.Copy(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Field("t")[2] != 3 || a.Field("q")[2] != 0 {
+		t.Error("Copy matched wrong attributes")
+	}
+	if err := a.AddScaled(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Field("t")[2] != 9 {
+		t.Errorf("AddScaled: %v", a.Field("t")[2])
+	}
+	short := MustAttrVect([]string{"t"}, 2)
+	if err := a.Copy(short); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestAttrVectExportImport(t *testing.T) {
+	av := MustAttrVect([]string{"a", "b"}, 4)
+	for i := 0; i < 4; i++ {
+		av.Field("a")[i] = float64(i)
+		av.Field("b")[i] = float64(10 + i)
+	}
+	idx := []int{2, 0}
+	buf := make([]float64, 2*2)
+	av.Export(idx, buf)
+	want := []float64{2, 0, 12, 10}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("export = %v", buf)
+		}
+	}
+	dst := MustAttrVect([]string{"a", "b"}, 4)
+	dst.Import(idx, buf)
+	if dst.Field("a")[2] != 2 || dst.Field("b")[0] != 10 {
+		t.Error("import wrong")
+	}
+}
+
+func TestGlobalSegMapValidation(t *testing.T) {
+	if _, err := NewGlobalSegMap(10, 2, []Segment{{0, 5, 0}, {5, 5, 1}}); err != nil {
+		t.Errorf("valid map rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		segs []Segment
+	}{
+		{"gap", []Segment{{0, 4, 0}, {5, 5, 1}}},
+		{"overlap", []Segment{{0, 6, 0}, {5, 5, 1}}},
+		{"short", []Segment{{0, 5, 0}}},
+		{"bad owner", []Segment{{0, 10, 7}}},
+		{"zero len", []Segment{{0, 0, 0}, {0, 10, 0}}},
+	}
+	for _, c := range bad {
+		if _, err := NewGlobalSegMap(10, 2, c.segs); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestGlobalSegMapQueries(t *testing.T) {
+	// Interleaved ownership: rank 0 gets [0,3) and [7,10), rank 1 [3,7).
+	g, err := NewGlobalSegMap(10, 2, []Segment{{0, 3, 0}, {3, 4, 1}, {7, 3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LocalSize(0) != 6 || g.LocalSize(1) != 4 {
+		t.Errorf("sizes %d %d", g.LocalSize(0), g.LocalSize(1))
+	}
+	if g.OwnerOf(2) != 0 || g.OwnerOf(3) != 1 || g.OwnerOf(8) != 0 {
+		t.Error("owners wrong")
+	}
+	pts := g.LocalPoints(0)
+	want := []int{0, 1, 2, 7, 8, 9}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("points = %v", pts)
+		}
+	}
+	if g.LocalIndexOf(0, 8) != 4 || g.LocalIndexOf(1, 8) != -1 {
+		t.Error("LocalIndexOf wrong")
+	}
+	// Template agrees with the map.
+	tpl, err := g.Template()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := 0; gi < 10; gi++ {
+		if tpl.OwnerOf([]int{gi}) != g.OwnerOf(gi) {
+			t.Errorf("template owner of %d differs", gi)
+		}
+		r := g.OwnerOf(gi)
+		if tpl.LocalOffset(r, []int{gi}) != g.LocalIndexOf(r, gi) {
+			t.Errorf("template offset of %d differs", gi)
+		}
+	}
+}
+
+func TestBlockMap(t *testing.T) {
+	g := BlockMap(10, 3)
+	if g.LocalSize(0) != 4 || g.LocalSize(1) != 4 || g.LocalSize(2) != 2 {
+		t.Error("block map sizes wrong")
+	}
+	// A model can be wider than its data.
+	g2 := BlockMap(2, 4)
+	if g2.LocalSize(3) != 0 {
+		t.Error("empty rank has points")
+	}
+}
+
+func TestRouterIntermodule(t *testing.T) {
+	// Atmosphere model on ranks 0-1, ocean on ranks 2-4, different
+	// decompositions of 30 points; transfer a 2-field vector.
+	const gsize, mA, mB = 30, 2, 3
+	atmMap := BlockMap(gsize, mA)
+	ocnMap, err := NewGlobalSegMap(gsize, mB, []Segment{
+		{0, 10, 2}, {10, 10, 1}, {20, 10, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(atmMap, ocnMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*AttrVect, mB)
+	var mu sync.Mutex
+	comm.Run(mA+mB, func(c *comm.Comm) {
+		if c.Rank() < mA {
+			r := c.Rank()
+			av := MustAttrVect([]string{"t", "q"}, atmMap.LocalSize(r))
+			for li, gi := range atmMap.LocalPoints(r) {
+				av.Field("t")[li] = float64(gi)
+				av.Field("q")[li] = float64(1000 + gi)
+			}
+			if err := router.Send(c, mA, r, av, 0); err != nil {
+				t.Errorf("send %d: %v", r, err)
+			}
+		} else {
+			r := c.Rank() - mA
+			av := MustAttrVect([]string{"t", "q"}, ocnMap.LocalSize(r))
+			if err := router.Recv(c, 0, r, av, 0); err != nil {
+				t.Errorf("recv %d: %v", r, err)
+			}
+			mu.Lock()
+			got[r] = av
+			mu.Unlock()
+		}
+	})
+	for gi := 0; gi < gsize; gi++ {
+		r := ocnMap.OwnerOf(gi)
+		li := ocnMap.LocalIndexOf(r, gi)
+		if got[r].Field("t")[li] != float64(gi) || got[r].Field("q")[li] != float64(1000+gi) {
+			t.Errorf("point %d: t=%v q=%v", gi, got[r].Field("t")[li], got[r].Field("q")[li])
+		}
+	}
+}
+
+func TestRouterRearrange(t *testing.T) {
+	const gsize, np = 24, 4
+	src := BlockMap(gsize, np)
+	// Reverse block assignment.
+	segs := make([]Segment, np)
+	for r := 0; r < np; r++ {
+		segs[r] = Segment{GStart: r * 6, Length: 6, Owner: np - 1 - r}
+	}
+	dst, err := NewGlobalSegMap(gsize, np, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := make([]*AttrVect, np)
+	comm.Run(np, func(c *comm.Comm) {
+		r := c.Rank()
+		in := MustAttrVect([]string{"v"}, src.LocalSize(r))
+		for li, gi := range src.LocalPoints(r) {
+			in.Field("v")[li] = float64(gi)
+		}
+		out := MustAttrVect([]string{"v"}, dst.LocalSize(r))
+		if err := router.Rearrange(c, in, out, 0); err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+		mu.Lock()
+		got[r] = out
+		mu.Unlock()
+	})
+	for gi := 0; gi < gsize; gi++ {
+		r := dst.OwnerOf(gi)
+		li := dst.LocalIndexOf(r, gi)
+		if got[r].Field("v")[li] != float64(gi) {
+			t.Errorf("point %d wrong after rearrange", gi)
+		}
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	a := BlockMap(10, 2)
+	b := BlockMap(11, 2)
+	if _, err := NewRouter(a, b); err == nil {
+		t.Error("mismatched domains accepted")
+	}
+	router, err := NewRouter(a, BlockMap(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm.Run(4, func(c *comm.Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		wrong := MustAttrVect([]string{"v"}, 3)
+		if err := router.Send(c, 2, 0, wrong, 0); err == nil {
+			t.Error("wrong-length vector accepted by Send")
+		}
+		if err := router.Recv(c, 0, 0, wrong, 0); err == nil {
+			t.Error("wrong-length vector accepted by Recv")
+		}
+	})
+}
+
+// serialMatVec is the reference for the distributed multiply.
+func serialMatVec(m *SparseMatrix, x []float64) []float64 {
+	y := make([]float64, m.NRows)
+	for k := range m.Vals {
+		y[m.Rows[k]] += m.Vals[k] * x[m.Cols[k]]
+	}
+	return y
+}
+
+func TestMatVecAgainstSerial(t *testing.T) {
+	const nrows, ncols, np = 18, 24, 3
+	rng := rand.New(rand.NewSource(5))
+	// Build a random global matrix.
+	global := &SparseMatrix{NRows: nrows, NCols: ncols}
+	for r := 0; r < nrows; r++ {
+		for k := 0; k < 4; k++ {
+			global.Add(r, rng.Intn(ncols), rng.Float64())
+		}
+	}
+	xGlobal := make([]float64, ncols)
+	for i := range xGlobal {
+		xGlobal[i] = rng.Float64()*10 - 5
+	}
+	want := serialMatVec(global, xGlobal)
+
+	xMap := BlockMap(ncols, np)
+	yMap := BlockMap(nrows, np)
+	var mu sync.Mutex
+	got := make([]float64, nrows)
+	comm.Run(np, func(c *comm.Comm) {
+		r := c.Rank()
+		local := &SparseMatrix{NRows: nrows, NCols: ncols}
+		for k := range global.Vals {
+			if yMap.OwnerOf(global.Rows[k]) == r {
+				local.Add(global.Rows[k], global.Cols[k], global.Vals[k])
+			}
+		}
+		mv, err := NewMatVec(c, local, xMap, yMap, 0)
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+			return
+		}
+		x := MustAttrVect([]string{"v"}, xMap.LocalSize(r))
+		for li, gi := range xMap.LocalPoints(r) {
+			x.Field("v")[li] = xGlobal[gi]
+		}
+		y := MustAttrVect([]string{"v"}, yMap.LocalSize(r))
+		if err := mv.Apply(c, x, y, 10); err != nil {
+			t.Errorf("rank %d apply: %v", r, err)
+			return
+		}
+		mu.Lock()
+		for li, gi := range yMap.LocalPoints(r) {
+			got[gi] = y.Field("v")[li]
+		}
+		mu.Unlock()
+	})
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatVecMultiField(t *testing.T) {
+	// All fields are interpolated in one Apply; verify two fields at once.
+	const n, np = 12, 2
+	m := BlockMap(n, np)
+	comm.Run(np, func(c *comm.Comm) {
+		r := c.Rank()
+		// Identity matrix distributed by row.
+		local := &SparseMatrix{NRows: n, NCols: n}
+		for _, gi := range m.LocalPoints(r) {
+			local.Add(gi, gi, 1)
+		}
+		mv, err := NewMatVec(c, local, m, m, 0)
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+			return
+		}
+		x := MustAttrVect([]string{"a", "b"}, m.LocalSize(r))
+		for li, gi := range m.LocalPoints(r) {
+			x.Field("a")[li] = float64(gi)
+			x.Field("b")[li] = float64(-gi)
+		}
+		y := MustAttrVect([]string{"a", "b"}, m.LocalSize(r))
+		if err := mv.Apply(c, x, y, 10); err != nil {
+			t.Errorf("apply: %v", err)
+			return
+		}
+		for li, gi := range m.LocalPoints(r) {
+			if y.Field("a")[li] != float64(gi) || y.Field("b")[li] != float64(-gi) {
+				t.Errorf("identity multiply broke fields at %d", gi)
+			}
+		}
+	})
+}
+
+func TestMatVecValidation(t *testing.T) {
+	m := BlockMap(4, 2)
+	comm.Run(2, func(c *comm.Comm) {
+		r := c.Rank()
+		// Element with a row this rank does not own.
+		local := &SparseMatrix{NRows: 4, NCols: 4}
+		local.Add((r+1)%2*2, 0, 1) // row owned by the other rank
+		if _, err := NewMatVec(c, local, m, m, 0); err == nil {
+			t.Error("foreign row accepted")
+		}
+		// NewMatVec above fails before its Alltoall on both ranks, so the
+		// communicator stays consistent. Now a clean empty matrix works.
+		empty := &SparseMatrix{NRows: 4, NCols: 4}
+		if _, err := NewMatVec(c, empty, m, m, 1); err != nil {
+			t.Errorf("empty matrix rejected: %v", err)
+		}
+	})
+}
+
+func TestGridAndIntegrals(t *testing.T) {
+	const nlat, nlon, np = 8, 16, 2
+	grid := LatLonGrid(nlat, nlon)
+	if grid.Points() != nlat*nlon || grid.NumDims() != 2 {
+		t.Fatal("grid shape wrong")
+	}
+	m := BlockMap(grid.Points(), np)
+	var integral, average float64
+	comm.Run(np, func(c *comm.Comm) {
+		r := c.Rank()
+		local, err := grid.LocalGrid(m, r)
+		if err != nil {
+			t.Errorf("local grid: %v", err)
+			return
+		}
+		av := MustAttrVect([]string{"one"}, local.Points())
+		for i := range av.Field("one") {
+			av.Field("one")[i] = 1
+		}
+		integ, err := SpatialIntegral(c, av, "one", local)
+		if err != nil {
+			t.Error(err)
+		}
+		avg, err := SpatialAverage(c, av, "one", local)
+		if err != nil {
+			t.Error(err)
+		}
+		if r == 0 {
+			integral, average = integ, avg
+		}
+	})
+	// Integral of 1 over the sphere in these weights: sum of cos(lat)
+	// dlat dlon ≈ (2/π·180)·360 = 41252.96; average exactly 1.
+	if math.Abs(average-1) > 1e-12 {
+		t.Errorf("average = %v", average)
+	}
+	want := 360.0 * 2 * 180 / math.Pi
+	if math.Abs(integral-want) > want*0.01 {
+		t.Errorf("integral = %v, want ≈ %v", integral, want)
+	}
+}
+
+func TestGridMask(t *testing.T) {
+	grid := LatLonGrid(2, 4)
+	mask := make([]bool, grid.Points())
+	for i := range mask {
+		mask[i] = i%2 == 0
+	}
+	if err := grid.SetMask(mask); err != nil {
+		t.Fatal(err)
+	}
+	if !grid.Masked(1) || grid.Masked(0) {
+		t.Error("mask readback wrong")
+	}
+	if err := grid.SetMask(make([]bool, 3)); err == nil {
+		t.Error("short mask accepted")
+	}
+	// Masked points are excluded from averages.
+	m := BlockMap(grid.Points(), 1)
+	comm.Run(1, func(c *comm.Comm) {
+		local, _ := grid.LocalGrid(m, 0)
+		av := MustAttrVect([]string{"v"}, local.Points())
+		for i := range av.Field("v") {
+			if i%2 == 0 {
+				av.Field("v")[i] = 5
+			} else {
+				av.Field("v")[i] = 1e9 // must be ignored
+			}
+		}
+		avg, err := SpatialAverage(c, av, "v", local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(avg-5) > 1e-9 {
+			t.Errorf("masked average = %v", avg)
+		}
+	})
+}
+
+func TestAccumulator(t *testing.T) {
+	acc, err := NewAccumulator([]string{"t"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Average(); err == nil {
+		t.Error("empty average accepted")
+	}
+	sample := MustAttrVect([]string{"t"}, 3)
+	for step := 1; step <= 4; step++ {
+		for i := range sample.Field("t") {
+			sample.Field("t")[i] = float64(step * (i + 1))
+		}
+		if err := acc.Accumulate(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.Count() != 4 {
+		t.Errorf("count = %d", acc.Count())
+	}
+	avg, err := acc.Average()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean over steps 1..4 of step*(i+1) = 2.5*(i+1).
+	for i, v := range avg.Field("t") {
+		if want := 2.5 * float64(i+1); v != want {
+			t.Errorf("avg[%d] = %v, want %v", i, v, want)
+		}
+	}
+	if sum := acc.Sum().Field("t")[0]; sum != 10 {
+		t.Errorf("sum = %v", sum)
+	}
+	acc.Reset()
+	if acc.Count() != 0 || acc.Sum().Field("t")[0] != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	const n = 4
+	dst := MustAttrVect([]string{"t"}, n)
+	land := MustAttrVect([]string{"t"}, n)
+	ocean := MustAttrVect([]string{"t"}, n)
+	fLand := make([]float64, n)
+	fOcean := make([]float64, n)
+	for i := 0; i < n; i++ {
+		land.Field("t")[i] = 10
+		ocean.Field("t")[i] = 20
+		fLand[i] = float64(i) / float64(n-1) // 0, 1/3, 2/3, 1
+		fOcean[i] = 1 - fLand[i]
+	}
+	if err := Merge(dst, []*AttrVect{land, ocean}, [][]float64{fLand, fOcean}, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := 10*fLand[i] + 20*fOcean[i]
+		if math.Abs(dst.Field("t")[i]-want) > 1e-12 {
+			t.Errorf("merge[%d] = %v, want %v", i, dst.Field("t")[i], want)
+		}
+	}
+	// Fractions not summing to 1 are rejected.
+	if err := Merge(dst, []*AttrVect{land, ocean}, [][]float64{fLand, fLand}, 1e-12); err == nil {
+		t.Error("bad fractions accepted")
+	}
+	if err := Merge(dst, []*AttrVect{land}, [][]float64{fLand, fOcean}, 1e-12); err == nil {
+		t.Error("count mismatch accepted")
+	}
+}
+
+func TestPairedIntegralCheck(t *testing.T) {
+	if err := PairedIntegralCheck(100, 100.0000001, 1e-6); err != nil {
+		t.Errorf("conservative pair rejected: %v", err)
+	}
+	if err := PairedIntegralCheck(100, 90, 1e-6); err == nil {
+		t.Error("non-conservative pair accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("atm", []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("ocn", []int{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("atm", []int{5}); err == nil {
+		t.Error("duplicate model accepted")
+	}
+	if err := r.Register("ice", []int{2}); err == nil {
+		t.Error("overlapping ranks accepted")
+	}
+	if err := r.Register("", []int{9}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register("none", nil); err == nil {
+		t.Error("empty ranks accepted")
+	}
+	wr, err := r.WorldRank("ocn", 1)
+	if err != nil || wr != 4 {
+		t.Errorf("WorldRank = %d, %v", wr, err)
+	}
+	lr, err := r.LocalRank("ocn", 3)
+	if err != nil || lr != 0 {
+		t.Errorf("LocalRank = %d, %v", lr, err)
+	}
+	if _, err := r.WorldRank("ocn", 9); err == nil {
+		t.Error("bad local rank accepted")
+	}
+	if _, err := r.LocalRank("ocn", 0); err == nil {
+		t.Error("foreign world rank accepted")
+	}
+	if m, ok := r.ModelAt(1); !ok || m != "atm" {
+		t.Error("ModelAt wrong")
+	}
+	if _, ok := r.ModelAt(9); ok {
+		t.Error("phantom rank found")
+	}
+	if n, _ := r.Size("atm"); n != 3 {
+		t.Error("Size wrong")
+	}
+	models := r.Models()
+	if len(models) != 2 || models[0] != "atm" || models[1] != "ocn" {
+		t.Errorf("Models = %v", models)
+	}
+}

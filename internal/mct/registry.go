@@ -1,0 +1,109 @@
+package mct
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry is MCT's lightweight model registry: it records which world
+// ranks each module (model) occupies and answers rank look-ups directly —
+// the process-ID look-up table that "obviates the need for
+// inter-communicators between concurrently executing modules". With the
+// registry, a rank of one model addresses a rank of another by world rank
+// arithmetic instead of communicator construction.
+type Registry struct {
+	models map[string][]int
+	byRank map[int]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: map[string][]int{}, byRank: map[int]string{}}
+}
+
+// Register records a model's world ranks. Ranks must not already belong
+// to another model.
+func (r *Registry) Register(model string, worldRanks []int) error {
+	if model == "" {
+		return fmt.Errorf("mct: empty model name")
+	}
+	if _, dup := r.models[model]; dup {
+		return fmt.Errorf("mct: model %q already registered", model)
+	}
+	if len(worldRanks) == 0 {
+		return fmt.Errorf("mct: model %q has no ranks", model)
+	}
+	for _, wr := range worldRanks {
+		if owner, taken := r.byRank[wr]; taken {
+			return fmt.Errorf("mct: world rank %d already belongs to %q", wr, owner)
+		}
+	}
+	ranks := append([]int(nil), worldRanks...)
+	sort.Ints(ranks)
+	r.models[model] = ranks
+	for _, wr := range ranks {
+		r.byRank[wr] = model
+	}
+	return nil
+}
+
+// RanksOf returns a model's world ranks in ascending order.
+func (r *Registry) RanksOf(model string) ([]int, error) {
+	ranks, ok := r.models[model]
+	if !ok {
+		return nil, fmt.Errorf("mct: no model %q", model)
+	}
+	return append([]int(nil), ranks...), nil
+}
+
+// Size returns a model's rank count.
+func (r *Registry) Size(model string) (int, error) {
+	ranks, err := r.RanksOf(model)
+	if err != nil {
+		return 0, err
+	}
+	return len(ranks), nil
+}
+
+// ModelAt returns the model occupying a world rank.
+func (r *Registry) ModelAt(worldRank int) (string, bool) {
+	m, ok := r.byRank[worldRank]
+	return m, ok
+}
+
+// WorldRank translates a model's local rank to its world rank — the
+// look-up that replaces intercommunicator construction.
+func (r *Registry) WorldRank(model string, localRank int) (int, error) {
+	ranks, err := r.RanksOf(model)
+	if err != nil {
+		return 0, err
+	}
+	if localRank < 0 || localRank >= len(ranks) {
+		return 0, fmt.Errorf("mct: model %q has no local rank %d", model, localRank)
+	}
+	return ranks[localRank], nil
+}
+
+// LocalRank translates a world rank to a model-local rank.
+func (r *Registry) LocalRank(model string, worldRank int) (int, error) {
+	ranks, err := r.RanksOf(model)
+	if err != nil {
+		return 0, err
+	}
+	for i, wr := range ranks {
+		if wr == worldRank {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("mct: world rank %d not in model %q", worldRank, model)
+}
+
+// Models lists the registered model names, sorted.
+func (r *Registry) Models() []string {
+	out := make([]string, 0, len(r.models))
+	for m := range r.models {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,200 @@
+package mct
+
+import (
+	"fmt"
+	"sort"
+
+	"mxn/internal/comm"
+)
+
+// SparseMatrix holds one rank's portion of a distributed interpolation
+// matrix in coordinate form, decomposed by row: a rank stores exactly the
+// elements whose global row it owns under the y (destination) segment
+// map. Column indices refer to the x (source) decomposition and may name
+// points owned by any rank — the halo exchange built by NewMatVec fetches
+// them.
+type SparseMatrix struct {
+	NRows, NCols int
+	Rows         []int // global row indices
+	Cols         []int // global column indices
+	Vals         []float64
+}
+
+// Add appends one element.
+func (m *SparseMatrix) Add(row, col int, val float64) {
+	m.Rows = append(m.Rows, row)
+	m.Cols = append(m.Cols, col)
+	m.Vals = append(m.Vals, val)
+}
+
+// NNZ returns the number of stored elements.
+func (m *SparseMatrix) NNZ() int { return len(m.Vals) }
+
+// MatVec is the bound parallel multiply operator y = A·x: a local matrix
+// piece plus the reusable halo-exchange plan that gathers the needed
+// remote x values. Construction is collective over the model's
+// communicator; Apply is then a two-step (exchange, multiply) with no
+// further planning — MCT's "communication schedulers used in performing
+// interpolation".
+type MatVec struct {
+	local      *SparseMatrix
+	xMap, yMap *GlobalSegMap
+
+	// Halo plan.
+	sendIdx [][]int // peer -> local x indices to send
+	recvLen []int   // peer -> number of values expected
+	haloPos map[int]int
+	haloLen int
+
+	// Precomputed local element addressing.
+	elemRow  []int // local row index per element
+	elemHalo []int // halo position per element
+}
+
+// NewMatVec validates the local matrix piece against the maps and builds
+// the halo-exchange plan. Collective: every rank of c must call it with
+// its own piece. Tag reserves a namespace for the planning exchange.
+func NewMatVec(c *comm.Comm, local *SparseMatrix, xMap, yMap *GlobalSegMap, tag int) (*MatVec, error) {
+	rank := c.Rank()
+	if xMap.NumProcs() != c.Size() || yMap.NumProcs() != c.Size() {
+		return nil, fmt.Errorf("mct: maps decomposed over %d/%d ranks, communicator has %d",
+			xMap.NumProcs(), yMap.NumProcs(), c.Size())
+	}
+	if local.NRows != yMap.GSize() || local.NCols != xMap.GSize() {
+		return nil, fmt.Errorf("mct: matrix is %d×%d, maps say %d×%d",
+			local.NRows, local.NCols, yMap.GSize(), xMap.GSize())
+	}
+	mv := &MatVec{local: local, xMap: xMap, yMap: yMap, haloPos: map[int]int{}}
+
+	// Validate row ownership and precompute local row indices.
+	mv.elemRow = make([]int, local.NNZ())
+	for k, row := range local.Rows {
+		li := yMap.LocalIndexOf(rank, row)
+		if li < 0 {
+			return nil, fmt.Errorf("mct: element %d has row %d not owned by rank %d", k, row, rank)
+		}
+		mv.elemRow[k] = li
+	}
+
+	// Unique needed columns, grouped by owner.
+	needByOwner := make([][]int, c.Size())
+	seen := map[int]bool{}
+	for _, col := range local.Cols {
+		if col < 0 || col >= xMap.GSize() {
+			return nil, fmt.Errorf("mct: column %d outside domain of %d", col, xMap.GSize())
+		}
+		if !seen[col] {
+			seen[col] = true
+			needByOwner[xMap.OwnerOf(col)] = append(needByOwner[xMap.OwnerOf(col)], col)
+		}
+	}
+	for _, cols := range needByOwner {
+		sort.Ints(cols)
+	}
+
+	// Exchange request lists: each rank learns which of its x points every
+	// peer needs.
+	reqs := make([]any, c.Size())
+	for p := range reqs {
+		reqs[p] = needByOwner[p]
+	}
+	gotReqs := c.Alltoall(reqs)
+
+	mv.sendIdx = make([][]int, c.Size())
+	for p, v := range gotReqs {
+		cols, _ := v.([]int)
+		idx := make([]int, len(cols))
+		for i, col := range cols {
+			li := xMap.LocalIndexOf(rank, col)
+			if li < 0 {
+				return nil, fmt.Errorf("mct: rank %d asked rank %d for column %d it does not own", p, rank, col)
+			}
+			idx[i] = li
+		}
+		mv.sendIdx[p] = idx
+	}
+
+	// Halo layout: peers in rank order, each peer's columns in its sorted
+	// request order.
+	mv.recvLen = make([]int, c.Size())
+	for p := 0; p < c.Size(); p++ {
+		for _, col := range needByOwner[p] {
+			mv.haloPos[col] = mv.haloLen
+			mv.haloLen++
+		}
+		mv.recvLen[p] = len(needByOwner[p])
+	}
+	mv.elemHalo = make([]int, local.NNZ())
+	for k, col := range local.Cols {
+		mv.elemHalo[k] = mv.haloPos[col]
+	}
+	return mv, nil
+}
+
+// HaloSize returns the number of remote-or-local x values gathered per
+// attribute on this rank.
+func (mv *MatVec) HaloSize() int { return mv.haloLen }
+
+// Apply computes y = A·x for every shared attribute, collectively across
+// the communicator. x must match the x map's local size, y the y map's;
+// both vectors must share attribute lists. Tag reserves a namespace per
+// concurrent Apply.
+func (mv *MatVec) Apply(c *comm.Comm, x, y *AttrVect, tag int) error {
+	rank := c.Rank()
+	if x.Len() != mv.xMap.LocalSize(rank) {
+		return fmt.Errorf("mct: x has %d points, map says %d", x.Len(), mv.xMap.LocalSize(rank))
+	}
+	if y.Len() != mv.yMap.LocalSize(rank) {
+		return fmt.Errorf("mct: y has %d points, map says %d", y.Len(), mv.yMap.LocalSize(rank))
+	}
+	if !x.SharesAttrs(y) {
+		return fmt.Errorf("mct: x and y attribute lists differ")
+	}
+	na := x.NumAttrs()
+
+	// Halo exchange: serve every peer's request list, then assemble this
+	// rank's halo buffer per attribute. All attributes travel together.
+	send := make([][]float64, c.Size())
+	for p, idx := range mv.sendIdx {
+		if len(idx) == 0 {
+			continue
+		}
+		buf := make([]float64, na*len(idx))
+		x.Export(idx, buf)
+		send[p] = buf
+	}
+	got := c.AlltoallvFloat64(send)
+
+	halo := make([][]float64, na)
+	for a := range halo {
+		halo[a] = make([]float64, mv.haloLen)
+	}
+	off := 0
+	for p := 0; p < c.Size(); p++ {
+		n := mv.recvLen[p]
+		if n == 0 {
+			continue
+		}
+		buf := got[p]
+		if len(buf) != na*n {
+			return fmt.Errorf("mct: halo from rank %d has %d values, want %d", p, len(buf), na*n)
+		}
+		for a := 0; a < na; a++ {
+			copy(halo[a][off:off+n], buf[a*n:(a+1)*n])
+		}
+		off += n
+	}
+
+	// Local multiply, one attribute at a time over contiguous storage.
+	for a := 0; a < na; a++ {
+		yf := y.FieldAt(a)
+		for i := range yf {
+			yf[i] = 0
+		}
+		hf := halo[a]
+		for k, v := range mv.local.Vals {
+			yf[mv.elemRow[k]] += v * hf[mv.elemHalo[k]]
+		}
+	}
+	return nil
+}

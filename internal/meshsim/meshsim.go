@@ -1,0 +1,292 @@
+// Package meshsim provides the scientific workloads that drive the
+// examples and benchmarks: toy atmosphere and ocean models on lat-lon
+// grids of different resolutions (the coupled-climate scenario motivating
+// MCT), a conservative-style regridding matrix builder, a distributed
+// 2-D heat-equation solver (the steered simulation of the CUMULVS
+// example), and deterministic field generators for benchmarks.
+//
+// The paper's evaluation environment — production climate components on a
+// testbed — is substituted by these synthetic models: they exercise the
+// same middleware code paths (multi-resolution coupling, interpolation,
+// accumulation, persistent visualization channels) with physically-shaped
+// data.
+package meshsim
+
+import (
+	"math"
+
+	"mxn/internal/comm"
+	"mxn/internal/dad"
+	"mxn/internal/mct"
+)
+
+// Atmosphere is a toy atmospheric model on an nlat×nlon grid: its state
+// is an analytic travelling wave, cheap to evaluate yet smooth enough for
+// interpolation accuracy and conservation checks.
+type Atmosphere struct {
+	NLat, NLon int
+	Grid       *mct.GeneralGrid
+	omega      float64
+}
+
+// NewAtmosphere builds the model and its grid.
+func NewAtmosphere(nlat, nlon int) *Atmosphere {
+	return &Atmosphere{NLat: nlat, NLon: nlon, Grid: mct.LatLonGrid(nlat, nlon), omega: 0.15}
+}
+
+// Eval fills av's "t" (temperature) and "q" (moisture flux) attributes at
+// the given step for the local points of a segment map.
+func (a *Atmosphere) Eval(m *mct.GlobalSegMap, rank, step int, av *mct.AttrVect) {
+	lat := a.Grid.Coord("lat")
+	lon := a.Grid.Coord("lon")
+	tf := av.Field("t")
+	qf := av.Field("q")
+	for li, gi := range m.LocalPoints(rank) {
+		phi := lat[gi] * math.Pi / 180
+		lam := lon[gi] * math.Pi / 180
+		tf[li] = 288 + 30*math.Cos(phi)*math.Cos(lam+a.omega*float64(step))
+		qf[li] = 5 * math.Sin(2*phi) * math.Sin(lam-a.omega*float64(step))
+	}
+}
+
+// Ocean is a toy ocean model: sea-surface temperature relaxing toward the
+// atmospheric temperature delivered by the coupler.
+type Ocean struct {
+	NLat, NLon int
+	Grid       *mct.GeneralGrid
+	Kappa      float64 // relaxation coefficient per coupling interval
+}
+
+// NewOcean builds the model and its grid.
+func NewOcean(nlat, nlon int) *Ocean {
+	return &Ocean{NLat: nlat, NLon: nlon, Grid: mct.LatLonGrid(nlat, nlon), Kappa: 0.2}
+}
+
+// InitSST fills an initial sea-surface temperature field for the local
+// points of a segment map.
+func (o *Ocean) InitSST(m *mct.GlobalSegMap, rank int, sst []float64) {
+	lat := o.Grid.Coord("lat")
+	for li, gi := range m.LocalPoints(rank) {
+		phi := lat[gi] * math.Pi / 180
+		sst[li] = 278 + 20*math.Cos(phi)
+	}
+}
+
+// Relax advances SST one coupling interval toward the forcing
+// temperature.
+func (o *Ocean) Relax(sst, forcing []float64) {
+	for i := range sst {
+		sst[i] += o.Kappa * (forcing[i] - sst[i])
+	}
+}
+
+// cellEdges returns the n+1 edge coordinates of a uniform axis over
+// [lo, hi].
+func cellEdges(lo, hi float64, n int) []float64 {
+	e := make([]float64, n+1)
+	d := (hi - lo) / float64(n)
+	for i := range e {
+		e[i] = lo + float64(i)*d
+	}
+	return e
+}
+
+// overlap1D returns the per-pair overlap lengths of two uniform axis
+// partitions, indexed [dst][src], omitting zero entries via a sparse map.
+func overlap1D(srcEdges, dstEdges []float64) map[[2]int]float64 {
+	out := map[[2]int]float64{}
+	for d := 0; d < len(dstEdges)-1; d++ {
+		dLo, dHi := dstEdges[d], dstEdges[d+1]
+		for s := 0; s < len(srcEdges)-1; s++ {
+			lo := math.Max(dLo, srcEdges[s])
+			hi := math.Min(dHi, srcEdges[s+1])
+			if hi > lo {
+				out[[2]int{d, s}] = hi - lo
+			}
+		}
+	}
+	return out
+}
+
+// RegridMatrix builds a first-order area-overlap interpolation matrix
+// from an nlatS×nlonS lat-lon grid to an nlatD×nlonD one (row-major point
+// ordering, latitude-major). Rows are normalized, so constant fields are
+// reproduced exactly; smooth fields interpolate to first order. This is
+// the numerical kernel the paper's M×N work deliberately leaves to
+// toolkits like MCT — built here because the climate example needs it.
+func RegridMatrix(nlatS, nlonS, nlatD, nlonD int) *mct.SparseMatrix {
+	m := &mct.SparseMatrix{NRows: nlatD * nlonD, NCols: nlatS * nlonS}
+	latOv := overlap1D(cellEdges(-90, 90, nlatS), cellEdges(-90, 90, nlatD))
+	lonOv := overlap1D(cellEdges(-180, 180, nlonS), cellEdges(-180, 180, nlonD))
+	// Group by destination for row normalization.
+	type ent struct {
+		col int
+		w   float64
+	}
+	rows := make([][]ent, m.NRows)
+	for dk, wLat := range latOv {
+		for lk, wLon := range lonOv {
+			dRow := dk[0]*nlonD + lk[0]
+			sCol := dk[1]*nlonS + lk[1]
+			rows[dRow] = append(rows[dRow], ent{col: sCol, w: wLat * wLon})
+		}
+	}
+	for r, es := range rows {
+		total := 0.0
+		for _, e := range es {
+			total += e.w
+		}
+		for _, e := range es {
+			m.Add(r, e.col, e.w/total)
+		}
+	}
+	return m
+}
+
+// LocalMatrix extracts the rows of a global matrix owned by rank under
+// the destination segment map — the per-rank piece mct.NewMatVec expects.
+func LocalMatrix(global *mct.SparseMatrix, yMap *mct.GlobalSegMap, rank int) *mct.SparseMatrix {
+	local := &mct.SparseMatrix{NRows: global.NRows, NCols: global.NCols}
+	for k := range global.Vals {
+		if yMap.OwnerOf(global.Rows[k]) == rank {
+			local.Add(global.Rows[k], global.Cols[k], global.Vals[k])
+		}
+	}
+	return local
+}
+
+// Heat2D is an explicit finite-difference heat equation on an N×N grid,
+// row-block distributed: the steered simulation of the CUMULVS example.
+// Rank r owns a contiguous band of rows; Step exchanges one halo row with
+// each neighbor and advances the interior.
+type Heat2D struct {
+	N  int
+	NP int
+
+	tpl *dad.Template
+}
+
+// NewHeat2D builds the solver's decomposition: N×N, rows blocked over np
+// ranks.
+func NewHeat2D(n, np int) (*Heat2D, error) {
+	tpl, err := dad.NewTemplate([]int{n, n}, []dad.AxisDist{dad.BlockAxis(np), dad.CollapsedAxis()})
+	if err != nil {
+		return nil, err
+	}
+	return &Heat2D{N: n, NP: np, tpl: tpl}, nil
+}
+
+// Template returns the field's DAD template (rows × collapsed columns).
+func (h *Heat2D) Template() *dad.Template { return h.tpl }
+
+// Rows returns rank's owned row range [lo, hi).
+func (h *Heat2D) Rows(rank int) (lo, hi int) {
+	b := (h.N + h.NP - 1) / h.NP
+	lo = rank * b
+	hi = lo + b
+	if hi > h.N {
+		hi = h.N
+	}
+	return lo, hi
+}
+
+// Init returns rank's initial local field: a hot square in the domain
+// center.
+func (h *Heat2D) Init(rank int) []float64 {
+	lo, hi := h.Rows(rank)
+	u := make([]float64, (hi-lo)*h.N)
+	for r := lo; r < hi; r++ {
+		for c := 0; c < h.N; c++ {
+			if r > h.N/3 && r < 2*h.N/3 && c > h.N/3 && c < 2*h.N/3 {
+				u[(r-lo)*h.N+c] = 100
+			}
+		}
+	}
+	return u
+}
+
+// Step advances rank's band one time step with diffusivity alpha,
+// exchanging halo rows with neighbor ranks over the cohort communicator.
+// Boundary condition: fixed zero at the domain edge. tag reserves the
+// halo-exchange namespace.
+func (h *Heat2D) Step(c *comm.Comm, rank int, u []float64, alpha float64, tag int) []float64 {
+	lo, hi := h.Rows(rank)
+	n := h.N
+	rows := hi - lo
+	// Post halo sends first (non-blocking), then receive.
+	if rank > 0 && rows > 0 {
+		top := make([]float64, n)
+		copy(top, u[:n])
+		c.Send(rank-1, tag, top)
+	}
+	if rank < h.NP-1 && rows > 0 {
+		bottom := make([]float64, n)
+		copy(bottom, u[(rows-1)*n:])
+		c.Send(rank+1, tag, bottom)
+	}
+	var above, below []float64
+	if rank > 0 && rows > 0 {
+		payload, _ := c.Recv(rank-1, tag)
+		above = payload.([]float64)
+	}
+	if rank < h.NP-1 && rows > 0 {
+		payload, _ := c.Recv(rank+1, tag)
+		below = payload.([]float64)
+	}
+	out := make([]float64, len(u))
+	at := func(r, cc int) float64 {
+		switch {
+		case cc < 0 || cc >= n:
+			return 0
+		case r < 0:
+			if above == nil {
+				return 0
+			}
+			return above[cc]
+		case r >= rows:
+			if below == nil {
+				return 0
+			}
+			return below[cc]
+		default:
+			return u[r*n+cc]
+		}
+	}
+	for r := 0; r < rows; r++ {
+		gr := lo + r
+		for cc := 0; cc < n; cc++ {
+			if gr == 0 || gr == n-1 || cc == 0 || cc == n-1 {
+				out[r*n+cc] = 0 // fixed boundary
+				continue
+			}
+			lap := at(r-1, cc) + at(r+1, cc) + at(r, cc-1) + at(r, cc+1) - 4*u[r*n+cc]
+			out[r*n+cc] = u[r*n+cc] + alpha*lap
+		}
+	}
+	return out
+}
+
+// FillSine writes a deterministic smooth field into a template's local
+// buffer: the standard benchmark payload.
+func FillSine(tpl *dad.Template, rank int, out []float64) {
+	dims := tpl.Dims()
+	idx := make([]int, len(dims))
+	var walk func(a int)
+	walk = func(a int) {
+		if a == len(dims) {
+			if tpl.OwnerOf(idx) == rank {
+				v := 0.0
+				for x, i := range idx {
+					v += math.Sin(float64(i)*0.1 + float64(x))
+				}
+				out[tpl.LocalOffset(rank, idx)] = v
+			}
+			return
+		}
+		for i := 0; i < dims[a]; i++ {
+			idx[a] = i
+			walk(a + 1)
+		}
+	}
+	walk(0)
+}

@@ -1,0 +1,222 @@
+package meshsim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mxn/internal/comm"
+	"mxn/internal/mct"
+)
+
+func TestRegridMatrixRowsNormalized(t *testing.T) {
+	m := RegridMatrix(6, 12, 4, 8)
+	if m.NRows != 32 || m.NCols != 72 {
+		t.Fatalf("shape %d×%d", m.NRows, m.NCols)
+	}
+	sums := make([]float64, m.NRows)
+	for k := range m.Vals {
+		if m.Vals[k] < 0 {
+			t.Fatalf("negative weight %v", m.Vals[k])
+		}
+		sums[m.Rows[k]] += m.Vals[k]
+	}
+	for r, s := range sums {
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestRegridPreservesConstants(t *testing.T) {
+	m := RegridMatrix(8, 16, 5, 10)
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 42
+	}
+	y := make([]float64, m.NRows)
+	for k := range m.Vals {
+		y[m.Rows[k]] += m.Vals[k] * x[m.Cols[k]]
+	}
+	for r, v := range y {
+		if math.Abs(v-42) > 1e-9 {
+			t.Errorf("row %d: %v", r, v)
+		}
+	}
+}
+
+func TestRegridSmoothFieldAccuracy(t *testing.T) {
+	// Interpolating a smooth function from fine to coarse should land
+	// within a few percent.
+	const nlatS, nlonS, nlatD, nlonD = 24, 48, 12, 24
+	m := RegridMatrix(nlatS, nlonS, nlatD, nlonD)
+	src := mct.LatLonGrid(nlatS, nlonS)
+	dst := mct.LatLonGrid(nlatD, nlonD)
+	f := func(lat, lon float64) float64 {
+		return math.Cos(lat*math.Pi/180) * math.Sin(lon*math.Pi/180)
+	}
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = f(src.Coord("lat")[i], src.Coord("lon")[i])
+	}
+	y := make([]float64, m.NRows)
+	for k := range m.Vals {
+		y[m.Rows[k]] += m.Vals[k] * x[m.Cols[k]]
+	}
+	for i := range y {
+		want := f(dst.Coord("lat")[i], dst.Coord("lon")[i])
+		if math.Abs(y[i]-want) > 0.05 {
+			t.Errorf("point %d: interp %v, exact %v", i, y[i], want)
+		}
+	}
+}
+
+func TestAtmosphereOceanShapes(t *testing.T) {
+	atm := NewAtmosphere(8, 16)
+	if atm.Grid.Points() != 128 {
+		t.Fatal("atm grid size")
+	}
+	m := mct.BlockMap(128, 2)
+	av := mct.MustAttrVect([]string{"t", "q"}, m.LocalSize(0))
+	atm.Eval(m, 0, 3, av)
+	// Temperatures in a physical range.
+	for _, v := range av.Field("t") {
+		if v < 250 || v > 320 {
+			t.Errorf("t = %v out of range", v)
+		}
+	}
+	ocn := NewOcean(4, 8)
+	om := mct.BlockMap(32, 1)
+	sst := make([]float64, 32)
+	ocn.InitSST(om, 0, sst)
+	forcing := make([]float64, 32)
+	for i := range forcing {
+		forcing[i] = 300
+	}
+	before := sst[0]
+	ocn.Relax(sst, forcing)
+	if sst[0] == before || sst[0] > 300 {
+		t.Errorf("relaxation did not move SST toward forcing: %v -> %v", before, sst[0])
+	}
+}
+
+func TestLocalMatrixPartition(t *testing.T) {
+	g := RegridMatrix(6, 6, 4, 4)
+	yMap := mct.BlockMap(16, 3)
+	total := 0
+	for r := 0; r < 3; r++ {
+		lm := LocalMatrix(g, yMap, r)
+		total += lm.NNZ()
+		for k := range lm.Vals {
+			if yMap.OwnerOf(lm.Rows[k]) != r {
+				t.Fatalf("rank %d holds foreign row %d", r, lm.Rows[k])
+			}
+		}
+	}
+	if total != g.NNZ() {
+		t.Errorf("partition covers %d of %d elements", total, g.NNZ())
+	}
+}
+
+func TestHeat2DConservesShapeAndDecays(t *testing.T) {
+	const n, np = 32, 4
+	h, err := NewHeat2D(n, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := make([][]float64, np)
+	var mu sync.Mutex
+	comm.Run(np, func(c *comm.Comm) {
+		r := c.Rank()
+		u := h.Init(r)
+		for step := 0; step < 50; step++ {
+			u = h.Step(c, r, u, 0.2, 0)
+		}
+		mu.Lock()
+		fields[r] = u
+		mu.Unlock()
+	})
+	// Heat diffuses: the max must drop below the initial 100 but the
+	// total must stay positive.
+	maxV, sum := 0.0, 0.0
+	for _, f := range fields {
+		for _, v := range f {
+			if v > maxV {
+				maxV = v
+			}
+			if v < -1e-9 {
+				t.Fatalf("negative temperature %v", v)
+			}
+			sum += v
+		}
+	}
+	if maxV >= 100 || maxV <= 0 {
+		t.Errorf("max after diffusion = %v", maxV)
+	}
+	if sum <= 0 {
+		t.Errorf("total heat = %v", sum)
+	}
+}
+
+func TestHeat2DMatchesSerial(t *testing.T) {
+	// The 3-rank parallel solver must agree exactly with a 1-rank run.
+	const n, steps = 16, 10
+	serial, err := NewHeat2D(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	comm.Run(1, func(c *comm.Comm) {
+		u := serial.Init(0)
+		for s := 0; s < steps; s++ {
+			u = serial.Step(c, 0, u, 0.15, 0)
+		}
+		want = u
+	})
+	const np = 3
+	par, err := NewHeat2D(n, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, n*n)
+	var mu sync.Mutex
+	comm.Run(np, func(c *comm.Comm) {
+		r := c.Rank()
+		u := par.Init(r)
+		for s := 0; s < steps; s++ {
+			u = par.Step(c, r, u, 0.15, 0)
+		}
+		lo, _ := par.Rows(r)
+		mu.Lock()
+		copy(got[lo*n:], u)
+		mu.Unlock()
+	})
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("cell %d: parallel %v serial %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFillSineDeterministic(t *testing.T) {
+	h, _ := NewHeat2D(8, 2)
+	tpl := h.Template()
+	a := make([]float64, tpl.LocalCount(0))
+	b := make([]float64, tpl.LocalCount(0))
+	FillSine(tpl, 0, a)
+	FillSine(tpl, 0, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("FillSine not deterministic")
+		}
+	}
+	nonzero := false
+	for _, v := range a {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("FillSine produced all zeros")
+	}
+}

@@ -1,0 +1,263 @@
+// Package particles implements the "particle-based container" the paper's
+// M×N component work lists as the step beyond dense arrays (Section 4.1:
+// "To support more complex data structure decompositions, a
+// 'particle-based' container solution is also under development"; the DAD
+// work likewise plans support for "sparse matrices and particle fields").
+//
+// Unlike a distributed array, a particle field has no global index space:
+// each rank holds a variable-length set of particles (a position plus
+// named attributes), and ownership is *spatial* — a domain decomposition
+// assigns regions of continuous space to ranks. Redistribution therefore
+// cannot use a precomputed index schedule; it buckets particles by the
+// owner of their current position and exchanges the buckets all-to-all.
+// The same operation serves both the M×N hand-off between components with
+// different spatial decompositions and the intra-component migration step
+// after particles move.
+package particles
+
+import (
+	"fmt"
+	"sort"
+
+	"mxn/internal/comm"
+)
+
+// Field describes a particle species: its spatial dimensionality and the
+// per-particle attributes carried besides position.
+type Field struct {
+	Dims  int
+	Attrs []string
+}
+
+// NewField validates and builds a field description.
+func NewField(dims int, attrs ...string) (*Field, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("particles: dimensionality %d", dims)
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("particles: empty attribute name")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("particles: duplicate attribute %q", a)
+		}
+		seen[a] = true
+	}
+	return &Field{Dims: dims, Attrs: append([]string(nil), attrs...)}, nil
+}
+
+// Local is one rank's particle storage: positions flattened dims-major
+// (particle i occupies Pos[i*Dims : (i+1)*Dims]) and one slice per
+// attribute, all of equal particle count.
+type Local struct {
+	Pos  []float64
+	Attr map[string][]float64
+}
+
+// NewLocal allocates storage for n particles of a field.
+func (f *Field) NewLocal(n int) *Local {
+	l := &Local{Pos: make([]float64, n*f.Dims), Attr: map[string][]float64{}}
+	for _, a := range f.Attrs {
+		l.Attr[a] = make([]float64, n)
+	}
+	return l
+}
+
+// Count returns the number of particles held.
+func (f *Field) Count(l *Local) int { return len(l.Pos) / f.Dims }
+
+// validate checks a Local against the field description.
+func (f *Field) validate(l *Local) error {
+	if len(l.Pos)%f.Dims != 0 {
+		return fmt.Errorf("particles: position array length %d is not a multiple of dims %d", len(l.Pos), f.Dims)
+	}
+	n := len(l.Pos) / f.Dims
+	if len(l.Attr) != len(f.Attrs) {
+		return fmt.Errorf("particles: %d attribute slices for %d declared attributes", len(l.Attr), len(f.Attrs))
+	}
+	for _, a := range f.Attrs {
+		vals, ok := l.Attr[a]
+		if !ok {
+			return fmt.Errorf("particles: missing attribute %q", a)
+		}
+		if len(vals) != n {
+			return fmt.Errorf("particles: attribute %q has %d values for %d particles", a, len(vals), n)
+		}
+	}
+	return nil
+}
+
+// Append adds one particle.
+func (f *Field) Append(l *Local, pos []float64, attrs map[string]float64) error {
+	if len(pos) != f.Dims {
+		return fmt.Errorf("particles: position has %d coordinates, field has %d dims", len(pos), f.Dims)
+	}
+	l.Pos = append(l.Pos, pos...)
+	for _, a := range f.Attrs {
+		l.Attr[a] = append(l.Attr[a], attrs[a])
+	}
+	return nil
+}
+
+// Decomposition assigns continuous space to ranks — the particle
+// analogue of a distributed-array template.
+type Decomposition interface {
+	// Owner returns the rank owning a position.
+	Owner(pos []float64) int
+	// NumProcs returns the number of ranks.
+	NumProcs() int
+}
+
+// SlabDecomposition splits space into np slabs along one axis between Lo
+// and Hi; positions outside are clamped to the boundary slabs (particles
+// never get lost at the domain edge).
+type SlabDecomposition struct {
+	Axis   int
+	Lo, Hi float64
+	NP     int
+}
+
+// Owner implements Decomposition.
+func (s *SlabDecomposition) Owner(pos []float64) int {
+	x := pos[s.Axis]
+	w := (s.Hi - s.Lo) / float64(s.NP)
+	k := int((x - s.Lo) / w)
+	if k < 0 {
+		k = 0
+	}
+	if k >= s.NP {
+		k = s.NP - 1
+	}
+	return k
+}
+
+// NumProcs implements Decomposition.
+func (s *SlabDecomposition) NumProcs() int { return s.NP }
+
+// BoxDecomposition is a grid of boxes over a rectangular domain, ranks
+// assigned row-major. Positions outside clamp to boundary boxes.
+type BoxDecomposition struct {
+	Lo, Hi []float64 // domain corners, one per axis
+	Grid   []int     // boxes per axis
+}
+
+// Owner implements Decomposition.
+func (b *BoxDecomposition) Owner(pos []float64) int {
+	rank := 0
+	for a := range b.Grid {
+		w := (b.Hi[a] - b.Lo[a]) / float64(b.Grid[a])
+		k := int((pos[a] - b.Lo[a]) / w)
+		if k < 0 {
+			k = 0
+		}
+		if k >= b.Grid[a] {
+			k = b.Grid[a] - 1
+		}
+		rank = rank*b.Grid[a] + k
+	}
+	return rank
+}
+
+// NumProcs implements Decomposition.
+func (b *BoxDecomposition) NumProcs() int {
+	n := 1
+	for _, g := range b.Grid {
+		n *= g
+	}
+	return n
+}
+
+// Redistribute moves this rank's particles to their spatial owners under
+// dec and returns the particles this rank now owns. Collective over c:
+// every rank of the communicator calls it with its local particles.
+// Destination ranks beyond dec.NumProcs() are invalid; the communicator
+// must have exactly dec.NumProcs() ranks.
+//
+// Wire format per destination: particles packed position-first then
+// attribute-major, so the exchange is a single AlltoallvFloat64 — no
+// communication schedule exists or is needed; ownership is recomputed
+// from positions each time, which is what particle migration requires.
+func Redistribute(c *comm.Comm, f *Field, dec Decomposition, local *Local) (*Local, error) {
+	if dec.NumProcs() != c.Size() {
+		return nil, fmt.Errorf("particles: decomposition has %d ranks, communicator has %d", dec.NumProcs(), c.Size())
+	}
+	if err := f.validate(local); err != nil {
+		return nil, err
+	}
+	n := f.Count(local)
+	stride := f.Dims + len(f.Attrs)
+
+	// Bucket particle indices by destination.
+	buckets := make([][]int, c.Size())
+	for i := 0; i < n; i++ {
+		owner := dec.Owner(local.Pos[i*f.Dims : (i+1)*f.Dims])
+		if owner < 0 || owner >= c.Size() {
+			return nil, fmt.Errorf("particles: decomposition produced rank %d of %d", owner, c.Size())
+		}
+		buckets[owner] = append(buckets[owner], i)
+	}
+
+	// Pack one flat record per particle: position then attributes.
+	send := make([][]float64, c.Size())
+	for dst, idx := range buckets {
+		if len(idx) == 0 {
+			continue
+		}
+		buf := make([]float64, 0, len(idx)*stride)
+		for _, i := range idx {
+			buf = append(buf, local.Pos[i*f.Dims:(i+1)*f.Dims]...)
+			for _, a := range f.Attrs {
+				buf = append(buf, local.Attr[a][i])
+			}
+		}
+		send[dst] = buf
+	}
+	got := c.AlltoallvFloat64(send)
+
+	// Unpack in source-rank order (deterministic).
+	out := f.NewLocal(0)
+	for src := 0; src < c.Size(); src++ {
+		buf := got[src]
+		if len(buf)%stride != 0 {
+			return nil, fmt.Errorf("particles: fragment from rank %d has %d values, stride %d", src, len(buf), stride)
+		}
+		for o := 0; o < len(buf); o += stride {
+			out.Pos = append(out.Pos, buf[o:o+f.Dims]...)
+			for k, a := range f.Attrs {
+				out.Attr[a] = append(out.Attr[a], buf[o+f.Dims+k])
+			}
+		}
+	}
+	return out, nil
+}
+
+// TotalCount returns the global particle count (collective).
+func TotalCount(c *comm.Comm, f *Field, local *Local) int {
+	return c.AllreduceInt(f.Count(local), comm.OpSum)
+}
+
+// SortByAxis orders a rank's particles by a coordinate axis — handy for
+// deterministic comparisons in tests and for cache-friendly sweeps.
+func (f *Field) SortByAxis(l *Local, axis int) {
+	n := f.Count(l)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return l.Pos[idx[a]*f.Dims+axis] < l.Pos[idx[b]*f.Dims+axis]
+	})
+	pos := make([]float64, len(l.Pos))
+	for k, i := range idx {
+		copy(pos[k*f.Dims:(k+1)*f.Dims], l.Pos[i*f.Dims:(i+1)*f.Dims])
+	}
+	l.Pos = pos
+	for _, a := range f.Attrs {
+		vals := make([]float64, n)
+		for k, i := range idx {
+			vals[k] = l.Attr[a][i]
+		}
+		l.Attr[a] = vals
+	}
+}

@@ -1,0 +1,225 @@
+package particles
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mxn/internal/comm"
+)
+
+func TestFieldValidation(t *testing.T) {
+	if _, err := NewField(0); err == nil {
+		t.Error("zero dims accepted")
+	}
+	if _, err := NewField(2, "m", "m"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewField(2, ""); err == nil {
+		t.Error("empty attribute accepted")
+	}
+	f, err := NewField(2, "mass", "charge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.NewLocal(3)
+	if f.Count(l) != 3 || len(l.Attr["mass"]) != 3 {
+		t.Error("allocation wrong")
+	}
+	if err := f.Append(l, []float64{1, 2}, map[string]float64{"mass": 5}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Count(l) != 4 || l.Attr["mass"][3] != 5 || l.Attr["charge"][3] != 0 {
+		t.Error("append wrong")
+	}
+	if err := f.Append(l, []float64{1}, nil); err == nil {
+		t.Error("wrong-arity position accepted")
+	}
+}
+
+func TestSlabOwnership(t *testing.T) {
+	s := &SlabDecomposition{Axis: 0, Lo: 0, Hi: 10, NP: 4}
+	cases := map[float64]int{0: 0, 2.4: 0, 2.5: 1, 7.5: 3, 9.9: 3, -1: 0, 11: 3}
+	for x, want := range cases {
+		if got := s.Owner([]float64{x, 99}); got != want {
+			t.Errorf("Owner(%v) = %d, want %d", x, got, want)
+		}
+	}
+	if s.NumProcs() != 4 {
+		t.Error("NumProcs wrong")
+	}
+}
+
+func TestBoxOwnership(t *testing.T) {
+	b := &BoxDecomposition{Lo: []float64{0, 0}, Hi: []float64{4, 4}, Grid: []int{2, 2}}
+	if b.NumProcs() != 4 {
+		t.Fatal("NumProcs wrong")
+	}
+	cases := []struct {
+		pos  []float64
+		want int
+	}{
+		{[]float64{1, 1}, 0},
+		{[]float64{1, 3}, 1},
+		{[]float64{3, 1}, 2},
+		{[]float64{3, 3}, 3},
+		{[]float64{-1, 5}, 1}, // clamped
+	}
+	for _, c := range cases {
+		if got := b.Owner(c.pos); got != c.want {
+			t.Errorf("Owner(%v) = %d, want %d", c.pos, got, c.want)
+		}
+	}
+}
+
+func TestRedistributeBySlab(t *testing.T) {
+	const np = 4
+	f, _ := NewField(1, "id")
+	dec := &SlabDecomposition{Axis: 0, Lo: 0, Hi: 1, NP: np}
+	var mu sync.Mutex
+	gathered := map[float64]int{} // id -> landed rank
+	comm.Run(np, func(c *comm.Comm) {
+		// Every rank starts with 8 particles spread over the whole domain.
+		local := f.NewLocal(0)
+		for k := 0; k < 8; k++ {
+			x := (float64(k) + 0.5) / 8
+			id := float64(c.Rank()*100 + k)
+			f.Append(local, []float64{x}, map[string]float64{"id": id})
+		}
+		out, err := Redistribute(c, f, dec, local)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		// Every received particle must belong here spatially.
+		for i := 0; i < f.Count(out); i++ {
+			if dec.Owner(out.Pos[i:i+1]) != c.Rank() {
+				t.Errorf("rank %d holds foreign particle at %v", c.Rank(), out.Pos[i])
+			}
+			mu.Lock()
+			gathered[out.Attr["id"][i]] = c.Rank()
+			mu.Unlock()
+		}
+		if got := TotalCount(c, f, out); got != np*8 {
+			t.Errorf("total = %d", got)
+		}
+	})
+	if len(gathered) != np*8 {
+		t.Fatalf("only %d of %d particles accounted for", len(gathered), np*8)
+	}
+}
+
+func TestRedistributePreservesAttributes(t *testing.T) {
+	const np = 2
+	f, _ := NewField(2, "mass", "charge")
+	dec := &BoxDecomposition{Lo: []float64{0, 0}, Hi: []float64{2, 1}, Grid: []int{2, 1}}
+	comm.Run(np, func(c *comm.Comm) {
+		local := f.NewLocal(0)
+		// Rank 0 creates all particles; rank 1 starts empty.
+		if c.Rank() == 0 {
+			f.Append(local, []float64{0.5, 0.5}, map[string]float64{"mass": 10, "charge": -1})
+			f.Append(local, []float64{1.5, 0.5}, map[string]float64{"mass": 20, "charge": +1})
+		}
+		out, err := Redistribute(c, f, dec, local)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		if f.Count(out) != 1 {
+			t.Fatalf("rank %d holds %d particles", c.Rank(), f.Count(out))
+		}
+		wantMass := float64(10 * (c.Rank() + 1))
+		if out.Attr["mass"][0] != wantMass {
+			t.Errorf("rank %d mass = %v", c.Rank(), out.Attr["mass"][0])
+		}
+	})
+}
+
+func TestMigrationLoop(t *testing.T) {
+	// Particles drift; periodic redistribution keeps ownership spatial.
+	const np, perRank, steps = 3, 10, 5
+	f, _ := NewField(1, "v")
+	dec := &SlabDecomposition{Axis: 0, Lo: 0, Hi: 1, NP: np}
+	comm.Run(np, func(c *comm.Comm) {
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+		local := f.NewLocal(0)
+		for k := 0; k < perRank; k++ {
+			x := (float64(c.Rank()) + rng.Float64()) / np
+			f.Append(local, []float64{x}, map[string]float64{"v": rng.Float64()*0.1 - 0.05})
+		}
+		for s := 0; s < steps; s++ {
+			// Drift, reflecting at the walls.
+			for i := 0; i < f.Count(local); i++ {
+				local.Pos[i] += local.Attr["v"][i]
+				if local.Pos[i] < 0 {
+					local.Pos[i] = -local.Pos[i]
+					local.Attr["v"][i] = -local.Attr["v"][i]
+				}
+				if local.Pos[i] > 1 {
+					local.Pos[i] = 2 - local.Pos[i]
+					local.Attr["v"][i] = -local.Attr["v"][i]
+				}
+			}
+			var err error
+			local, err = Redistribute(c, f, dec, local)
+			if err != nil {
+				t.Errorf("rank %d step %d: %v", c.Rank(), s, err)
+				return
+			}
+			for i := 0; i < f.Count(local); i++ {
+				if dec.Owner(local.Pos[i:i+1]) != c.Rank() {
+					t.Errorf("rank %d step %d: foreign particle", c.Rank(), s)
+					return
+				}
+			}
+			if got := TotalCount(c, f, local); got != np*perRank {
+				t.Errorf("step %d: total = %d", s, got)
+				return
+			}
+		}
+	})
+}
+
+func TestRedistributeValidation(t *testing.T) {
+	f, _ := NewField(1)
+	comm.Run(2, func(c *comm.Comm) {
+		wrong := &SlabDecomposition{Axis: 0, Lo: 0, Hi: 1, NP: 3}
+		if _, err := Redistribute(c, f, wrong, f.NewLocal(0)); err == nil {
+			t.Error("mismatched decomposition accepted")
+		}
+		// Malformed local storage: position array not a multiple of dims.
+		mal := &Local{Pos: []float64{1, 2, 3}, Attr: map[string][]float64{}}
+		ok := &SlabDecomposition{Axis: 0, Lo: 0, Hi: 1, NP: 2}
+		twoD, _ := NewField(2)
+		if _, err := Redistribute(c, twoD, ok, mal); err == nil {
+			t.Error("odd position array accepted")
+		}
+		// Attribute slice length mismatch.
+		f2, _ := NewField(1, "m")
+		l := &Local{Pos: []float64{0.1, 0.9}, Attr: map[string][]float64{"m": {1}}}
+		if _, err := Redistribute(c, f2, ok, l); err == nil {
+			t.Error("short attribute slice accepted")
+		}
+	})
+}
+
+func TestSortByAxis(t *testing.T) {
+	f, _ := NewField(2, "id")
+	l := f.NewLocal(0)
+	f.Append(l, []float64{3, 0}, map[string]float64{"id": 3})
+	f.Append(l, []float64{1, 5}, map[string]float64{"id": 1})
+	f.Append(l, []float64{2, 9}, map[string]float64{"id": 2})
+	f.SortByAxis(l, 0)
+	for i := 0; i < 3; i++ {
+		if l.Attr["id"][i] != float64(i+1) {
+			t.Fatalf("sort broke attribute pairing: %v", l.Attr["id"])
+		}
+		if l.Pos[i*2] != float64(i+1) {
+			t.Fatalf("sort order wrong: %v", l.Pos)
+		}
+	}
+	// The y coordinates must have travelled with their particles.
+	if l.Pos[1] != 5 || l.Pos[3] != 9 || l.Pos[5] != 0 {
+		t.Errorf("positions decoupled: %v", l.Pos)
+	}
+}

@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mxn/internal/dad"
+)
+
+func tpl(t *testing.T, n int, ax dad.AxisDist) *dad.Template {
+	t.Helper()
+	out, err := dad.NewTemplate([]int{n}, []dad.AxisDist{ax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func fill(t *dad.Template, f func(g int) float64) [][]float64 {
+	locals := make([][]float64, t.NumProcs())
+	for r := range locals {
+		locals[r] = make([]float64, t.LocalCount(r))
+	}
+	n := t.Dims()[0]
+	for g := 0; g < n; g++ {
+		r := t.OwnerOf([]int{g})
+		locals[r][t.LocalOffset(r, []int{g})] = f(g)
+	}
+	return locals
+}
+
+func TestChainedEqualsFused(t *testing.T) {
+	const n = 24
+	src := tpl(t, n, dad.BlockAxis(3))
+	kelvinToCelsius := func(x float64) float64 { return x - 273.15 }
+	normalize := func(x float64) float64 { return x / 100 }
+	p, err := New(src,
+		Stage{Template: tpl(t, n, dad.CyclicAxis(4)), Filter: kelvinToCelsius},
+		Stage{Template: tpl(t, n, dad.BlockAxis(2)), Filter: normalize},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fill(src, func(g int) float64 { return 273.15 + float64(g) })
+	chained, err := p.RunChained(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := p.RunFused(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := p.Sink()
+	for g := 0; g < n; g++ {
+		r := sink.OwnerOf([]int{g})
+		off := sink.LocalOffset(r, []int{g})
+		want := float64(g) / 100
+		if math.Abs(chained[r][off]-want) > 1e-12 {
+			t.Errorf("chained g=%d: %v want %v", g, chained[r][off], want)
+		}
+		if chained[r][off] != fused[r][off] {
+			t.Errorf("g=%d: chained %v fused %v", g, chained[r][off], fused[r][off])
+		}
+	}
+}
+
+func TestFuseIsCached(t *testing.T) {
+	src := tpl(t, 8, dad.BlockAxis(2))
+	p, err := New(src, Stage{Template: tpl(t, 8, dad.CyclicAxis(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _, err := p.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := p.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("Fuse rebuilt the schedule")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	src := tpl(t, 8, dad.BlockAxis(2))
+	if _, err := New(nil, Stage{Template: src}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(src); err == nil {
+		t.Error("no stages accepted")
+	}
+	if _, err := New(src, Stage{}); err == nil {
+		t.Error("stage without template accepted")
+	}
+	other := tpl(t, 9, dad.BlockAxis(2))
+	if _, err := New(src, Stage{Template: other}); err == nil {
+		t.Error("non-conforming stage accepted")
+	}
+}
+
+func TestSingleStageNoFilter(t *testing.T) {
+	src := tpl(t, 10, dad.BlockAxis(2))
+	dst := tpl(t, 10, dad.BlockAxis(5))
+	p, err := New(src, Stage{Template: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fill(src, func(g int) float64 { return float64(g * g) })
+	out, err := p.RunFused(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 10; g++ {
+		r := dst.OwnerOf([]int{g})
+		if out[r][dst.LocalOffset(r, []int{g})] != float64(g*g) {
+			t.Errorf("g=%d wrong", g)
+		}
+	}
+}
+
+// Property: chained and fused agree on random pipelines of 2-4 stages.
+func TestPropertyRandomPipelines(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	axes := []func(n int) dad.AxisDist{
+		func(n int) dad.AxisDist { return dad.BlockAxis(1 + rng.Intn(4)) },
+		func(n int) dad.AxisDist { return dad.CyclicAxis(1 + rng.Intn(4)) },
+		func(n int) dad.AxisDist { return dad.BlockCyclicAxis(1+rng.Intn(3), 1+rng.Intn(3)) },
+	}
+	filters := []Filter{
+		nil,
+		func(x float64) float64 { return x * 2 },
+		func(x float64) float64 { return x + 7 },
+		func(x float64) float64 { return -x },
+	}
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(20)
+		src := tpl(t, n, axes[rng.Intn(len(axes))](n))
+		nStages := 2 + rng.Intn(3)
+		stages := make([]Stage, nStages)
+		for i := range stages {
+			stages[i] = Stage{
+				Template: tpl(t, n, axes[rng.Intn(len(axes))](n)),
+				Filter:   filters[rng.Intn(len(filters))],
+			}
+		}
+		p, err := New(src, stages...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := fill(src, func(g int) float64 { return float64(g + 1) })
+		chained, err := p.RunChained(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		fused, err := p.RunFused(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for r := range chained {
+			for k := range chained[r] {
+				if chained[r][k] != fused[r][k] {
+					t.Fatalf("trial %d: rank %d elem %d: chained %v fused %v",
+						trial, r, k, chained[r][k], fused[r][k])
+				}
+			}
+		}
+	}
+}

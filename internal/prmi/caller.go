@@ -1,0 +1,573 @@
+package prmi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mxn/internal/comm"
+	"mxn/internal/dad"
+	"mxn/internal/schedule"
+	"mxn/internal/sidl"
+	"mxn/internal/wire"
+)
+
+// DeliveryMode selects when a collective invocation leaves the caller
+// (Section 2.4 / Figure 5 of the paper).
+type DeliveryMode int
+
+// Delivery modes.
+const (
+	// Eager delivers each rank's invocation as soon as that rank reaches
+	// the call. Consecutive collective calls from different but
+	// intersecting participant sets can deadlock the callee.
+	Eager DeliveryMode = iota
+	// BarrierDelayed inserts a barrier among the participants before
+	// delivery — the DCA solution: the callee never sees an invocation
+	// until every participant has reached the calling point.
+	BarrierDelayed
+)
+
+// String names the mode.
+func (m DeliveryMode) String() string {
+	if m == BarrierDelayed {
+		return "barrier-delayed"
+	}
+	return "eager"
+}
+
+// Participation declares which caller cohort ranks take part in a
+// collective invocation — the role DCA gives the trailing MPI_Comm
+// argument its stub generator adds to every port method.
+type Participation struct {
+	// Ranks are the participating caller cohort ranks.
+	Ranks []int
+	// Group is a communicator over exactly Ranks, used for the delivery
+	// barrier. Required in BarrierDelayed mode; ignored in Eager mode.
+	Group *comm.Comm
+}
+
+// FullParticipation declares that every rank of the caller cohort
+// participates, with the cohort communicator as the barrier group.
+func FullParticipation(cohort *comm.Comm) Participation {
+	ranks := make([]int, cohort.Size())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return Participation{Ranks: ranks, Group: cohort}
+}
+
+// ParallelData is a caller-side parallel argument: the rank's fragment of
+// an array decomposed over the participants according to Template. For
+// out parameters Local is the buffer the returned data lands in. A
+// deferred argument (built with ParallelRef) is passed by reference and
+// pulled by the callee after it specifies its layout.
+type ParallelData struct {
+	Template *dad.Template
+	Local    []float64
+
+	deferred bool
+}
+
+// Arg is one named argument of an invocation. Exactly one of Value
+// (simple) or Par (parallel) is set, matching the parameter's declaration.
+type Arg struct {
+	Name  string
+	Value any
+	Par   *ParallelData
+}
+
+// Simple builds a simple argument.
+func Simple(name string, v any) Arg { return Arg{Name: name, Value: v} }
+
+// Parallel builds a parallel argument.
+func Parallel(name string, t *dad.Template, local []float64) Arg {
+	return Arg{Name: name, Par: &ParallelData{Template: t, Local: local}}
+}
+
+// Result is what a non-oneway invocation returns.
+type Result struct {
+	Return    any
+	SimpleOut map[string]any
+}
+
+// CallerPort is one caller rank's handle on a remote parallel port. It is
+// the uses-port proxy a distributed framework hands out in place of the
+// provider object a direct-connected framework would return.
+//
+// A CallerPort serves one invocation at a time per rank; methods are safe
+// for use from the owning rank's goroutine.
+type CallerPort struct {
+	iface   *sidl.Interface
+	link    Link
+	rank    int // caller cohort rank
+	nCallee int
+	mode    DeliveryMode
+
+	scheds  *schedule.Cache
+	layouts map[string]*dad.Template // method\x00param -> callee-side template
+	encs    map[string][]byte        // template key -> wire encoding
+	pending map[int][]*replyMsg
+	stash   map[stashKey]*stashEntry // referenced buffers of in-flight calls
+	tcache  *templateCache           // callee layouts arriving in pull requests
+	seq     uint64
+	mu      sync.Mutex
+}
+
+// NewCallerPort builds a caller-side port proxy. iface describes the
+// port's methods; link reaches the callee cohort of nCallee ranks; rank is
+// this caller's cohort rank.
+func NewCallerPort(iface *sidl.Interface, link Link, rank, nCallee int, mode DeliveryMode) *CallerPort {
+	return &CallerPort{
+		iface:   iface,
+		link:    link,
+		rank:    rank,
+		nCallee: nCallee,
+		mode:    mode,
+		scheds:  schedule.NewCache(),
+		layouts: map[string]*dad.Template{},
+		encs:    map[string][]byte{},
+		pending: map[int][]*replyMsg{},
+		stash:   map[stashKey]*stashEntry{},
+		tcache:  newTemplateCache(),
+	}
+}
+
+// SetCalleeLayout registers the callee-side distribution of a parallel
+// parameter, which the caller needs to compute redistribution schedules.
+// This mirrors the paper's first strategy for callee layouts: the layout
+// is specified through a framework service before any call is received.
+// ApplyLayouts installs the same information from an Endpoint's
+// EncodeLayouts message.
+func (p *CallerPort) SetCalleeLayout(method, param string, t *dad.Template) error {
+	m, ok := p.iface.Method(method)
+	if !ok {
+		return fmt.Errorf("prmi: no method %q", method)
+	}
+	if !hasParallelParam(m, param) {
+		return fmt.Errorf("prmi: %s has no parallel parameter %q", method, param)
+	}
+	p.layouts[method+"\x00"+param] = t
+	return nil
+}
+
+// ApplyLayouts installs callee layouts from an Endpoint.EncodeLayouts
+// message — the connect-time half of the layout negotiation.
+func (p *CallerPort) ApplyLayouts(data []byte) error {
+	d := wire.NewDecoder(data)
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		method := d.String()
+		param := d.String()
+		t, err := dad.DecodeTemplate(d)
+		if err != nil {
+			return err
+		}
+		if err := p.SetCalleeLayout(method, param, t); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+func hasParallelParam(m *sidl.Method, param string) bool {
+	for _, pr := range m.Params {
+		if pr.Name == param && pr.Parallel {
+			return true
+		}
+	}
+	return false
+}
+
+// Close tells the callee cohort this caller rank is done. Every caller
+// rank must Close for the endpoints' Serve loops to return.
+func (p *CallerPort) Close() error {
+	for j := 0; j < p.nCallee; j++ {
+		if err := p.link.Send(j, []byte{msgShutdown}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CallIndependent performs a one-to-one invocation of an independent
+// method on callee rank target (Damevski's non-collective invocation).
+// For oneway methods the result is nil and the call returns immediately.
+func (p *CallerPort) CallIndependent(target int, method string, args ...Arg) (*Result, error) {
+	m, ok := p.iface.Method(method)
+	if !ok {
+		return nil, fmt.Errorf("prmi: no method %q", method)
+	}
+	if m.Invocation != sidl.Independent {
+		return nil, fmt.Errorf("prmi: %s is collective; use CallCollective", method)
+	}
+	if target < 0 || target >= p.nCallee {
+		return nil, fmt.Errorf("prmi: callee rank %d outside cohort of %d", target, p.nCallee)
+	}
+	simple, err := checkSimpleArgs(m, args)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	hdr := &callMsg{method: method, seq: p.seq, callerRank: p.rank, simple: simple}
+	if err := p.link.Send(target, encodeCall(hdr)); err != nil {
+		return nil, err
+	}
+	if m.OneWay {
+		return nil, nil
+	}
+	rep, err := p.recvReplyFrom(target)
+	if err != nil {
+		return nil, err
+	}
+	return replyToResult(m, rep)
+}
+
+// CallCollective performs an all-to-all collective invocation: every rank
+// in part.Ranks must call with equal simple arguments and with parallel
+// fragments decomposed over the participants. Every callee rank receives
+// the logical invocation (ghost invocations when the callee cohort is
+// wider than the participant set) and every participant receives a return
+// (ghost returns when it is narrower).
+func (p *CallerPort) CallCollective(method string, part Participation, args ...Arg) (*Result, error) {
+	m, ok := p.iface.Method(method)
+	if !ok {
+		return nil, fmt.Errorf("prmi: no method %q", method)
+	}
+	if m.Invocation != sidl.Collective {
+		return nil, fmt.Errorf("prmi: %s is independent; use CallIndependent", method)
+	}
+	parts := append([]int(nil), part.Ranks...)
+	sort.Ints(parts)
+	pos := -1
+	for k, r := range parts {
+		if r == p.rank {
+			pos = k
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("prmi: caller rank %d not in participation set %v", p.rank, parts)
+	}
+	simple, err := checkSimpleArgs(m, args)
+	if err != nil {
+		return nil, err
+	}
+	parArgs, err := p.checkParallelArgs(m, args, len(parts))
+	if err != nil {
+		return nil, err
+	}
+
+	// The DCA synchronization rule: delay delivery until every participant
+	// has reached the calling point.
+	if p.mode == BarrierDelayed {
+		if part.Group == nil {
+			return nil, fmt.Errorf("prmi: barrier-delayed delivery needs a participation communicator")
+		}
+		part.Group.Barrier()
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+
+	// Compute per-callee fragments of every parallel in/inout argument.
+	// Deferred (by-reference) arguments send no data: they are stashed
+	// locally and served on pull while this call waits for its replies.
+	type paramPlan struct {
+		arg   parArg
+		sched *schedule.Schedule // nil for deferred arguments
+	}
+	plans := make([]paramPlan, 0, len(parArgs))
+	for _, pa := range parArgs {
+		if want := pa.data.Template.LocalCount(pos); pa.spec.Mode != sidl.Out && len(pa.data.Local) != want {
+			return nil, fmt.Errorf("prmi: %s(%s): fragment has %d elements, template says %d for participant %d",
+				method, pa.spec.Name, len(pa.data.Local), want, pos)
+		}
+		if pa.data.deferred {
+			if pa.spec.Mode != sidl.In {
+				return nil, fmt.Errorf("prmi: %s(%s): deferred arguments must be in-parameters", method, pa.spec.Name)
+			}
+			if m.OneWay {
+				return nil, fmt.Errorf("prmi: %s(%s): deferred arguments need a blocking call (the caller serves pulls while waiting)", method, pa.spec.Name)
+			}
+			p.stash[stashKey{p.seq, pa.spec.Name}] = &stashEntry{tpl: pa.data.Template, local: pa.data.Local, pos: pos}
+			plans = append(plans, paramPlan{arg: pa})
+			continue
+		}
+		calleeTpl := p.layouts[method+"\x00"+pa.spec.Name]
+		if calleeTpl == nil {
+			return nil, fmt.Errorf("prmi: no callee layout registered for %s(%s) (register one, or pass ParallelRef for the delayed-transfer strategy)", method, pa.spec.Name)
+		}
+		s, err := p.scheds.Get(pa.data.Template, calleeTpl)
+		if err != nil {
+			return nil, fmt.Errorf("prmi: %s(%s): %w", method, pa.spec.Name, err)
+		}
+		plans = append(plans, paramPlan{arg: pa, sched: s})
+	}
+	defer func() {
+		for _, pp := range plans {
+			if pp.arg.data.deferred {
+				delete(p.stash, stashKey{p.seq, pp.arg.spec.Name})
+			}
+		}
+	}()
+
+	for j := 0; j < p.nCallee; j++ {
+		hdr := &callMsg{method: method, seq: p.seq, callerRank: p.rank, collective: true, participants: parts, simple: simple}
+		for _, pp := range plans {
+			frag := parallelFrag{
+				name:        pp.arg.spec.Name,
+				templateKey: pp.arg.data.Template.Key(),
+				templateEnc: p.encodingOf(pp.arg.data.Template),
+				deferred:    pp.arg.data.deferred,
+			}
+			if !pp.arg.data.deferred && pp.arg.spec.Mode != sidl.Out {
+				for _, plan := range pp.sched.OutgoingFor(pos) {
+					if plan.DstRank == j {
+						frag.data = make([]float64, plan.Elems)
+						schedule.Pack(plan, pp.arg.data.Local, frag.data)
+						break
+					}
+				}
+			}
+			hdr.parallel = append(hdr.parallel, frag)
+		}
+		if err := p.link.Send(j, encodeCall(hdr)); err != nil {
+			return nil, err
+		}
+	}
+	if m.OneWay {
+		return nil, nil
+	}
+
+	// Expected repliers: the designated callee for ghost-return routing,
+	// plus every callee holding outbound data of an out/inout parallel
+	// parameter destined for this participant.
+	designated := pos % p.nCallee
+	expect := map[int]bool{designated: true}
+	type revPlan struct {
+		arg   parArg
+		sched *schedule.Schedule
+	}
+	var revs []revPlan
+	for _, pa := range parArgs {
+		if pa.spec.Mode == sidl.In {
+			continue
+		}
+		calleeTpl := p.layouts[method+"\x00"+pa.spec.Name]
+		rs, err := p.scheds.Get(calleeTpl, pa.data.Template)
+		if err != nil {
+			return nil, err
+		}
+		revs = append(revs, revPlan{arg: pa, sched: rs})
+		for _, plan := range rs.IncomingFor(pos) {
+			expect[plan.SrcRank] = true
+		}
+	}
+
+	var designatedReply *replyMsg
+	replies := map[int]*replyMsg{}
+	for len(replies) < len(expect) {
+		var from int
+		for j := range expect {
+			if replies[j] == nil {
+				from = j
+				break
+			}
+		}
+		rep, err := p.recvReplyFrom(from)
+		if err != nil {
+			return nil, err
+		}
+		replies[from] = rep
+		if rep.errText != "" {
+			return nil, fmt.Errorf("prmi: %s on callee rank %d: %s", method, rep.calleeRank, rep.errText)
+		}
+		if from == designated {
+			designatedReply = rep
+		}
+	}
+
+	// Unpack returned parallel data into the caller's buffers.
+	for _, rv := range revs {
+		if len(rv.arg.data.Local) != rv.arg.data.Template.LocalCount(pos) {
+			return nil, fmt.Errorf("prmi: %s(%s): out buffer has %d elements, template says %d",
+				method, rv.arg.spec.Name, len(rv.arg.data.Local), rv.arg.data.Template.LocalCount(pos))
+		}
+		for _, plan := range rv.sched.IncomingFor(pos) {
+			rep := replies[plan.SrcRank]
+			frag, ok := findFrag(rep.parallelOut, rv.arg.spec.Name)
+			if !ok {
+				return nil, fmt.Errorf("prmi: callee %d reply missing parallel out %q", plan.SrcRank, rv.arg.spec.Name)
+			}
+			if len(frag.data) != plan.Elems {
+				return nil, fmt.Errorf("prmi: %s(%s): callee %d sent %d elements, schedule says %d",
+					method, rv.arg.spec.Name, plan.SrcRank, len(frag.data), plan.Elems)
+			}
+			schedule.Unpack(plan, rv.arg.data.Local, frag.data)
+		}
+	}
+	return replyToResult(m, designatedReply)
+}
+
+// parArg pairs a parallel argument with its spec.
+type parArg struct {
+	spec sidl.Param
+	data *ParallelData
+}
+
+// checkSimpleArgs validates and orders the simple (non-parallel) in/inout
+// arguments against the method spec.
+func checkSimpleArgs(m *sidl.Method, args []Arg) ([]namedValue, error) {
+	byName := map[string]Arg{}
+	for _, a := range args {
+		if _, dup := byName[a.Name]; dup {
+			return nil, fmt.Errorf("prmi: duplicate argument %q", a.Name)
+		}
+		byName[a.Name] = a
+	}
+	for _, a := range args {
+		found := false
+		for _, pr := range m.Params {
+			if pr.Name == a.Name {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("prmi: %s has no parameter %q", m.Name, a.Name)
+		}
+	}
+	var out []namedValue
+	for _, pr := range m.Params {
+		a, present := byName[pr.Name]
+		if pr.Parallel {
+			if present && a.Par == nil {
+				return nil, fmt.Errorf("prmi: parameter %q is parallel; pass Parallel(...)", pr.Name)
+			}
+			continue
+		}
+		switch pr.Mode {
+		case sidl.In, sidl.InOut:
+			if !present {
+				return nil, fmt.Errorf("prmi: missing argument %q", pr.Name)
+			}
+			if a.Par != nil {
+				return nil, fmt.Errorf("prmi: parameter %q is simple; pass Simple(...)", pr.Name)
+			}
+			out = append(out, namedValue{name: pr.Name, value: a.Value})
+		case sidl.Out:
+			// Out simple values come back in the result; nothing to send.
+		}
+	}
+	return out, nil
+}
+
+// checkParallelArgs validates the parallel arguments: each must carry a
+// template decomposed over exactly the participants.
+func (p *CallerPort) checkParallelArgs(m *sidl.Method, args []Arg, nParts int) ([]parArg, error) {
+	byName := map[string]Arg{}
+	for _, a := range args {
+		byName[a.Name] = a
+	}
+	var out []parArg
+	for _, pr := range m.Params {
+		if !pr.Parallel {
+			continue
+		}
+		if pr.Type != sidl.DoubleArray {
+			return nil, fmt.Errorf("prmi: parallel parameter %q has type %s; the runtime moves array<double> only", pr.Name, pr.Type)
+		}
+		a, present := byName[pr.Name]
+		if !present {
+			return nil, fmt.Errorf("prmi: missing parallel argument %q", pr.Name)
+		}
+		if a.Par == nil || a.Par.Template == nil {
+			return nil, fmt.Errorf("prmi: parallel argument %q needs a template", pr.Name)
+		}
+		if a.Par.Template.NumProcs() != nParts {
+			return nil, fmt.Errorf("prmi: parallel argument %q decomposed over %d ranks but %d participate (the participation communicator defines the scope of parallel arguments)",
+				pr.Name, a.Par.Template.NumProcs(), nParts)
+		}
+		out = append(out, parArg{spec: pr, data: a.Par})
+	}
+	return out, nil
+}
+
+// encodingOf memoizes template wire encodings by key.
+func (p *CallerPort) encodingOf(t *dad.Template) []byte {
+	key := t.Key()
+	if enc, ok := p.encs[key]; ok {
+		return enc
+	}
+	e := wire.NewEncoder(nil)
+	t.Encode(e)
+	p.encs[key] = e.Bytes()
+	return e.Bytes()
+}
+
+// recvReplyFrom blocks until a reply from callee rank src arrives,
+// queueing replies from other callees and serving pull requests for
+// referenced arguments along the way (the caller is the data server while
+// its deferred call is in flight).
+func (p *CallerPort) recvReplyFrom(src int) (*replyMsg, error) {
+	if q := p.pending[src]; len(q) > 0 {
+		rep := q[0]
+		p.pending[src] = q[1:]
+		return rep, nil
+	}
+	for {
+		from, raw, err := p.link.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if len(raw) == 0 {
+			return nil, fmt.Errorf("prmi: caller received empty message")
+		}
+		switch raw[0] {
+		case msgPull:
+			req, err := decodePull(wire.NewDecoder(raw[1:]))
+			if err != nil {
+				return nil, err
+			}
+			if err := p.servePull(req); err != nil {
+				return nil, err
+			}
+		case msgReply:
+			rep, err := decodeReply(wire.NewDecoder(raw[1:]))
+			if err != nil {
+				return nil, err
+			}
+			if from == src {
+				return rep, nil
+			}
+			p.pending[from] = append(p.pending[from], rep)
+		default:
+			return nil, fmt.Errorf("prmi: caller received unexpected message kind %d", raw[0])
+		}
+	}
+}
+
+// findFrag locates a named fragment in a reply.
+func findFrag(frags []parallelFrag, name string) (parallelFrag, bool) {
+	for _, f := range frags {
+		if f.name == name {
+			return f, true
+		}
+	}
+	return parallelFrag{}, false
+}
+
+// replyToResult converts a reply into the caller-facing result, checking
+// the handler error.
+func replyToResult(m *sidl.Method, rep *replyMsg) (*Result, error) {
+	if rep.errText != "" {
+		return nil, fmt.Errorf("prmi: %s: %s", m.Name, rep.errText)
+	}
+	res := &Result{Return: rep.ret, SimpleOut: map[string]any{}}
+	for _, nv := range rep.simpleOut {
+		res.SimpleOut[nv.name] = nv.value
+	}
+	return res, nil
+}

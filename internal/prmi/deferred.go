@@ -1,0 +1,218 @@
+package prmi
+
+// Deferred parallel arguments: the paper's second strategy for callee-side
+// layouts (Section 2.4). Instead of registering a layout before any call
+// arrives, "the second possibility is to pass to the provides side a
+// reference to the data object on the uses side, and to delay the actual
+// transfer of data until the provides side has specified its layout."
+//
+// A caller passes ParallelRef(...) instead of Parallel(...): the
+// invocation header then carries only a reference, no data. The handler,
+// once it has decided its layout — which may depend on the call's simple
+// arguments — calls Incoming.Pull(name, layout): the endpoint sends pull
+// requests to the caller ranks that hold the needed pieces, the callers
+// serve them from the referenced buffers while they wait for the reply,
+// and Pull returns the assembled local fragment.
+
+import (
+	"fmt"
+
+	"mxn/internal/dad"
+	"mxn/internal/schedule"
+	"mxn/internal/wire"
+)
+
+// Additional wire message kinds for the pull protocol.
+const (
+	msgPull byte = iota + 10
+	msgPullData
+)
+
+// pullMsg is a callee's request for its piece of a referenced argument.
+type pullMsg struct {
+	method      string
+	seq         uint64
+	argName     string
+	calleeRank  int
+	templateKey string
+	templateEnc []byte
+}
+
+// pullDataMsg carries the served piece back.
+type pullDataMsg struct {
+	seq     uint64
+	argName string
+	data    []float64
+}
+
+func encodePull(m *pullMsg) []byte {
+	e := wire.NewEncoder(nil)
+	e.PutByte(msgPull)
+	e.PutString(m.method)
+	e.PutUint64(m.seq)
+	e.PutString(m.argName)
+	e.PutInt(m.calleeRank)
+	e.PutString(m.templateKey)
+	e.PutBytes(m.templateEnc)
+	return e.Bytes()
+}
+
+func decodePull(d *wire.Decoder) (*pullMsg, error) {
+	m := &pullMsg{
+		method:      d.String(),
+		seq:         d.Uint64(),
+		argName:     d.String(),
+		calleeRank:  d.Int(),
+		templateKey: d.String(),
+		templateEnc: d.Bytes(),
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return m, nil
+}
+
+func encodePullData(m *pullDataMsg) []byte {
+	e := wire.NewEncoder(nil)
+	e.PutByte(msgPullData)
+	e.PutUint64(m.seq)
+	e.PutString(m.argName)
+	e.PutFloat64s(m.data)
+	return e.Bytes()
+}
+
+func decodePullData(d *wire.Decoder) (*pullDataMsg, error) {
+	m := &pullDataMsg{
+		seq:     d.Uint64(),
+		argName: d.String(),
+		data:    d.Float64s(),
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return m, nil
+}
+
+// ParallelRef builds a parallel in-argument passed by reference: the data
+// stays on the caller until the callee specifies its layout and pulls.
+func ParallelRef(name string, t *dad.Template, local []float64) Arg {
+	return Arg{Name: name, Par: &ParallelData{Template: t, Local: local, deferred: true}}
+}
+
+// stashKey identifies a referenced buffer held while a call is in flight.
+type stashKey struct {
+	seq  uint64
+	name string
+}
+
+// stashEntry is one referenced argument awaiting pulls.
+type stashEntry struct {
+	tpl   *dad.Template
+	local []float64
+	pos   int // this caller's position among the participants
+}
+
+// servePull answers one pull request from a referenced buffer: it decodes
+// the callee's (late) layout, computes the schedule on demand, packs this
+// caller's piece for the requesting callee rank and sends it back.
+func (p *CallerPort) servePull(req *pullMsg) error {
+	ent, ok := p.stash[stashKey{req.seq, req.argName}]
+	if !ok {
+		return fmt.Errorf("prmi: pull for unknown reference %s/%d", req.argName, req.seq)
+	}
+	calleeTpl, err := p.tcache.get(req.templateKey, req.templateEnc)
+	if err != nil {
+		return err
+	}
+	s, err := p.scheds.Get(ent.tpl, calleeTpl)
+	if err != nil {
+		return err
+	}
+	var data []float64
+	for _, plan := range s.OutgoingFor(ent.pos) {
+		if plan.DstRank == req.calleeRank {
+			data = make([]float64, plan.Elems)
+			schedule.Pack(plan, ent.local, data)
+			break
+		}
+	}
+	return p.link.Send(req.calleeRank, encodePullData(&pullDataMsg{
+		seq: req.seq, argName: req.argName, data: data,
+	}))
+}
+
+// Pull fetches a referenced parallel argument into the given callee-side
+// layout. It is only valid on collective invocations whose caller passed
+// ParallelRef for name, and embodies the delayed-transfer strategy: the
+// layout is chosen here, at service time, possibly from the call's other
+// arguments.
+func (in *Incoming) Pull(name string, layout *dad.Template) ([]float64, error) {
+	if in.pull == nil {
+		return nil, fmt.Errorf("prmi: no deferred arguments on this invocation")
+	}
+	return in.pull(name, layout)
+}
+
+// HasDeferred reports whether the named parallel argument was passed by
+// reference and must be fetched with Pull.
+func (in *Incoming) HasDeferred(name string) bool {
+	_, ok := in.deferred[name]
+	return ok
+}
+
+// pullDeferred is the endpoint-side implementation bound into Incoming.
+func (ep *Endpoint) pullDeferred(first *callMsg, hdrs map[int]*callMsg) func(string, *dad.Template) ([]float64, error) {
+	return func(name string, layout *dad.Template) ([]float64, error) {
+		frag, ok := findFrag(first.parallel, name)
+		if !ok || !frag.deferred {
+			return nil, fmt.Errorf("prmi: %s(%s) was not passed by reference", first.method, name)
+		}
+		if layout == nil || layout.NumProcs() != ep.nCallee {
+			return nil, fmt.Errorf("prmi: pull layout must span the callee cohort of %d", ep.nCallee)
+		}
+		callerTpl, err := ep.tcache.get(frag.templateKey, frag.templateEnc)
+		if err != nil {
+			return nil, err
+		}
+		s, err := ep.scheds.Get(callerTpl, layout)
+		if err != nil {
+			return nil, err
+		}
+		// Request this rank's pieces from the callers that hold them.
+		e := wire.NewEncoder(nil)
+		layout.Encode(e)
+		layoutEnc := e.Bytes()
+		plans := s.IncomingFor(ep.rank)
+		for _, plan := range plans {
+			callerRank := first.participants[plan.SrcRank]
+			req := &pullMsg{
+				method: first.method, seq: hdrs[callerRank].seq, argName: name,
+				calleeRank: ep.rank, templateKey: layout.Key(), templateEnc: layoutEnc,
+			}
+			if err := ep.link.Send(callerRank, encodePull(req)); err != nil {
+				return nil, err
+			}
+		}
+		local := make([]float64, layout.LocalCount(ep.rank))
+		for _, plan := range plans {
+			callerRank := first.participants[plan.SrcRank]
+			raw, err := ep.nextFrom(callerRank, ep.StallTimeout)
+			if err != nil {
+				return nil, err
+			}
+			if len(raw) == 0 || raw[0] != msgPullData {
+				return nil, fmt.Errorf("prmi: expected pulled data from caller %d, got kind %d", callerRank, raw[0])
+			}
+			msg, err := decodePullData(wire.NewDecoder(raw[1:]))
+			if err != nil {
+				return nil, err
+			}
+			if msg.argName != name || len(msg.data) != plan.Elems {
+				return nil, fmt.Errorf("prmi: pulled fragment mismatch from caller %d (%q, %d elements, want %d)",
+					callerRank, msg.argName, len(msg.data), plan.Elems)
+			}
+			schedule.Unpack(plan, local, msg.data)
+		}
+		return local, nil
+	}
+}

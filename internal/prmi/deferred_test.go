@@ -1,0 +1,261 @@
+package prmi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"mxn/internal/comm"
+	"mxn/internal/dad"
+	"mxn/internal/sidl"
+)
+
+const deferredIDL = `
+package t;
+
+interface Field {
+    collective double absorb(in parallel array<double> field, in int blocks);
+    collective oneway void fire(in parallel array<double> field);
+    collective void touch(inout parallel array<double> field);
+}
+`
+
+func fieldIface(t *testing.T) *sidl.Interface {
+	t.Helper()
+	pkg, err := sidl.Parse(deferredIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, _ := pkg.Interface("Field")
+	return iface
+}
+
+// TestDeferredPull exercises the paper's delayed-transfer strategy: the
+// callee chooses its layout *from the call's simple arguments* and only
+// then pulls the referenced data.
+func TestDeferredPull(t *testing.T) {
+	iface := fieldIface(t)
+	const n = 24
+	const M, N = 2, 3
+	callerTpl, _ := dad.NewTemplate([]int{n}, []dad.AxisDist{dad.CyclicAxis(M)})
+	var bad atomic.Int64
+	f := fixture{M: M, N: N, iface: iface, mode: BarrierDelayed,
+		confEp: func(ep *Endpoint) {
+			ep.Handle("absorb", func(in *Incoming, out *Outgoing) error {
+				if !in.HasDeferred("field") {
+					bad.Add(1)
+					return fmt.Errorf("field not deferred")
+				}
+				if _, present := in.Parallel["field"]; present {
+					bad.Add(1)
+					return fmt.Errorf("deferred data arrived eagerly")
+				}
+				// The layout is decided here, from the call itself — the
+				// situation the pre-registration strategy cannot express.
+				if in.Simple["blocks"].(int64) != N {
+					bad.Add(1)
+					return fmt.Errorf("blocks = %v", in.Simple["blocks"])
+				}
+				layout, err := dad.NewTemplate([]int{n}, []dad.AxisDist{dad.BlockAxis(N)})
+				if err != nil {
+					return err
+				}
+				local, err := in.Pull("field", layout)
+				if err != nil {
+					bad.Add(1)
+					return err
+				}
+				base := in.CalleeRank * (n / N)
+				for li, v := range local {
+					if v != float64(100+base+li) {
+						bad.Add(1)
+						return fmt.Errorf("rank %d local %d = %v", in.CalleeRank, li, v)
+					}
+				}
+				out.Return = 1.0
+				return nil
+			})
+		},
+	}
+	errs := f.run(t, func(t *testing.T, p *CallerPort, cohort *comm.Comm, rank int) {
+		local := make([]float64, callerTpl.LocalCount(rank))
+		for li := range local {
+			g := rank + li*M // cyclic
+			local[li] = float64(100 + g)
+		}
+		res, err := p.CallCollective("absorb", FullParticipation(cohort),
+			ParallelRef("field", callerTpl, local), Simple("blocks", N))
+		if err != nil {
+			t.Errorf("caller %d: %v", rank, err)
+			return
+		}
+		if res.Return != 1.0 {
+			t.Errorf("caller %d: return %v", rank, res.Return)
+		}
+	})
+	noServeErrors(t, errs)
+	if bad.Load() != 0 {
+		t.Errorf("%d callee checks failed", bad.Load())
+	}
+}
+
+// TestDeferredNeedsNoRegisteredLayout: a deferred call succeeds with no
+// layout registered anywhere — the whole point of the second strategy.
+func TestDeferredNeedsNoRegisteredLayout(t *testing.T) {
+	iface := fieldIface(t)
+	callerTpl, _ := dad.NewTemplate([]int{8}, []dad.AxisDist{dad.BlockAxis(2)})
+	f := fixture{M: 2, N: 1, iface: iface, mode: BarrierDelayed,
+		confEp: func(ep *Endpoint) {
+			ep.Handle("absorb", func(in *Incoming, out *Outgoing) error {
+				layout, _ := dad.NewTemplate([]int{8}, []dad.AxisDist{dad.BlockAxis(1)})
+				local, err := in.Pull("field", layout)
+				if err != nil {
+					return err
+				}
+				sum := 0.0
+				for _, v := range local {
+					sum += v
+				}
+				out.Return = sum
+				return nil
+			})
+		},
+	}
+	errs := f.run(t, func(t *testing.T, p *CallerPort, cohort *comm.Comm, rank int) {
+		local := []float64{1, 1, 1, 1}
+		res, err := p.CallCollective("absorb", FullParticipation(cohort),
+			ParallelRef("field", callerTpl, local), Simple("blocks", 1))
+		if err != nil {
+			t.Errorf("caller %d: %v", rank, err)
+			return
+		}
+		if res.Return != 8.0 {
+			t.Errorf("sum = %v", res.Return)
+		}
+	})
+	noServeErrors(t, errs)
+}
+
+func TestDeferredPullErrors(t *testing.T) {
+	iface := fieldIface(t)
+	callerTpl, _ := dad.NewTemplate([]int{8}, []dad.AxisDist{dad.BlockAxis(2)})
+	calleeTpl, _ := dad.NewTemplate([]int{8}, []dad.AxisDist{dad.BlockAxis(1)})
+	f := fixture{M: 2, N: 1, iface: iface, mode: BarrierDelayed,
+		confEp: func(ep *Endpoint) {
+			ep.Handle("absorb", func(in *Incoming, out *Outgoing) error {
+				// Pulling an argument that was NOT deferred must fail.
+				if _, err := in.Pull("nosuch", calleeTpl); err == nil {
+					return fmt.Errorf("pull of unknown arg succeeded")
+				}
+				// Wrong-width layout must fail.
+				wide, _ := dad.NewTemplate([]int{8}, []dad.AxisDist{dad.BlockAxis(4)})
+				if _, err := in.Pull("field", wide); err == nil {
+					return fmt.Errorf("wrong-width layout accepted")
+				}
+				// Nil layout must fail.
+				if _, err := in.Pull("field", nil); err == nil {
+					return fmt.Errorf("nil layout accepted")
+				}
+				// A correct pull still works afterwards.
+				local, err := in.Pull("field", calleeTpl)
+				if err != nil {
+					return err
+				}
+				out.Return = float64(len(local))
+				return nil
+			})
+		},
+	}
+	errs := f.run(t, func(t *testing.T, p *CallerPort, cohort *comm.Comm, rank int) {
+		local := make([]float64, 4)
+		res, err := p.CallCollective("absorb", FullParticipation(cohort),
+			ParallelRef("field", callerTpl, local), Simple("blocks", 1))
+		if err != nil {
+			t.Errorf("caller %d: %v", rank, err)
+			return
+		}
+		if res.Return != 8.0 {
+			t.Errorf("len = %v", res.Return)
+		}
+	})
+	noServeErrors(t, errs)
+}
+
+func TestDeferredValidation(t *testing.T) {
+	iface := fieldIface(t)
+	callerTpl, _ := dad.NewTemplate([]int{8}, []dad.AxisDist{dad.BlockAxis(1)})
+	f := fixture{M: 1, N: 1, iface: iface, mode: BarrierDelayed, confEp: func(ep *Endpoint) {
+		ep.Handle("touch", func(in *Incoming, out *Outgoing) error { return nil })
+	}}
+	errs := f.run(t, func(t *testing.T, p *CallerPort, cohort *comm.Comm, rank int) {
+		local := make([]float64, 8)
+		// Deferred on a one-way method: the caller cannot serve pulls
+		// after returning, so this is rejected.
+		if _, err := p.CallCollective("fire", FullParticipation(cohort),
+			ParallelRef("field", callerTpl, local)); err == nil {
+			t.Error("deferred argument on oneway method accepted")
+		}
+		// Deferred on an inout parameter is rejected (in-only).
+		if _, err := p.CallCollective("touch", FullParticipation(cohort),
+			ParallelRef("field", callerTpl, local)); err == nil {
+			t.Error("deferred inout accepted")
+		}
+	})
+	noServeErrors(t, errs)
+}
+
+// TestDeferredMixedWithEager: one argument by reference, one by value, in
+// the same call.
+func TestDeferredMixedWithEager(t *testing.T) {
+	pkg, err := sidl.Parse(`package t; interface I {
+		collective double both(in parallel array<double> a, in parallel array<double> b);
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, _ := pkg.Interface("I")
+	const n = 12
+	callerTpl, _ := dad.NewTemplate([]int{n}, []dad.AxisDist{dad.BlockAxis(2)})
+	calleeTpl, _ := dad.NewTemplate([]int{n}, []dad.AxisDist{dad.BlockAxis(2)})
+	f := fixture{M: 2, N: 2, iface: iface, mode: BarrierDelayed,
+		confEp: func(ep *Endpoint) {
+			ep.RegisterArgLayout("both", "b", calleeTpl)
+			ep.Handle("both", func(in *Incoming, out *Outgoing) error {
+				// b arrived eagerly; a must be pulled.
+				bVals, ok := in.Parallel["b"]
+				if !ok {
+					return fmt.Errorf("eager argument missing")
+				}
+				aVals, err := in.Pull("a", calleeTpl)
+				if err != nil {
+					return err
+				}
+				sum := 0.0
+				for i := range aVals {
+					sum += aVals[i] + bVals[i]
+				}
+				out.Return = sum
+				return nil
+			})
+		},
+		confCal: func(p *CallerPort) { p.SetCalleeLayout("both", "b", calleeTpl) },
+	}
+	errs := f.run(t, func(t *testing.T, p *CallerPort, cohort *comm.Comm, rank int) {
+		a := make([]float64, 6)
+		b := make([]float64, 6)
+		for i := range a {
+			a[i], b[i] = 1, 2
+		}
+		res, err := p.CallCollective("both", FullParticipation(cohort),
+			ParallelRef("a", callerTpl, a), Parallel("b", callerTpl, b))
+		if err != nil {
+			t.Errorf("caller %d: %v", rank, err)
+			return
+		}
+		// Each callee rank sums its 6 local elements of (1+2).
+		if res.Return != 18.0 {
+			t.Errorf("sum = %v", res.Return)
+		}
+	})
+	noServeErrors(t, errs)
+}

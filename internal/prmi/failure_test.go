@@ -1,0 +1,149 @@
+package prmi
+
+// Failure injection: distributed frameworks live on networks that fail,
+// so the PRMI layer must surface link failures and corrupt traffic as
+// errors rather than hangs or panics.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"mxn/internal/comm"
+	"mxn/internal/sidl"
+	"mxn/internal/transport"
+)
+
+func simpleIface(t *testing.T) *sidl.Interface {
+	t.Helper()
+	pkg, err := sidl.Parse(`package p; interface I { independent double f(in double x); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, _ := pkg.Interface("I")
+	return iface
+}
+
+func TestEndpointSurvivesGarbage(t *testing.T) {
+	iface := simpleIface(t)
+	w := comm.NewWorld(2)
+	cs := w.Comms()
+	serveErr := make(chan error, 1)
+	go func() {
+		ep := NewEndpoint(iface, NewCommLink(cs[1], 0, 0), 0, 1, 1)
+		serveErr <- ep.Serve()
+	}()
+	// Deliver a corrupt frame: a call kind byte followed by junk.
+	cs[0].Send(1, 0, []byte{msgCall, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	err := <-serveErr
+	if err == nil {
+		t.Fatal("endpoint accepted corrupt call frame")
+	}
+}
+
+func TestEndpointRejectsUnknownKind(t *testing.T) {
+	iface := simpleIface(t)
+	w := comm.NewWorld(2)
+	cs := w.Comms()
+	serveErr := make(chan error, 1)
+	go func() {
+		ep := NewEndpoint(iface, NewCommLink(cs[1], 0, 0), 0, 1, 1)
+		serveErr <- ep.Serve()
+	}()
+	cs[0].Send(1, 0, []byte{0x77})
+	if err := <-serveErr; err == nil || !strings.Contains(err.Error(), "unexpected message kind") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEndpointRejectsEmptyFrame(t *testing.T) {
+	iface := simpleIface(t)
+	w := comm.NewWorld(2)
+	cs := w.Comms()
+	serveErr := make(chan error, 1)
+	go func() {
+		ep := NewEndpoint(iface, NewCommLink(cs[1], 0, 0), 0, 1, 1)
+		serveErr <- ep.Serve()
+	}()
+	cs[0].Send(1, 0, []byte{})
+	if err := <-serveErr; err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+func TestConnLinkPeerDeathSurfacesToServe(t *testing.T) {
+	iface := simpleIface(t)
+	a, b := transport.Pipe()
+	serveErr := make(chan error, 1)
+	go func() {
+		ep := NewEndpoint(iface, NewConnLink([]transport.Conn{b}, 0), 0, 1, 1)
+		serveErr <- ep.Serve()
+	}()
+	// The caller's process "dies": its connection closes with no shutdown
+	// message.
+	a.Close()
+	err := <-serveErr
+	if err == nil {
+		t.Fatal("Serve returned nil after peer death")
+	}
+	if !errors.Is(err, transport.ErrClosed) && !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("err = %v, want a closed-connection error", err)
+	}
+}
+
+func TestConnLinkPeerDeathSurfacesToCaller(t *testing.T) {
+	iface := simpleIface(t)
+	a, b := transport.Pipe()
+	port := NewCallerPort(iface, NewConnLink([]transport.Conn{a}, 0), 0, 1, Eager)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The callee consumes the call, then dies without replying.
+		if _, err := b.Recv(); err != nil {
+			t.Errorf("callee recv: %v", err)
+		}
+		b.Close()
+	}()
+	_, err := port.CallIndependent(0, "f", Simple("x", 1.0))
+	if err == nil {
+		t.Fatal("caller got a result from a dead callee")
+	}
+	wg.Wait()
+}
+
+func TestCallerRejectsCorruptReply(t *testing.T) {
+	iface := simpleIface(t)
+	a, b := transport.Pipe()
+	port := NewCallerPort(iface, NewConnLink([]transport.Conn{a}, 0), 0, 1, Eager)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := b.Recv(); err != nil {
+			return
+		}
+		// Reply with a valid src prefix but corrupt reply body.
+		b.Send([]byte{0, 0, 0, 0, msgReply, 0xDE, 0xAD})
+	}()
+	_, err := port.CallIndependent(0, "f", Simple("x", 1.0))
+	if err == nil {
+		t.Fatal("corrupt reply accepted")
+	}
+	wg.Wait()
+	a.Close()
+}
+
+func TestMeshShortFrame(t *testing.T) {
+	// A frame shorter than the rank prefix must error, not panic.
+	a, b := transport.Pipe()
+	defer a.Close()
+	link := NewConnLink([]transport.Conn{b}, 0)
+	if err := a.Send([]byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := link.Recv(); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}

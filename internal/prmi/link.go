@@ -1,0 +1,148 @@
+// Package prmi implements parallel remote method invocation between
+// parallel components in a distributed framework (Section 2.4 of the
+// paper).
+//
+// A caller cohort of M ranks holds a CallerPort connected to an Endpoint
+// served by a callee cohort of N ranks. Methods are described by SIDL
+// specs (internal/sidl) carrying the PRMI attributes:
+//
+//   - independent methods are one-to-one: one caller rank invokes one
+//     callee rank with ordinary call semantics (Damevski's non-collective
+//     invocation).
+//   - collective methods are all-to-all: every participating caller rank
+//     invokes together; every callee rank receives the call (ghost
+//     invocations when M < N) and every caller receives a return value
+//     (ghost returns when M > N) — the SCIRun2 policy.
+//   - oneway methods return immediately on the caller; no reply exists.
+//
+// Simple arguments must hold the same value on every participating caller
+// (optionally enforced — the paper notes frameworks may skip the check for
+// performance, so the check is a configuration knob). Parallel arguments
+// are decomposed arrays: the framework redistributes them from the caller
+// cohort's distribution to the callee cohort's registered distribution
+// with communication schedules, and moves inout/out parallel data back on
+// return.
+//
+// Invocation delivery is configurable between the two strategies the
+// paper contrasts (Figure 5): Eager delivery, where each caller's
+// invocation leaves as soon as that rank reaches the call — which can
+// deadlock when different but intersecting participant sets make
+// consecutive calls — and BarrierDelayed delivery (the DCA solution),
+// where a barrier among the participants precedes delivery.
+package prmi
+
+import (
+	"fmt"
+	"sync"
+
+	"mxn/internal/comm"
+	"mxn/internal/transport"
+)
+
+// Link carries framed messages between the two sides of one port
+// connection. Rank numbering is the peer cohort's: Send(j, m) delivers to
+// peer rank j; Recv reports which peer rank sent the message. Messages
+// between a fixed pair of ranks arrive in order.
+type Link interface {
+	Send(peerRank int, msg []byte) error
+	Recv() (peerRank int, msg []byte, err error)
+}
+
+// commLink connects two cohorts that live in one communicator group:
+// peer rank j is group rank peerBase+j. It is the co-located deployment
+// (both components in one process set), used by tests and benchmarks.
+type commLink struct {
+	c        *comm.Comm
+	peerBase int
+	tag      int
+}
+
+// NewCommLink builds a Link over a shared communicator. Both sides must
+// use the same tag and each side's peerBase must point at the other
+// cohort's first group rank.
+func NewCommLink(c *comm.Comm, peerBase, tag int) Link {
+	return &commLink{c: c, peerBase: peerBase, tag: tag}
+}
+
+func (l *commLink) Send(peerRank int, msg []byte) error {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	l.c.Send(l.peerBase+peerRank, l.tag, cp)
+	return nil
+}
+
+func (l *commLink) Recv() (int, []byte, error) {
+	payload, src := l.c.Recv(comm.AnySource, l.tag)
+	msg, ok := payload.([]byte)
+	if !ok {
+		return 0, nil, fmt.Errorf("prmi: link received %T", payload)
+	}
+	return src - l.peerBase, msg, nil
+}
+
+// connLink is a mesh of transport connections, one per peer rank: the
+// genuinely distributed deployment. Each message is prefixed with the
+// sender's rank by the peer (we prefix ours symmetrically), and a pump
+// goroutine per connection funnels received messages into one queue so
+// Recv can present a single stream. Communication is not serialized
+// through any coordinator: each pairwise connection is independent.
+type connLink struct {
+	conns  []transport.Conn
+	myRank int
+
+	inbox   chan inMsg
+	once    sync.Once
+	started bool
+	mu      sync.Mutex
+}
+
+type inMsg struct {
+	src int
+	msg []byte
+	err error
+}
+
+// NewConnLink builds a Link from per-peer connections. conns[j] must be
+// connected to peer rank j. myRank is this side's cohort rank, prefixed
+// onto outgoing messages so the peer can attribute them.
+func NewConnLink(conns []transport.Conn, myRank int) Link {
+	return &connLink{conns: conns, myRank: myRank, inbox: make(chan inMsg, 64)}
+}
+
+func (l *connLink) Send(peerRank int, msg []byte) error {
+	if peerRank < 0 || peerRank >= len(l.conns) {
+		return fmt.Errorf("prmi: peer rank %d outside mesh of %d", peerRank, len(l.conns))
+	}
+	framed := make([]byte, 0, len(msg)+4)
+	framed = append(framed, byte(l.myRank), byte(l.myRank>>8), byte(l.myRank>>16), byte(l.myRank>>24))
+	framed = append(framed, msg...)
+	return l.conns[peerRank].Send(framed)
+}
+
+func (l *connLink) start() {
+	l.once.Do(func() {
+		for j, conn := range l.conns {
+			go func(j int, conn transport.Conn) {
+				for {
+					m, err := conn.Recv()
+					if err != nil {
+						l.inbox <- inMsg{src: j, err: err}
+						return
+					}
+					if len(m) < 4 {
+						l.inbox <- inMsg{src: j, err: fmt.Errorf("prmi: short frame from peer %d", j)}
+						return
+					}
+					src := int(m[0]) | int(m[1])<<8 | int(m[2])<<16 | int(m[3])<<24
+					l.inbox <- inMsg{src: src, msg: m[4:]}
+				}
+			}(j, conn)
+		}
+	})
+}
+
+func (l *connLink) Recv() (int, []byte, error) {
+	l.start()
+	in := <-l.inbox
+	return in.src, in.msg, in.err
+}

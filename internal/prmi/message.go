@@ -1,0 +1,207 @@
+package prmi
+
+import (
+	"fmt"
+
+	"mxn/internal/dad"
+	"mxn/internal/wire"
+)
+
+// Wire message kinds exchanged over a Link.
+const (
+	msgCall byte = iota + 1
+	msgReply
+	msgShutdown
+)
+
+// namedValue is one simple argument or out-value on the wire.
+type namedValue struct {
+	name  string
+	value any
+}
+
+// parallelFrag is one caller→callee (or callee→caller) fragment of a
+// parallel argument: the packed elements of the pairwise communication
+// plan, plus the sender-side template so the receiver can build the same
+// schedule. The template encoding travels with every call; receivers
+// cache decoded templates by key.
+type parallelFrag struct {
+	name        string
+	templateKey string
+	templateEnc []byte
+	data        []float64
+	deferred    bool // passed by reference; callee pulls after choosing a layout
+}
+
+// callMsg is the invocation header one caller rank sends one callee rank.
+// For collective methods every participating caller sends one to every
+// callee rank (the all-to-all invocation); for independent methods a
+// single caller sends one to a single callee.
+type callMsg struct {
+	method       string
+	seq          uint64
+	callerRank   int
+	collective   bool
+	participants []int // sorted caller cohort ranks; empty for independent
+	simple       []namedValue
+	parallel     []parallelFrag
+}
+
+// replyMsg carries return data from one callee rank to one caller rank.
+type replyMsg struct {
+	method      string
+	seq         uint64
+	calleeRank  int
+	errText     string
+	ret         any
+	simpleOut   []namedValue
+	parallelOut []parallelFrag
+}
+
+func encodeCall(m *callMsg) []byte {
+	e := wire.NewEncoder(nil)
+	e.PutByte(msgCall)
+	e.PutString(m.method)
+	e.PutUint64(m.seq)
+	e.PutInt(m.callerRank)
+	e.PutBool(m.collective)
+	e.PutInts(m.participants)
+	encodeNamedValues(e, m.simple)
+	encodeFrags(e, m.parallel)
+	return e.Bytes()
+}
+
+func decodeCall(d *wire.Decoder) (*callMsg, error) {
+	m := &callMsg{
+		method:     d.String(),
+		seq:        d.Uint64(),
+		callerRank: d.Int(),
+	}
+	m.collective = d.Bool()
+	m.participants = d.Ints()
+	var err error
+	if m.simple, err = decodeNamedValues(d); err != nil {
+		return nil, err
+	}
+	if m.parallel, err = decodeFrags(d); err != nil {
+		return nil, err
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return m, nil
+}
+
+func encodeReply(m *replyMsg) []byte {
+	e := wire.NewEncoder(nil)
+	e.PutByte(msgReply)
+	e.PutString(m.method)
+	e.PutUint64(m.seq)
+	e.PutInt(m.calleeRank)
+	e.PutString(m.errText)
+	e.PutValue(m.ret)
+	encodeNamedValues(e, m.simpleOut)
+	encodeFrags(e, m.parallelOut)
+	return e.Bytes()
+}
+
+func decodeReply(d *wire.Decoder) (*replyMsg, error) {
+	m := &replyMsg{
+		method:     d.String(),
+		seq:        d.Uint64(),
+		calleeRank: d.Int(),
+		errText:    d.String(),
+		ret:        d.Value(),
+	}
+	var err error
+	if m.simpleOut, err = decodeNamedValues(d); err != nil {
+		return nil, err
+	}
+	if m.parallelOut, err = decodeFrags(d); err != nil {
+		return nil, err
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return m, nil
+}
+
+func encodeNamedValues(e *wire.Encoder, vals []namedValue) {
+	e.PutUvarint(uint64(len(vals)))
+	for _, v := range vals {
+		e.PutString(v.name)
+		e.PutValue(v.value)
+	}
+}
+
+func decodeNamedValues(d *wire.Decoder) ([]namedValue, error) {
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	out := make([]namedValue, 0, n)
+	for i := uint64(0); i < n; i++ {
+		nv := namedValue{name: d.String(), value: d.Value()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		out = append(out, nv)
+	}
+	return out, nil
+}
+
+func encodeFrags(e *wire.Encoder, frags []parallelFrag) {
+	e.PutUvarint(uint64(len(frags)))
+	for _, f := range frags {
+		e.PutString(f.name)
+		e.PutString(f.templateKey)
+		e.PutBytes(f.templateEnc)
+		e.PutFloat64s(f.data)
+		e.PutBool(f.deferred)
+	}
+}
+
+func decodeFrags(d *wire.Decoder) ([]parallelFrag, error) {
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	out := make([]parallelFrag, 0, n)
+	for i := uint64(0); i < n; i++ {
+		f := parallelFrag{
+			name:        d.String(),
+			templateKey: d.String(),
+			templateEnc: d.Bytes(),
+			data:        d.Float64s(),
+		}
+		f.deferred = d.Bool()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// templateCache caches decoded peer templates by their key so the
+// per-call template encoding is decoded once per distinct distribution.
+type templateCache struct {
+	m map[string]*dad.Template
+}
+
+func newTemplateCache() *templateCache { return &templateCache{m: map[string]*dad.Template{}} }
+
+func (tc *templateCache) get(key string, enc []byte) (*dad.Template, error) {
+	if t, ok := tc.m[key]; ok {
+		return t, nil
+	}
+	if enc == nil {
+		return nil, fmt.Errorf("prmi: unknown template %q with no encoding", key)
+	}
+	t, err := dad.DecodeTemplate(wire.NewDecoder(enc))
+	if err != nil {
+		return nil, fmt.Errorf("prmi: decoding peer template: %w", err)
+	}
+	tc.m[key] = t
+	return t, nil
+}

@@ -1,0 +1,186 @@
+// Package redist executes parallel data redistribution: it moves the
+// elements named by a communication schedule (or by a linearization) from
+// source local buffers to destination local buffers, in parallel, with no
+// global synchronization and no central data-management process.
+//
+// Three executors are provided:
+//
+//   - ExecuteLocal: a single-goroutine reference executor used by tests
+//     and as the baseline for benchmark comparisons.
+//   - Exchange: the schedule-driven parallel executor over a comm
+//     communicator whose group contains both cohorts. Each pairwise
+//     message is independent — the asynchronous point-to-point structure
+//     the paper's M×N component achieves with matched dataReady() calls.
+//   - LinearExchange: the receiver-driven protocol of the Indiana MPI-IO
+//     M×N device (Section 2.2.1): each receiver tells the senders which
+//     linear chunks it requires, and no communication schedule is ever
+//     computed. The per-transfer request traffic is the price.
+package redist
+
+import (
+	"fmt"
+
+	"mxn/internal/comm"
+	"mxn/internal/linear"
+	"mxn/internal/schedule"
+)
+
+// ExecuteLocal runs a whole schedule within one goroutine, packing from
+// srcLocals[i] and unpacking into dstLocals[j]. It is the reference
+// executor: the parallel paths must produce identical results.
+func ExecuteLocal(s *schedule.Schedule, srcLocals, dstLocals [][]float64) {
+	buf := make([]float64, 0)
+	for _, p := range s.Pairs {
+		if cap(buf) < p.Elems {
+			buf = make([]float64, p.Elems)
+		}
+		b := buf[:p.Elems]
+		schedule.Pack(p, srcLocals[p.SrcRank], b)
+		schedule.Unpack(p, dstLocals[p.DstRank], b)
+	}
+}
+
+// Layout places the two cohorts of a transfer within one communicator
+// group: source rank i is group rank SrcBase+i, destination rank j is
+// group rank DstBase+j. For a self-redistribution (same cohort on both
+// sides, e.g. a transpose) use SrcBase == DstBase.
+type Layout struct {
+	SrcBase, DstBase int
+}
+
+// Exchange performs one schedule-driven transfer. Every member of the
+// communicator group hosting a source or destination rank must call it.
+// srcLocal may be nil on ranks that are not sources; dstLocal may be nil
+// on ranks that are not destinations. baseTag reserves a tag namespace so
+// concurrent transfers on one communicator cannot cross-match; callers
+// performing T concurrent transfers must space their base tags by at
+// least one.
+//
+// The transfer decomposes into independent pairwise messages: sources
+// pack and post all their sends without waiting, then each destination
+// consumes exactly the messages addressed to it. No barrier is involved
+// on either side.
+func Exchange(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []float64, baseTag int) error {
+	me := c.Rank()
+	srcRank := me - lay.SrcBase
+	dstRank := me - lay.DstBase
+	isSrc := srcRank >= 0 && srcRank < s.Src.NumProcs()
+	isDst := dstRank >= 0 && dstRank < s.Dst.NumProcs()
+	if isSrc && srcLocal == nil {
+		return fmt.Errorf("redist: group rank %d is source rank %d but has no source buffer", me, srcRank)
+	}
+	if isDst && dstLocal == nil {
+		return fmt.Errorf("redist: group rank %d is destination rank %d but has no destination buffer", me, dstRank)
+	}
+	if isSrc {
+		if want := s.Src.LocalCount(srcRank); len(srcLocal) != want {
+			return fmt.Errorf("redist: source rank %d buffer has %d elements, template says %d", srcRank, len(srcLocal), want)
+		}
+		for _, p := range s.OutgoingFor(srcRank) {
+			buf := make([]float64, p.Elems)
+			schedule.Pack(p, srcLocal, buf)
+			c.Send(lay.DstBase+p.DstRank, baseTag, buf)
+		}
+	}
+	if isDst {
+		if want := s.Dst.LocalCount(dstRank); len(dstLocal) != want {
+			return fmt.Errorf("redist: destination rank %d buffer has %d elements, template says %d", dstRank, len(dstLocal), want)
+		}
+		for _, p := range s.IncomingFor(dstRank) {
+			payload, _ := c.Recv(lay.SrcBase+p.SrcRank, baseTag)
+			buf, ok := payload.([]float64)
+			if !ok {
+				return fmt.Errorf("redist: destination rank %d received %T, want []float64", dstRank, payload)
+			}
+			if len(buf) != p.Elems {
+				return fmt.Errorf("redist: destination rank %d received %d elements from %d, schedule says %d",
+					dstRank, len(buf), p.SrcRank, p.Elems)
+			}
+			schedule.Unpack(p, dstLocal, buf)
+		}
+	}
+	return nil
+}
+
+// linRequest is a destination rank's chunk request in the receiver-driven
+// protocol.
+type linRequest struct {
+	dstRank int
+	need    linear.Set
+}
+
+// linReply carries the positions a source holds of a request, plus data.
+type linReply struct {
+	have linear.Set
+	data []float64
+}
+
+// LinearExchange performs one transfer using linearization with
+// receiver-driven requests and no schedule. srcLin and dstLin must
+// linearize their respective templates into the same abstract linear
+// space (same TotalLen); the correspondence of positions is the implicit
+// source-to-destination mapping.
+//
+// Protocol per transfer: every destination rank sends its needed interval
+// set to every source rank; every source intersects each request with its
+// owned set and replies with (positions, data); destinations unpack each
+// reply. Tag usage: baseTag for requests, baseTag+1 for replies, so a
+// caller running concurrent linear exchanges must space base tags by two.
+func LinearExchange(c *comm.Comm, srcLin, dstLin linear.Linearizer, lay Layout, nSrc, nDst int,
+	srcLocal, dstLocal []float64, baseTag int) error {
+
+	if srcLin.TotalLen() != dstLin.TotalLen() {
+		return fmt.Errorf("redist: linearizations disagree on length: %d vs %d", srcLin.TotalLen(), dstLin.TotalLen())
+	}
+	me := c.Rank()
+	srcRank := me - lay.SrcBase
+	dstRank := me - lay.DstBase
+	isSrc := srcRank >= 0 && srcRank < nSrc
+	isDst := dstRank >= 0 && dstRank < nDst
+
+	reqTag, dataTag := baseTag, baseTag+1
+
+	// Destinations broadcast their needs to every source. (This is the
+	// "small communication overhead" the paper attributes to the Indiana
+	// approach.)
+	if isDst {
+		need := dstLin.OwnedBy(dstRank)
+		for s := 0; s < nSrc; s++ {
+			c.Send(lay.SrcBase+s, reqTag, linRequest{dstRank: dstRank, need: need})
+		}
+	}
+
+	// Sources answer every request with the chunks they hold.
+	if isSrc {
+		owned := srcLin.OwnedBy(srcRank)
+		for i := 0; i < nDst; i++ {
+			payload, _ := c.Recv(comm.AnySource, reqTag)
+			req, ok := payload.(linRequest)
+			if !ok {
+				return fmt.Errorf("redist: source rank %d received %T, want request", srcRank, payload)
+			}
+			have := owned.Intersect(req.need)
+			data := make([]float64, have.Len())
+			srcLin.Pack(srcRank, srcLocal, have, data)
+			c.Send(lay.DstBase+req.dstRank, dataTag, linReply{have: have, data: data})
+		}
+	}
+
+	// Destinations unpack one reply per source.
+	if isDst {
+		got := 0
+		for s := 0; s < nSrc; s++ {
+			payload, _ := c.Recv(comm.AnySource, dataTag)
+			rep, ok := payload.(linReply)
+			if !ok {
+				return fmt.Errorf("redist: destination rank %d received %T, want reply", dstRank, payload)
+			}
+			dstLin.Unpack(dstRank, dstLocal, rep.have, rep.data)
+			got += rep.have.Len()
+		}
+		if want := dstLin.OwnedBy(dstRank).Len(); got != want {
+			return fmt.Errorf("redist: destination rank %d received %d of %d positions", dstRank, got, want)
+		}
+	}
+	return nil
+}

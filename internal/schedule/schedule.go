@@ -1,0 +1,403 @@
+// Package schedule computes communication schedules for parallel data
+// redistribution (Section 2.3 of the paper).
+//
+// A schedule specifies, for an array aligned to a source template and an
+// array aligned to a destination template over the same global index
+// space, exactly which elements every source rank must send to every
+// destination rank and where those elements live in each side's canonical
+// local buffer. Schedules are computed once and reused across transfers —
+// and across different arrays, as long as they conform to the same
+// template pair — which is the amortization the paper calls out as the
+// reason templates exist.
+//
+// Schedule construction is not serialized through any coordinator: the
+// per-rank views (OutgoingFor/IncomingFor) let each rank build or consume
+// only its own part, and Build itself is pure CPU work callable
+// independently on every rank.
+package schedule
+
+import (
+	"fmt"
+	"sync"
+
+	"mxn/internal/dad"
+)
+
+// Run is a contiguous span of elements moving between local buffers:
+// N elements starting at SrcOff in the source rank's buffer land at DstOff
+// in the destination rank's buffer.
+type Run struct {
+	SrcOff, DstOff, N int
+}
+
+// PairPlan is everything one (source rank, destination rank) pair must
+// exchange: a list of contiguous runs totalling Elems elements.
+type PairPlan struct {
+	SrcRank, DstRank int
+	Runs             []Run
+	Elems            int
+}
+
+// Schedule is a complete redistribution plan between two conforming
+// templates. It contains one PairPlan per communicating rank pair; pairs
+// with nothing to exchange are absent, so the schedule's size reflects the
+// actual communication pattern.
+type Schedule struct {
+	Src, Dst *dad.Template
+	Pairs    []PairPlan
+
+	bySrc [][]int // source rank -> indices into Pairs
+	byDst [][]int // destination rank -> indices into Pairs
+}
+
+// Build computes the schedule for redistributing data from src to dst.
+// The templates must conform (describe the same global index space).
+func Build(src, dst *dad.Template) (*Schedule, error) {
+	if !src.Conforms(dst) {
+		return nil, fmt.Errorf("schedule: templates do not conform: %v vs %v", src.Dims(), dst.Dims())
+	}
+	s := &Schedule{Src: src, Dst: dst}
+	if !src.IsExplicit() && !dst.IsExplicit() {
+		s.buildAxiswise()
+	} else {
+		s.buildGeneric()
+	}
+	s.index()
+	return s, nil
+}
+
+// index builds the per-rank lookup tables.
+func (s *Schedule) index() {
+	s.bySrc = make([][]int, s.Src.NumProcs())
+	s.byDst = make([][]int, s.Dst.NumProcs())
+	for i, p := range s.Pairs {
+		s.bySrc[p.SrcRank] = append(s.bySrc[p.SrcRank], i)
+		s.byDst[p.DstRank] = append(s.byDst[p.DstRank], i)
+	}
+}
+
+// buildAxiswise handles regular×regular template pairs. Because per-axis
+// distributions are separable, the patch intersection of a rank pair is
+// the cartesian product of per-axis interval intersections; computing the
+// per-axis tables once avoids re-intersecting for every rank pair.
+func (s *Schedule) buildAxiswise() {
+	dims := s.Src.Dims()
+	na := len(dims)
+
+	// axisIx[a][cs][cd] = interval intersections between source coordinate
+	// cs and destination coordinate cd along axis a.
+	axisIx := make([][][][]dad.Interval, na)
+	for a := 0; a < na; a++ {
+		sx := s.Src.Axis(a)
+		dx := s.Dst.Axis(a)
+		tab := make([][][]dad.Interval, sx.Procs)
+		srcIvs := make([][]dad.Interval, sx.Procs)
+		dstIvs := make([][]dad.Interval, dx.Procs)
+		for c := 0; c < sx.Procs; c++ {
+			srcIvs[c] = axisIntervals(sx, dims[a], c)
+		}
+		for c := 0; c < dx.Procs; c++ {
+			dstIvs[c] = axisIntervals(dx, dims[a], c)
+		}
+		for cs := 0; cs < sx.Procs; cs++ {
+			tab[cs] = make([][]dad.Interval, dx.Procs)
+			for cd := 0; cd < dx.Procs; cd++ {
+				tab[cs][cd] = intersectIntervals(srcIvs[cs], dstIvs[cd])
+			}
+		}
+		axisIx[a] = tab
+	}
+
+	// Enumerate communicating coordinate pairs axis by axis, skipping any
+	// combination with an empty axis intersection.
+	srcCoords := make([]int, na)
+	dstCoords := make([]int, na)
+	var walk func(a int)
+	walk = func(a int) {
+		if a == na {
+			srcRank := s.Src.RankOf(srcCoords)
+			dstRank := s.Dst.RankOf(dstCoords)
+			ivLists := make([][]dad.Interval, na)
+			for x := 0; x < na; x++ {
+				ivLists[x] = axisIx[x][srcCoords[x]][dstCoords[x]]
+			}
+			plan := s.buildPairFromIntervalProduct(srcRank, dstRank, ivLists)
+			if plan.Elems > 0 {
+				s.Pairs = append(s.Pairs, plan)
+			}
+			return
+		}
+		sx := s.Src.Axis(a)
+		dx := s.Dst.Axis(a)
+		for cs := 0; cs < sx.Procs; cs++ {
+			for cd := 0; cd < dx.Procs; cd++ {
+				if len(axisIx[a][cs][cd]) == 0 {
+					continue
+				}
+				srcCoords[a] = cs
+				dstCoords[a] = cd
+				walk(a + 1)
+			}
+		}
+	}
+	walk(0)
+}
+
+// buildPairFromIntervalProduct converts the per-axis interval intersection
+// lists of one rank pair into contiguous runs. Every cartesian product of
+// one interval per axis is a region; each last-axis row of a region is
+// one contiguous run in both local layouts (see the layout contiguity
+// argument in internal/dad: within one owned interval, local indices
+// advance by one per global index for every distribution kind).
+func (s *Schedule) buildPairFromIntervalProduct(srcRank, dstRank int, ivLists [][]dad.Interval) PairPlan {
+	plan := PairPlan{SrcRank: srcRank, DstRank: dstRank}
+	na := len(ivLists)
+	sel := make([]int, na)
+	idx := make([]int, na)
+	for {
+		// Region = product of ivLists[a][sel[a]]; iterate its rows.
+		rowLen := ivLists[na-1][sel[na-1]].Len()
+		for a := 0; a < na; a++ {
+			idx[a] = ivLists[a][sel[a]].Lo
+		}
+		for {
+			srcOff := s.Src.LocalOffset(srcRank, idx)
+			dstOff := s.Dst.LocalOffset(dstRank, idx)
+			plan.Runs = append(plan.Runs, Run{SrcOff: srcOff, DstOff: dstOff, N: rowLen})
+			plan.Elems += rowLen
+			// Advance to the next row: bump axes na-2..0 within the region.
+			a := na - 2
+			for a >= 0 {
+				idx[a]++
+				if idx[a] < ivLists[a][sel[a]].Hi {
+					break
+				}
+				idx[a] = ivLists[a][sel[a]].Lo
+				a--
+			}
+			if a < 0 {
+				break
+			}
+		}
+		// Advance to the next region.
+		a := na - 1
+		for a >= 0 {
+			sel[a]++
+			if sel[a] < len(ivLists[a]) {
+				break
+			}
+			sel[a] = 0
+			a--
+		}
+		if a < 0 {
+			return plan
+		}
+	}
+}
+
+// buildGeneric handles template pairs involving explicit distributions by
+// direct patch-list intersection.
+func (s *Schedule) buildGeneric() {
+	na := s.Src.NumAxes()
+	for srcRank := 0; srcRank < s.Src.NumProcs(); srcRank++ {
+		srcPatches := s.Src.Patches(srcRank)
+		if len(srcPatches) == 0 {
+			continue
+		}
+		plans := map[int]*PairPlan{}
+		for dstRank := 0; dstRank < s.Dst.NumProcs(); dstRank++ {
+			for _, dp := range s.Dst.Patches(dstRank) {
+				for _, sp := range srcPatches {
+					region, ok := sp.Intersect(dp)
+					if !ok {
+						continue
+					}
+					plan := plans[dstRank]
+					if plan == nil {
+						plan = &PairPlan{SrcRank: srcRank, DstRank: dstRank}
+						plans[dstRank] = plan
+					}
+					appendRegionRuns(plan, s.Src, s.Dst, srcRank, dstRank, region, na)
+				}
+			}
+		}
+		for dstRank := 0; dstRank < s.Dst.NumProcs(); dstRank++ {
+			if plan := plans[dstRank]; plan != nil && plan.Elems > 0 {
+				s.Pairs = append(s.Pairs, *plan)
+			}
+		}
+	}
+}
+
+// appendRegionRuns emits one run per last-axis row of the region.
+func appendRegionRuns(plan *PairPlan, src, dst *dad.Template, srcRank, dstRank int, region dad.Patch, na int) {
+	rowLen := region.Hi[na-1] - region.Lo[na-1]
+	idx := make([]int, na)
+	copy(idx, region.Lo)
+	for {
+		plan.Runs = append(plan.Runs, Run{
+			SrcOff: src.LocalOffset(srcRank, idx),
+			DstOff: dst.LocalOffset(dstRank, idx),
+			N:      rowLen,
+		})
+		plan.Elems += rowLen
+		a := na - 2
+		for a >= 0 {
+			idx[a]++
+			if idx[a] < region.Hi[a] {
+				break
+			}
+			idx[a] = region.Lo[a]
+			a--
+		}
+		if a < 0 {
+			return
+		}
+	}
+}
+
+// axisIntervals adapts dad's internal per-axis interval computation, which
+// is exposed through Patches; recomputing from the public surface keeps
+// the dependency one-way.
+func axisIntervals(ax dad.AxisDist, n, c int) []dad.Interval {
+	// A single-axis template gives exactly the per-axis intervals.
+	t, err := dad.NewTemplate([]int{n}, []dad.AxisDist{ax})
+	if err != nil {
+		panic(fmt.Sprintf("schedule: invalid axis: %v", err))
+	}
+	var out []dad.Interval
+	for _, p := range t.Patches(c) {
+		out = append(out, dad.Interval{Lo: p.Lo[0], Hi: p.Hi[0]})
+	}
+	return out
+}
+
+// intersectIntervals merges two sorted disjoint interval lists.
+func intersectIntervals(a, b []dad.Interval) []dad.Interval {
+	var out []dad.Interval
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Lo
+		if b[j].Lo > lo {
+			lo = b[j].Lo
+		}
+		hi := a[i].Hi
+		if b[j].Hi < hi {
+			hi = b[j].Hi
+		}
+		if lo < hi {
+			out = append(out, dad.Interval{Lo: lo, Hi: hi})
+		}
+		if a[i].Hi < b[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// OutgoingFor returns the plans where rank is the source.
+func (s *Schedule) OutgoingFor(rank int) []PairPlan {
+	out := make([]PairPlan, 0, len(s.bySrc[rank]))
+	for _, i := range s.bySrc[rank] {
+		out = append(out, s.Pairs[i])
+	}
+	return out
+}
+
+// IncomingFor returns the plans where rank is the destination.
+func (s *Schedule) IncomingFor(rank int) []PairPlan {
+	out := make([]PairPlan, 0, len(s.byDst[rank]))
+	for _, i := range s.byDst[rank] {
+		out = append(out, s.Pairs[i])
+	}
+	return out
+}
+
+// TotalElems returns the number of elements the schedule moves; for a
+// complete redistribution this equals the template size.
+func (s *Schedule) TotalElems() int {
+	n := 0
+	for _, p := range s.Pairs {
+		n += p.Elems
+	}
+	return n
+}
+
+// NumMessages returns the number of communicating rank pairs.
+func (s *Schedule) NumMessages() int { return len(s.Pairs) }
+
+// String summarizes the schedule.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("Schedule(%d→%d ranks, %d messages, %d elements)",
+		s.Src.NumProcs(), s.Dst.NumProcs(), s.NumMessages(), s.TotalElems())
+}
+
+// Pack gathers a plan's elements from the source rank's local buffer into
+// out, which must have length plan.Elems.
+func Pack(plan PairPlan, local, out []float64) {
+	k := 0
+	for _, r := range plan.Runs {
+		copy(out[k:k+r.N], local[r.SrcOff:r.SrcOff+r.N])
+		k += r.N
+	}
+}
+
+// Unpack scatters a packed buffer into the destination rank's local
+// buffer.
+func Unpack(plan PairPlan, local, data []float64) {
+	k := 0
+	for _, r := range plan.Runs {
+		copy(local[r.DstOff:r.DstOff+r.N], data[k:k+r.N])
+		k += r.N
+	}
+}
+
+// Cache memoizes schedules by template pair. The cache is safe for
+// concurrent use; concurrent misses for the same pair may build the
+// schedule more than once, but all callers receive an equivalent plan and
+// one winner is retained.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*Schedule
+
+	hits, misses int
+}
+
+// NewCache returns an empty schedule cache.
+func NewCache() *Cache { return &Cache{m: map[string]*Schedule{}} }
+
+// Get returns the schedule for (src, dst), building and retaining it on
+// first use.
+func (c *Cache) Get(src, dst *dad.Template) (*Schedule, error) {
+	key := src.Key() + "\x00" + dst.Key()
+	c.mu.Lock()
+	if s, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	s, err := Build(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.m[key]; ok {
+		s = prev
+	} else {
+		c.m[key] = s
+	}
+	c.mu.Unlock()
+	return s, nil
+}
+
+// Stats returns cache hit and miss counts.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

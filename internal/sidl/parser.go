@@ -1,0 +1,321 @@
+package sidl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads one SIDL source unit:
+//
+//	package climate version 1.0;
+//
+//	interface Coupler {
+//	    collective void setField(in parallel array<double> field, in int step);
+//	    independent double probe(in int i);
+//	    collective oneway void advance(in int steps);
+//	    array<double> exchange(inout parallel array<double> data); // collective by default? no: independent
+//	}
+//
+// Methods default to independent; `collective`, `independent` and `oneway`
+// may prefix the return type in any order. Parameters are
+// `<mode> [parallel] <type> <name>`. Comments use // and /* */.
+func Parse(src string) (*Package, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pkg, err := p.parsePackage()
+	if err != nil {
+		return nil, err
+	}
+	for i := range pkg.Interfaces {
+		iface := &pkg.Interfaces[i]
+		seen := map[string]bool{}
+		for k := range iface.Methods {
+			m := &iface.Methods[k]
+			if seen[m.Name] {
+				return nil, fmt.Errorf("sidl: %s: duplicate method %q", iface.Name, m.Name)
+			}
+			seen[m.Name] = true
+			if err := m.validate(iface.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// token is one lexical unit with its source line for error messages.
+type token struct {
+	text string
+	line int
+}
+
+// lex splits src into identifier/number/punctuation tokens, stripping
+// comments. array<double> lexes as "array" "<" "double" ">".
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sidl: line %d: unterminated block comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case strings.ContainsRune("{}()<>,;", rune(c)):
+			toks = append(toks, token{string(c), line})
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{src[i:j], line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("sidl: line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *parser) line() int {
+	if p.pos >= len(p.toks) {
+		if len(p.toks) == 0 {
+			return 0
+		}
+		return p.toks[len(p.toks)-1].line
+	}
+	return p.toks[p.pos].line
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("sidl: line %d: expected %q, got %q", p.line(), want, got)
+	}
+	return nil
+}
+
+func (p *parser) ident(what string) (string, error) {
+	t := p.next()
+	if t == "" || strings.ContainsAny(t, "{}()<>,;") || !unicode.IsLetter(rune(t[0])) && t[0] != '_' {
+		return "", fmt.Errorf("sidl: line %d: expected %s, got %q", p.line(), what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) parsePackage() (*Package, error) {
+	pkg := &Package{}
+	if err := p.expect("package"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("package name")
+	if err != nil {
+		return nil, err
+	}
+	pkg.Name = name
+	if p.peek() == "version" {
+		p.next()
+		pkg.Version = p.next()
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.toks) {
+		iface, err := p.parseInterface()
+		if err != nil {
+			return nil, err
+		}
+		for _, prev := range pkg.Interfaces {
+			if prev.Name == iface.Name {
+				return nil, fmt.Errorf("sidl: duplicate interface %q", iface.Name)
+			}
+		}
+		pkg.Interfaces = append(pkg.Interfaces, *iface)
+	}
+	return pkg, nil
+}
+
+func (p *parser) parseInterface() (*Interface, error) {
+	if err := p.expect("interface"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("interface name")
+	if err != nil {
+		return nil, err
+	}
+	iface := &Interface{Name: name}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for p.peek() != "}" {
+		if p.peek() == "" {
+			return nil, fmt.Errorf("sidl: line %d: unterminated interface %q", p.line(), name)
+		}
+		m, err := p.parseMethod()
+		if err != nil {
+			return nil, err
+		}
+		iface.Methods = append(iface.Methods, *m)
+	}
+	p.next() // }
+	return iface, nil
+}
+
+func (p *parser) parseMethod() (*Method, error) {
+	m := &Method{Invocation: Independent}
+	// Attribute prefixes in any order.
+	for {
+		switch p.peek() {
+		case "collective":
+			p.next()
+			m.Invocation = Collective
+			continue
+		case "independent":
+			p.next()
+			m.Invocation = Independent
+			continue
+		case "oneway":
+			p.next()
+			m.OneWay = true
+			continue
+		}
+		break
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	m.Returns = ret
+	name, err := p.ident("method name")
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peek() != ")" {
+		if len(m.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		m.Params = append(m.Params, *param)
+	}
+	p.next() // )
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) parseParam() (*Param, error) {
+	param := &Param{}
+	switch p.next() {
+	case "in":
+		param.Mode = In
+	case "out":
+		param.Mode = Out
+	case "inout":
+		param.Mode = InOut
+	default:
+		return nil, fmt.Errorf("sidl: line %d: parameter must start with in/out/inout", p.line())
+	}
+	if p.peek() == "parallel" {
+		p.next()
+		param.Parallel = true
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if typ == Void {
+		return nil, fmt.Errorf("sidl: line %d: void parameter", p.line())
+	}
+	param.Type = typ
+	name, err := p.ident("parameter name")
+	if err != nil {
+		return nil, err
+	}
+	param.Name = name
+	return param, nil
+}
+
+func (p *parser) parseType() (TypeKind, error) {
+	switch t := p.next(); t {
+	case "void":
+		return Void, nil
+	case "bool":
+		return Bool, nil
+	case "int", "long":
+		return Int, nil
+	case "double", "float":
+		return Double, nil
+	case "string":
+		return String, nil
+	case "array":
+		if err := p.expect("<"); err != nil {
+			return Void, err
+		}
+		elem := p.next()
+		if err := p.expect(">"); err != nil {
+			return Void, err
+		}
+		switch elem {
+		case "double", "float":
+			return DoubleArray, nil
+		case "int", "long":
+			return IntArray, nil
+		default:
+			return Void, fmt.Errorf("sidl: line %d: unsupported array element %q", p.line(), elem)
+		}
+	default:
+		return Void, fmt.Errorf("sidl: line %d: unknown type %q", p.line(), t)
+	}
+}

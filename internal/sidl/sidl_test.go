@@ -1,0 +1,193 @@
+package sidl
+
+import (
+	"strings"
+	"testing"
+)
+
+const coupler = `
+package climate version 1.0;
+
+// The coupling port between atmosphere and ocean.
+interface Coupler {
+    collective void setField(in parallel array<double> field, in int step);
+    independent double probe(in int i);
+    collective oneway void advance(in int steps);
+    double scalarExchange(in double x); /* defaults to independent */
+    collective array<double> exchange(inout parallel array<double> data);
+}
+
+interface Monitor {
+    oneway void log(in string msg);
+}
+`
+
+func TestParseCoupler(t *testing.T) {
+	pkg, err := Parse(coupler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name != "climate" || pkg.Version != "1.0" {
+		t.Errorf("package = %q version %q", pkg.Name, pkg.Version)
+	}
+	if len(pkg.Interfaces) != 2 {
+		t.Fatalf("interfaces = %d", len(pkg.Interfaces))
+	}
+	iface, ok := pkg.Interface("Coupler")
+	if !ok {
+		t.Fatal("no Coupler interface")
+	}
+	if len(iface.Methods) != 5 {
+		t.Fatalf("methods = %d", len(iface.Methods))
+	}
+
+	set, _ := iface.Method("setField")
+	if set.Invocation != Collective || set.OneWay || set.Returns != Void {
+		t.Errorf("setField attrs wrong: %+v", set)
+	}
+	if len(set.Params) != 2 {
+		t.Fatalf("setField params = %d", len(set.Params))
+	}
+	if !set.Params[0].Parallel || set.Params[0].Type != DoubleArray || set.Params[0].Mode != In {
+		t.Errorf("setField field param wrong: %+v", set.Params[0])
+	}
+	if set.Params[1].Parallel || set.Params[1].Type != Int {
+		t.Errorf("setField step param wrong: %+v", set.Params[1])
+	}
+	if !set.HasParallelArgs() {
+		t.Error("setField should report parallel args")
+	}
+
+	probe, _ := iface.Method("probe")
+	if probe.Invocation != Independent || probe.Returns != Double {
+		t.Errorf("probe attrs wrong: %+v", probe)
+	}
+	if probe.HasParallelArgs() {
+		t.Error("probe should not report parallel args")
+	}
+
+	adv, _ := iface.Method("advance")
+	if !adv.OneWay || adv.Invocation != Collective {
+		t.Errorf("advance attrs wrong: %+v", adv)
+	}
+
+	def, _ := iface.Method("scalarExchange")
+	if def.Invocation != Independent {
+		t.Error("default invocation should be independent")
+	}
+
+	ex, _ := iface.Method("exchange")
+	if ex.Returns != DoubleArray || ex.Params[0].Mode != InOut {
+		t.Errorf("exchange attrs wrong: %+v", ex)
+	}
+
+	mon, ok := pkg.Interface("Monitor")
+	if !ok || len(mon.Methods) != 1 {
+		t.Fatal("Monitor interface wrong")
+	}
+	if _, ok := pkg.Interface("Nothing"); ok {
+		t.Error("found nonexistent interface")
+	}
+	if _, ok := iface.Method("nothing"); ok {
+		t.Error("found nonexistent method")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing package", `interface X {}`, "package"},
+		{"missing semicolon", `package p interface X {}`, ";"},
+		{"unterminated interface", `package p; interface X { void f();`, "unterminated"},
+		{"oneway with return", `package p; interface X { oneway int f(); }`, "oneway"},
+		{"oneway with out", `package p; interface X { oneway void f(out int x); }`, "oneway"},
+		{"parallel scalar", `package p; interface X { collective void f(in parallel int x); }`, "parallel"},
+		{"parallel on independent", `package p; interface X { void f(in parallel array<double> x); }`, "collective"},
+		{"duplicate method", `package p; interface X { void f(); void f(); }`, "duplicate method"},
+		{"duplicate param", `package p; interface X { void f(in int a, in int a); }`, "duplicate parameter"},
+		{"duplicate interface", `package p; interface X {} interface X {}`, "duplicate interface"},
+		{"void param", `package p; interface X { void f(in void a); }`, "void"},
+		{"bad array elem", `package p; interface X { void f(in array<string> a); }`, "array element"},
+		{"unknown type", `package p; interface X { quux f(); }`, "unknown type"},
+		{"bad char", `package p; interface X { void f(); } $`, "unexpected character"},
+		{"unterminated comment", `package p; /* oops`, "unterminated block comment"},
+		{"param without mode", `package p; interface X { void f(int a); }`, "in/out/inout"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: parsed successfully", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseEmptyInterfaceAndComments(t *testing.T) {
+	pkg, err := Parse(`
+package p;
+/* block
+   comment */
+interface Empty {
+  // nothing here
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, ok := pkg.Interface("Empty")
+	if !ok || len(iface.Methods) != 0 {
+		t.Error("empty interface parsed wrong")
+	}
+}
+
+func TestPackageWithoutVersion(t *testing.T) {
+	pkg, err := Parse(`package p; interface X { void f(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Version != "" {
+		t.Errorf("version = %q", pkg.Version)
+	}
+}
+
+func TestTypeSpellings(t *testing.T) {
+	pkg, err := Parse(`package p; interface X {
+		long f1();
+		float f2();
+		array<long> f3();
+		array<float> f4();
+		bool f5();
+		string f6();
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, _ := pkg.Interface("X")
+	wants := map[string]TypeKind{
+		"f1": Int, "f2": Double, "f3": IntArray, "f4": DoubleArray, "f5": Bool, "f6": String,
+	}
+	for name, want := range wants {
+		m, ok := iface.Method(name)
+		if !ok || m.Returns != want {
+			t.Errorf("%s returns %v, want %v", name, m.Returns, want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Collective.String() != "collective" || Independent.String() != "independent" {
+		t.Error("invocation strings")
+	}
+	if In.String() != "in" || InOut.String() != "inout" || Out.String() != "out" {
+		t.Error("mode strings")
+	}
+	if DoubleArray.String() != "array<double>" || Void.String() != "void" {
+		t.Error("type strings")
+	}
+}

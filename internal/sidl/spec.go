@@ -1,0 +1,188 @@
+// Package sidl implements a small Scientific Interface Definition Language
+// in the spirit of the CCA's SIDL, extended — as SCIRun2 and DCA extend it
+// (Sections 4.2 and 4.3 of the paper) — with the parallel remote method
+// invocation attributes: methods may be declared collective (all-to-all)
+// or independent (one-to-one), may be oneway (no reply, caller continues
+// immediately), and array parameters may be declared parallel (decomposed
+// across the cohort and redistributed by the framework).
+//
+// The package parses interface definitions into method specifications that
+// the PRMI runtime consumes. It replaces the offline IDL-compiler glue
+// generation of Babel/SCIRun2 with a run-time spec registry, which carries
+// the same semantic information.
+package sidl
+
+import "fmt"
+
+// TypeKind enumerates the value types that can cross a port boundary.
+type TypeKind int
+
+// Supported SIDL types.
+const (
+	Void TypeKind = iota
+	Bool
+	Int    // 64-bit integer on the wire
+	Double // IEEE-754 double
+	String
+	DoubleArray // array<double>
+	IntArray    // array<int>
+)
+
+// String returns the SIDL spelling of the type.
+func (k TypeKind) String() string {
+	switch k {
+	case Void:
+		return "void"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Double:
+		return "double"
+	case String:
+		return "string"
+	case DoubleArray:
+		return "array<double>"
+	case IntArray:
+		return "array<int>"
+	}
+	return fmt.Sprintf("TypeKind(%d)", int(k))
+}
+
+// isArray reports whether the type may carry the parallel attribute.
+func (k TypeKind) isArray() bool { return k == DoubleArray || k == IntArray }
+
+// ParamMode is a parameter's direction attribute.
+type ParamMode int
+
+// Parameter directions.
+const (
+	In ParamMode = iota
+	Out
+	InOut
+)
+
+// String returns the SIDL spelling of the mode.
+func (m ParamMode) String() string {
+	switch m {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	}
+	return fmt.Sprintf("ParamMode(%d)", int(m))
+}
+
+// Invocation distinguishes the two PRMI method classes of the paper's
+// SCIRun2 SIDL extension.
+type Invocation int
+
+// Invocation kinds.
+const (
+	// Independent: normal serial function-call semantics between one
+	// caller process and one callee process.
+	Independent Invocation = iota
+	// Collective: all participating caller processes invoke together and
+	// the call is presented as a single logical invocation to the callee
+	// cohort; ghost invocations and return values bridge M≠N.
+	Collective
+)
+
+// String returns the SIDL spelling of the invocation kind.
+func (i Invocation) String() string {
+	if i == Collective {
+		return "collective"
+	}
+	return "independent"
+}
+
+// Param is one declared method parameter.
+type Param struct {
+	Name     string
+	Type     TypeKind
+	Mode     ParamMode
+	Parallel bool // decomposed across the cohort; requires an array type
+}
+
+// Method is one declared port method with its PRMI attributes.
+type Method struct {
+	Name       string
+	Invocation Invocation
+	OneWay     bool
+	Returns    TypeKind
+	Params     []Param
+}
+
+// HasParallelArgs reports whether any parameter is parallel.
+func (m *Method) HasParallelArgs() bool {
+	for _, p := range m.Params {
+		if p.Parallel {
+			return true
+		}
+	}
+	return false
+}
+
+// validate enforces the semantic rules of the PRMI extensions.
+func (m *Method) validate(iface string) error {
+	if m.OneWay {
+		if m.Returns != Void {
+			return fmt.Errorf("sidl: %s.%s: oneway methods must return void (the paper's CORBA-derived rule)", iface, m.Name)
+		}
+		for _, p := range m.Params {
+			if p.Mode != In {
+				return fmt.Errorf("sidl: %s.%s: oneway methods cannot have %s parameter %q", iface, m.Name, p.Mode, p.Name)
+			}
+		}
+	}
+	names := map[string]bool{}
+	for _, p := range m.Params {
+		if names[p.Name] {
+			return fmt.Errorf("sidl: %s.%s: duplicate parameter %q", iface, m.Name, p.Name)
+		}
+		names[p.Name] = true
+		if p.Parallel && !p.Type.isArray() {
+			return fmt.Errorf("sidl: %s.%s: parameter %q is parallel but %s is not an array type", iface, m.Name, p.Name, p.Type)
+		}
+		if p.Parallel && m.Invocation != Collective {
+			return fmt.Errorf("sidl: %s.%s: parallel parameter %q requires a collective method", iface, m.Name, p.Name)
+		}
+	}
+	return nil
+}
+
+// Interface is a named port interface: the unit a provides port implements
+// and a uses port connects to.
+type Interface struct {
+	Name    string
+	Methods []Method
+}
+
+// Method returns the named method, if declared.
+func (i *Interface) Method(name string) (*Method, bool) {
+	for k := range i.Methods {
+		if i.Methods[k].Name == name {
+			return &i.Methods[k], true
+		}
+	}
+	return nil, false
+}
+
+// Package is one parsed SIDL source unit.
+type Package struct {
+	Name       string
+	Version    string
+	Interfaces []Interface
+}
+
+// Interface returns the named interface, if declared.
+func (p *Package) Interface(name string) (*Interface, bool) {
+	for k := range p.Interfaces {
+		if p.Interfaces[k].Name == name {
+			return &p.Interfaces[k], true
+		}
+	}
+	return nil, false
+}

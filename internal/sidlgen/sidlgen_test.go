@@ -1,0 +1,95 @@
+package sidlgen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"mxn/internal/sidl"
+)
+
+const demoIDL = `
+package demo version 1.0;
+
+interface VectorOps {
+    collective double dot(in parallel array<double> x, in parallel array<double> y);
+    collective void normalize(inout parallel array<double> x, in double norm);
+    independent double element(in int i);
+    collective oneway void report(in string phase);
+}
+`
+
+func generate(t *testing.T, src string) string {
+	t.Helper()
+	pkg, err := sidl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(pkg, "stubs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestGeneratedCodeParses(t *testing.T) {
+	out := generate(t, demoIDL)
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "generated.go", out, parser.AllErrors); err != nil {
+		t.Fatalf("generated code does not parse: %v\n----\n%s", err, out)
+	}
+}
+
+func TestGeneratedSurface(t *testing.T) {
+	out := generate(t, demoIDL)
+	for _, want := range []string{
+		"type VectorOpsClient struct",
+		"func (c *VectorOpsClient) Dot(part mxn.Participation, xTpl *mxn.Template, x []float64, yTpl *mxn.Template, y []float64) (float64, error)",
+		"func (c *VectorOpsClient) Normalize(part mxn.Participation, xTpl *mxn.Template, x []float64, norm float64) error",
+		"func (c *VectorOpsClient) Element(target int, i int64) (float64, error)",
+		"func (c *VectorOpsClient) Report(part mxn.Participation, phase string) error",
+		"type VectorOpsServer interface",
+		"Dot(meta *mxn.Incoming, x []float64, y []float64) (float64, error)",
+		"Normalize(meta *mxn.Incoming, x []float64, norm float64) error",
+		"func RegisterVectorOps(ep *mxn.Endpoint, impl VectorOpsServer) error",
+		`ep.Handle("dot"`,
+		`in.Parallel["x"]`,
+		`out.Parallel["x"]`, // inout buffer for normalize
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+	// One-way client methods must not wait for results.
+	if !strings.Contains(out, "func (c *VectorOpsClient) Report(part mxn.Participation, phase string) error {\n\t_, err := c.Port.CallCollective(\"report\", part, mxn.Simple(\"phase\", phase))\n\treturn err\n}") {
+		t.Error("one-way client body wrong")
+	}
+}
+
+func TestGeneratorRejectsParallelIntArrays(t *testing.T) {
+	pkg, err := sidl.Parse(`package p; interface I { collective void f(in parallel array<int> x); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(pkg, "stubs"); err == nil {
+		t.Error("parallel array<int> accepted")
+	}
+}
+
+func TestVoidAndBoolReturns(t *testing.T) {
+	out := generate(t, `package p; interface I {
+		collective void ping(in int n);
+		independent bool check(in double x);
+	}`)
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "g.go", out, parser.AllErrors); err != nil {
+		t.Fatalf("parse: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "func (c *IClient) Ping(part mxn.Participation, n int64) error") {
+		t.Error("void return signature wrong")
+	}
+	if !strings.Contains(out, "func (c *IClient) Check(target int, x float64) (bool, error)") {
+		t.Error("bool return signature wrong")
+	}
+}

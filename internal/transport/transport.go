@@ -1,0 +1,236 @@
+// Package transport provides message-oriented connections between
+// component framework instances. Two implementations are included: an
+// in-memory "inproc" transport for co-located frameworks (the out-of-band
+// channel between paired M×N components in Figure 3 of the paper), and a
+// TCP transport (stdlib net) for genuinely distributed frameworks.
+//
+// Both expose the same contract: a Conn carries whole messages ([]byte
+// frames) reliably and in order in each direction, full-duplex.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mxn/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed Conn or Listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a reliable, ordered, full-duplex message connection.
+type Conn interface {
+	// Send transmits one message. It may block for flow control.
+	Send(msg []byte) error
+	// Recv blocks until the next message arrives.
+	Recv() ([]byte, error)
+	// Close releases the connection. Pending and future operations on
+	// either end fail with ErrClosed (or io errors for TCP).
+	Close() error
+}
+
+// Listener accepts incoming connections at an address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the address peers should Dial.
+	Addr() string
+}
+
+// Listen opens a listener. network is "inproc" or "tcp". For inproc the
+// address is an arbitrary name unique within the process; for tcp it is a
+// host:port (use "127.0.0.1:0" to pick a free port, then read Addr).
+func Listen(network, addr string) (Listener, error) {
+	switch network {
+	case "inproc":
+		return listenInproc(addr)
+	case "tcp":
+		nl, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return &tcpListener{nl: nl}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown network %q", network)
+	}
+}
+
+// Dial connects to a listener.
+func Dial(network, addr string) (Conn, error) {
+	switch network {
+	case "inproc":
+		return dialInproc(addr)
+	case "tcp":
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return newTCPConn(nc), nil
+	default:
+		return nil, fmt.Errorf("transport: unknown network %q", network)
+	}
+}
+
+// Pipe returns a connected pair of in-memory Conns, useful for tests and
+// for wiring paired M×N components inside one process without naming an
+// address.
+func Pipe() (Conn, Conn) {
+	a2b := make(chan []byte, pipeDepth)
+	b2a := make(chan []byte, pipeDepth)
+	closed := make(chan struct{})
+	var once sync.Once
+	closeFn := func() { once.Do(func() { close(closed) }) }
+	a := &chanConn{out: a2b, in: b2a, closed: closed, close: closeFn}
+	b := &chanConn{out: b2a, in: a2b, closed: closed, close: closeFn}
+	return a, b
+}
+
+// pipeDepth is the per-direction buffering of inproc connections. Senders
+// block when the peer falls this many messages behind, providing the same
+// back-pressure a TCP socket buffer would.
+const pipeDepth = 64
+
+// chanConn is a channel-backed Conn half.
+type chanConn struct {
+	out    chan<- []byte
+	in     <-chan []byte
+	closed chan struct{}
+	close  func()
+}
+
+func (c *chanConn) Send(msg []byte) error {
+	// Copy so the caller may reuse its buffer, matching TCP semantics.
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case c.out <- cp:
+		return nil
+	}
+}
+
+func (c *chanConn) Recv() ([]byte, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.closed:
+		// Drain anything already queued before reporting closure, so a
+		// close racing the last message does not drop it.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.close()
+	return nil
+}
+
+// inproc listener registry.
+var inprocMu sync.Mutex
+var inprocListeners = map[string]*inprocListener{}
+
+type inprocListener struct {
+	addr    string
+	backlog chan Conn
+	closed  chan struct{}
+	once    sync.Once
+}
+
+func listenInproc(addr string) (Listener, error) {
+	inprocMu.Lock()
+	defer inprocMu.Unlock()
+	if _, ok := inprocListeners[addr]; ok {
+		return nil, fmt.Errorf("transport: inproc address %q already in use", addr)
+	}
+	l := &inprocListener{addr: addr, backlog: make(chan Conn, 16), closed: make(chan struct{})}
+	inprocListeners[addr] = l
+	return l, nil
+}
+
+func dialInproc(addr string) (Conn, error) {
+	inprocMu.Lock()
+	l, ok := inprocListeners[addr]
+	inprocMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no inproc listener at %q", addr)
+	}
+	a, b := Pipe()
+	select {
+	case l.backlog <- b:
+		return a, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		inprocMu.Lock()
+		delete(inprocListeners, l.addr)
+		inprocMu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+// tcpConn frames messages over a net.Conn using the wire framing.
+type tcpConn struct {
+	nc   net.Conn
+	sMu  sync.Mutex // serializes writers
+	rMu  sync.Mutex // serializes readers
+	once sync.Once
+}
+
+func newTCPConn(nc net.Conn) *tcpConn { return &tcpConn{nc: nc} }
+
+func (c *tcpConn) Send(msg []byte) error {
+	c.sMu.Lock()
+	defer c.sMu.Unlock()
+	return wire.WriteFrame(c.nc, msg)
+}
+
+func (c *tcpConn) Recv() ([]byte, error) {
+	c.rMu.Lock()
+	defer c.rMu.Unlock()
+	return wire.ReadFrame(c.nc)
+}
+
+func (c *tcpConn) Close() error {
+	var err error
+	c.once.Do(func() { err = c.nc.Close() })
+	return err
+}
+
+type tcpListener struct {
+	nl net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }

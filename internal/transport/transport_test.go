@@ -1,0 +1,232 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testConnPair(t *testing.T, a, b Conn) {
+	t.Helper()
+	// Both directions, ordering preserved.
+	const n = 50
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send([]byte(fmt.Sprintf("a%d", i))); err != nil {
+				t.Errorf("a send: %v", err)
+				return
+			}
+		}
+		for i := 0; i < n; i++ {
+			m, err := a.Recv()
+			if err != nil {
+				t.Errorf("a recv: %v", err)
+				return
+			}
+			if want := fmt.Sprintf("b%d", i); string(m) != want {
+				t.Errorf("a got %q want %q", m, want)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := b.Send([]byte(fmt.Sprintf("b%d", i))); err != nil {
+				t.Errorf("b send: %v", err)
+				return
+			}
+		}
+		for i := 0; i < n; i++ {
+			m, err := b.Recv()
+			if err != nil {
+				t.Errorf("b recv: %v", err)
+				return
+			}
+			if want := fmt.Sprintf("a%d", i); string(m) != want {
+				t.Errorf("b got %q want %q", m, want)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestPipe(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	testConnPair(t, a, b)
+}
+
+func TestPipeSenderBufferReuse(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	buf := []byte("first")
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXX") // mutate after send
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m, []byte("first")) {
+		t.Errorf("message aliased sender buffer: %q", m)
+	}
+}
+
+func TestInproc(t *testing.T) {
+	l, err := Listen("inproc", "test-ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr() != "test-ep" {
+		t.Errorf("addr = %q", l.Addr())
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var srv Conn
+	go func() {
+		defer wg.Done()
+		srv, err = l.Accept()
+	}()
+	cli, derr := Dial("inproc", "test-ep")
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testConnPair(t, cli, srv)
+	cli.Close()
+}
+
+func TestInprocAddressConflictAndRelease(t *testing.T) {
+	l, err := Listen("inproc", "conflict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen("inproc", "conflict"); err == nil {
+		t.Error("duplicate inproc listen succeeded")
+	}
+	l.Close()
+	// Address is free again after close.
+	l2, err := Listen("inproc", "conflict")
+	if err != nil {
+		t.Errorf("relisten after close: %v", err)
+	} else {
+		l2.Close()
+	}
+}
+
+func TestInprocDialNoListener(t *testing.T) {
+	if _, err := Dial("inproc", "nobody-home"); err == nil {
+		t.Error("dial to missing listener succeeded")
+	}
+}
+
+func TestTCP(t *testing.T) {
+	l, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var srv Conn
+	var aerr error
+	go func() {
+		defer wg.Done()
+		srv, aerr = l.Accept()
+	}()
+	cli, err := Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	testConnPair(t, cli, srv)
+	cli.Close()
+	srv.Close()
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	l, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		srv, err := l.Accept()
+		if err != nil {
+			return
+		}
+		m, err := srv.Recv()
+		if err == nil {
+			srv.Send(m) // echo
+		}
+		srv.Close()
+	}()
+	cli, err := Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	if err := cli.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Error("large message corrupted in transit")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; err != ErrClosed {
+		t.Errorf("recv after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseDoesNotDropQueued(t *testing.T) {
+	a, b := Pipe()
+	if err := a.Send([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	m, err := b.Recv()
+	if err != nil || string(m) != "last words" {
+		t.Errorf("queued message lost: %q %v", m, err)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Errorf("second recv: %v", err)
+	}
+}
+
+func TestUnknownNetwork(t *testing.T) {
+	if _, err := Listen("udp", "x"); err == nil {
+		t.Error("Listen(udp) succeeded")
+	}
+	if _, err := Dial("carrier-pigeon", "x"); err == nil {
+		t.Error("Dial(carrier-pigeon) succeeded")
+	}
+}

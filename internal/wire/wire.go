@@ -1,0 +1,404 @@
+// Package wire implements the binary encoding used when M×N middleware
+// traffic leaves a process: framed messages over a stream, and a compact
+// self-describing encoding for the value kinds that cross component
+// boundaries (scalars, strings, numeric arrays and descriptor metadata).
+//
+// The encoding is little-endian and length-prefixed throughout. It is not a
+// general serialization system; it covers exactly the types the paper's
+// middleware moves — which keeps the codec allocation-light and easy to
+// audit.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrCorrupt reports a malformed buffer.
+var ErrCorrupt = errors.New("wire: corrupt data")
+
+// Encoder appends encoded values to a byte buffer. The zero value is ready
+// to use; Bytes returns the accumulated encoding.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder that appends to buf (which may be nil).
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset discards the accumulated encoding but keeps the capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Len returns the current encoded length in bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// PutUint64 appends a fixed-width 64-bit unsigned integer.
+func (e *Encoder) PutUint64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// PutInt64 appends a fixed-width 64-bit signed integer.
+func (e *Encoder) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutInt appends an int as a 64-bit signed integer.
+func (e *Encoder) PutInt(v int) { e.PutInt64(int64(v)) }
+
+// PutUvarint appends a variable-width unsigned integer.
+func (e *Encoder) PutUvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// PutFloat64 appends an IEEE-754 double.
+func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
+
+// PutBool appends a boolean as one byte.
+func (e *Encoder) PutBool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+// PutByte appends a raw byte.
+func (e *Encoder) PutByte(b byte) { e.buf = append(e.buf, b) }
+
+// PutString appends a length-prefixed string.
+func (e *Encoder) PutString(s string) {
+	e.PutUvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutFloat64s appends a length-prefixed []float64.
+func (e *Encoder) PutFloat64s(v []float64) {
+	e.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		e.PutFloat64(x)
+	}
+}
+
+// PutInt64s appends a length-prefixed []int64.
+func (e *Encoder) PutInt64s(v []int64) {
+	e.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		e.PutInt64(x)
+	}
+}
+
+// PutInts appends a length-prefixed []int.
+func (e *Encoder) PutInts(v []int) {
+	e.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		e.PutInt64(int64(x))
+	}
+}
+
+// Decoder consumes values from a byte buffer produced by Encoder. Decode
+// errors are sticky: after the first failure every subsequent Get reports
+// the same error through Err, and zero values are returned.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder reading from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uint64 reads a fixed-width 64-bit unsigned integer.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int64 reads a fixed-width 64-bit signed integer.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Int reads an int encoded by PutInt.
+func (d *Decoder) Int() int { return int(d.Int64()) }
+
+// Uvarint reads a variable-width unsigned integer.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Float64 reads an IEEE-754 double.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool {
+	b := d.take(1)
+	if b == nil {
+		return false
+	}
+	return b[0] != 0
+}
+
+// Byte reads a raw byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// stringLen validates a length prefix against the remaining buffer.
+func (d *Decoder) lenPrefix() (int, bool) {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0, false
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail()
+		return 0, false
+	}
+	return int(n), true
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n, ok := d.lenPrefix()
+	if !ok {
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// Bytes reads a length-prefixed byte slice. The result is a copy.
+func (d *Decoder) Bytes() []byte {
+	n, ok := d.lenPrefix()
+	if !ok {
+		return nil
+	}
+	b := d.take(n)
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Float64s reads a length-prefixed []float64.
+func (d *Decoder) Float64s() []float64 {
+	n := d.Uvarint()
+	if d.err != nil || n > uint64(d.Remaining()/8) {
+		d.fail()
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Float64()
+	}
+	return out
+}
+
+// Int64s reads a length-prefixed []int64.
+func (d *Decoder) Int64s() []int64 {
+	n := d.Uvarint()
+	if d.err != nil || n > uint64(d.Remaining()/8) {
+		d.fail()
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.Int64()
+	}
+	return out
+}
+
+// Ints reads a []int encoded by PutInts.
+func (d *Decoder) Ints() []int {
+	n := d.Uvarint()
+	if d.err != nil || n > uint64(d.Remaining()/8) {
+		d.fail()
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.Int64())
+	}
+	return out
+}
+
+// Value type tags for the self-describing any-encoding.
+const (
+	tagNil byte = iota
+	tagBool
+	tagInt64
+	tagFloat64
+	tagString
+	tagBytes
+	tagFloat64s
+	tagInt64s
+	tagInts
+	tagList
+)
+
+// PutValue appends a self-describing encoding of v. Supported dynamic
+// types: nil, bool, int, int64, float64, string, []byte, []float64,
+// []int64, []int and []any (recursively). Other types panic: the caller is
+// middleware code that controls what crosses the wire, so an unsupported
+// type is a programming error, not input.
+func (e *Encoder) PutValue(v any) {
+	switch x := v.(type) {
+	case nil:
+		e.PutByte(tagNil)
+	case bool:
+		e.PutByte(tagBool)
+		e.PutBool(x)
+	case int:
+		e.PutByte(tagInt64)
+		e.PutInt64(int64(x))
+	case int64:
+		e.PutByte(tagInt64)
+		e.PutInt64(x)
+	case float64:
+		e.PutByte(tagFloat64)
+		e.PutFloat64(x)
+	case string:
+		e.PutByte(tagString)
+		e.PutString(x)
+	case []byte:
+		e.PutByte(tagBytes)
+		e.PutBytes(x)
+	case []float64:
+		e.PutByte(tagFloat64s)
+		e.PutFloat64s(x)
+	case []int64:
+		e.PutByte(tagInt64s)
+		e.PutInt64s(x)
+	case []int:
+		e.PutByte(tagInts)
+		e.PutInts(x)
+	case []any:
+		e.PutByte(tagList)
+		e.PutUvarint(uint64(len(x)))
+		for _, el := range x {
+			e.PutValue(el)
+		}
+	default:
+		panic(fmt.Sprintf("wire: unsupported value type %T", v))
+	}
+}
+
+// Value reads a value written by PutValue. Integers decode as int64.
+func (d *Decoder) Value() any {
+	tag := d.Byte()
+	if d.err != nil {
+		return nil
+	}
+	switch tag {
+	case tagNil:
+		return nil
+	case tagBool:
+		return d.Bool()
+	case tagInt64:
+		return d.Int64()
+	case tagFloat64:
+		return d.Float64()
+	case tagString:
+		return d.String()
+	case tagBytes:
+		return d.Bytes()
+	case tagFloat64s:
+		return d.Float64s()
+	case tagInt64s:
+		return d.Int64s()
+	case tagInts:
+		return d.Ints()
+	case tagList:
+		n := d.Uvarint()
+		if d.err != nil || n > uint64(d.Remaining()) {
+			d.fail()
+			return nil
+		}
+		out := make([]any, n)
+		for i := range out {
+			out[i] = d.Value()
+		}
+		return out
+	default:
+		d.fail()
+		return nil
+	}
+}
+
+// Frame I/O: each frame is a 4-byte little-endian length followed by the
+// payload. MaxFrame bounds a single frame to guard against corrupt peers.
+const MaxFrame = 1 << 30
+
+// WriteFrame writes one length-prefixed frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

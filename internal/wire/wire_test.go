@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutUint64(math.MaxUint64)
+	e.PutInt64(-12345)
+	e.PutInt(-7)
+	e.PutUvarint(300)
+	e.PutFloat64(math.Pi)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutByte(0xAB)
+	e.PutString("hello, 世界")
+	e.PutBytes([]byte{1, 2, 3})
+	e.PutFloat64s([]float64{1.5, -2.5})
+	e.PutInt64s([]int64{-1, 0, 1})
+	e.PutInts([]int{9, 8})
+
+	d := NewDecoder(e.Bytes())
+	if v := d.Uint64(); v != math.MaxUint64 {
+		t.Errorf("Uint64 = %v", v)
+	}
+	if v := d.Int64(); v != -12345 {
+		t.Errorf("Int64 = %v", v)
+	}
+	if v := d.Int(); v != -7 {
+		t.Errorf("Int = %v", v)
+	}
+	if v := d.Uvarint(); v != 300 {
+		t.Errorf("Uvarint = %v", v)
+	}
+	if v := d.Float64(); v != math.Pi {
+		t.Errorf("Float64 = %v", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if v := d.Byte(); v != 0xAB {
+		t.Errorf("Byte = %x", v)
+	}
+	if v := d.String(); v != "hello, 世界" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.Bytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", v)
+	}
+	if v := d.Float64s(); !reflect.DeepEqual(v, []float64{1.5, -2.5}) {
+		t.Errorf("Float64s = %v", v)
+	}
+	if v := d.Int64s(); !reflect.DeepEqual(v, []int64{-1, 0, 1}) {
+		t.Errorf("Int64s = %v", v)
+	}
+	if v := d.Ints(); !reflect.DeepEqual(v, []int{9, 8}) {
+		t.Errorf("Ints = %v", v)
+	}
+	if d.Err() != nil {
+		t.Errorf("decoder error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	cases := []any{
+		nil,
+		true,
+		int64(-99),
+		3.75,
+		"s",
+		[]byte{0xFF},
+		[]float64{1, 2, 3},
+		[]int64{5},
+		[]int{1, 2},
+		[]any{int64(1), "two", []float64{3}},
+	}
+	for _, want := range cases {
+		e := NewEncoder(nil)
+		e.PutValue(want)
+		d := NewDecoder(e.Bytes())
+		got := d.Value()
+		if d.Err() != nil {
+			t.Errorf("%v: decode error %v", want, d.Err())
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("value round trip: got %#v want %#v", got, want)
+		}
+	}
+}
+
+func TestValueIntBecomesInt64(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutValue(42) // plain int
+	d := NewDecoder(e.Bytes())
+	if got := d.Value(); got != int64(42) {
+		t.Errorf("got %#v, want int64(42)", got)
+	}
+}
+
+func TestValueUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PutValue(struct{}{}) did not panic")
+		}
+	}()
+	NewEncoder(nil).PutValue(struct{}{})
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2}) // too short for anything big
+	_ = d.Uint64()
+	if d.Err() == nil {
+		t.Fatal("short read did not error")
+	}
+	// Subsequent reads return zero values, no panic.
+	if d.Int64() != 0 || d.Float64() != 0 || d.String() != "" {
+		t.Error("post-error reads returned nonzero values")
+	}
+}
+
+func TestCorruptLengthPrefix(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutUvarint(1 << 40) // claims a huge string
+	d := NewDecoder(e.Bytes())
+	if s := d.String(); s != "" || d.Err() == nil {
+		t.Errorf("oversized prefix: got %q err=%v", s, d.Err())
+	}
+	// Oversized slice claim must not allocate petabytes.
+	e2 := NewEncoder(nil)
+	e2.PutUvarint(1 << 40)
+	d2 := NewDecoder(e2.Bytes())
+	if v := d2.Float64s(); v != nil || d2.Err() == nil {
+		t.Errorf("oversized float64s: got %v err=%v", v, d2.Err())
+	}
+}
+
+func TestCorruptValueTag(t *testing.T) {
+	d := NewDecoder([]byte{0xEE})
+	if v := d.Value(); v != nil || d.Err() == nil {
+		t.Errorf("bad tag: got %v err=%v", v, d.Err())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := [][]byte{[]byte("one"), {}, []byte("three")}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame did not error")
+	}
+}
+
+// Property: any sequence of primitive values round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, fl float64, b bool, s string, bs []byte, fs []float64, is []int64) bool {
+		e := NewEncoder(nil)
+		e.PutUint64(u)
+		e.PutInt64(i)
+		e.PutFloat64(fl)
+		e.PutBool(b)
+		e.PutString(s)
+		e.PutBytes(bs)
+		e.PutFloat64s(fs)
+		e.PutInt64s(is)
+		d := NewDecoder(e.Bytes())
+		gotU := d.Uint64()
+		gotI := d.Int64()
+		gotF := d.Float64()
+		gotB := d.Bool()
+		gotS := d.String()
+		gotBs := d.Bytes()
+		gotFs := d.Float64s()
+		gotIs := d.Int64s()
+		if d.Err() != nil || d.Remaining() != 0 {
+			return false
+		}
+		if gotU != u || gotI != i || gotB != b || gotS != s {
+			return false
+		}
+		// NaN-safe float comparison via bit patterns.
+		if math.Float64bits(gotF) != math.Float64bits(fl) {
+			return false
+		}
+		if len(gotBs) != len(bs) || !bytes.Equal(gotBs, bs) {
+			return false
+		}
+		if len(gotFs) != len(fs) || len(gotIs) != len(is) {
+			return false
+		}
+		for k := range fs {
+			if math.Float64bits(gotFs[k]) != math.Float64bits(fs[k]) {
+				return false
+			}
+		}
+		for k := range is {
+			if gotIs[k] != is[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decoder never panics on arbitrary input bytes.
+func TestQuickDecoderRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		d := NewDecoder(data)
+		for d.Err() == nil && d.Remaining() > 0 {
+			_ = d.Value()
+		}
+		return true // reaching here without panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,356 @@
+// Package mxn is a Go implementation of the parallel data redistribution
+// and parallel remote method invocation (PRMI) middleware for parallel
+// component architectures described in:
+//
+//	Bertrand, Bramley, Bernholdt, Kohl, Sussman, Larson, Damevski.
+//	"Data Redistribution and Remote Method Invocation in Parallel
+//	Component Architectures." IPPS/IPDPS 2005.
+//
+// The library solves the "M×N problem": two parallel programs — one on M
+// processes, one on N — must exchange distributed data structures whose
+// decompositions differ, and invoke methods on each other collectively.
+//
+// This root package is the public facade: it re-exports the library's
+// types and constructors so downstream users need a single import. The
+// implementation lives in focused subsystems:
+//
+//   - Distributed Array Descriptors (templates, per-axis and explicit
+//     distributions, local layout math) — the paper's Section 2.2.2.
+//   - Linearization, the alternative intermediate representation
+//     (Section 2.2.1).
+//   - Communication schedules: computed once, reused across transfers
+//     and across conforming arrays (Section 2.3).
+//   - Redistribution executors, including the generalized M×N component
+//     with registration, one-shot and persistent connections, and
+//     matched DataReady semantics (Section 4.1).
+//   - PRMI: independent/collective/one-way invocations declared in a
+//     small scientific IDL, ghost invocations and returns for M≠N,
+//     parallel arguments redistributed automatically, and both delivery
+//     strategies of the paper's Figure 5 (Section 2.4).
+//   - The surveyed implementations rebuilt on the same substrates:
+//     SCIRun2-style IDL-driven framework, the MPI-flavoured DCA,
+//     InterComm's timestamp-coordinated import/export, the Model Coupling
+//     Toolkit layer, and CUMULVS-style visualization/steering
+//     (Section 4, Figure 4).
+//
+// An MPI-like in-process runtime (ranks as goroutines, tagged messages,
+// collectives) substitutes for MPI so the whole system runs and is
+// testable on one machine; a TCP transport serves genuinely distributed
+// deployments.
+package mxn
+
+import (
+	"mxn/internal/comm"
+	"mxn/internal/core"
+	"mxn/internal/dad"
+	"mxn/internal/linear"
+	"mxn/internal/prmi"
+	"mxn/internal/redist"
+	"mxn/internal/schedule"
+	"mxn/internal/sidl"
+	"mxn/internal/transport"
+)
+
+// ---- Parallel runtime (MPI substitute) ----
+
+// Comm is one rank's communicator handle: tagged point-to-point messages
+// plus barrier/bcast/gather/allgather/reduce/alltoallv collectives.
+type Comm = comm.Comm
+
+// World is a fixed set of ranks that can exchange messages.
+type World = comm.World
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) *World { return comm.NewWorld(n) }
+
+// Run spawns n goroutine ranks over a fresh world and blocks until all
+// return — the standard way to stand up a parallel cohort.
+func Run(n int, body func(c *Comm)) { comm.Run(n, body) }
+
+// Wildcards for Comm.Recv.
+const (
+	AnySource = comm.AnySource
+	AnyTag    = comm.AnyTag
+)
+
+// ---- Distributed Array Descriptors ----
+
+// Template describes the logical distribution of a global index space
+// over a process grid (or an explicit patch tiling).
+type Template = dad.Template
+
+// AxisDist is one axis's distribution.
+type AxisDist = dad.AxisDist
+
+// Patch is an axis-aligned rectangle of global index space owned by one
+// rank.
+type Patch = dad.Patch
+
+// Descriptor is a registered distributed array: name, element kind,
+// access mode and template.
+type Descriptor = dad.Descriptor
+
+// Access is a field's allowed transfer directions.
+type Access = dad.Access
+
+// Access modes.
+const (
+	ReadOnly  = dad.ReadOnly
+	WriteOnly = dad.WriteOnly
+	ReadWrite = dad.ReadWrite
+)
+
+// ElemKind is a distributed array's element type.
+type ElemKind = dad.ElemKind
+
+// Element kinds.
+const (
+	Float64 = dad.Float64
+	Float32 = dad.Float32
+	Int64   = dad.Int64
+	Int32   = dad.Int32
+	Byte    = dad.Byte
+)
+
+// NewTemplate builds a regular template from per-axis distributions.
+func NewTemplate(dims []int, axes []AxisDist) (*Template, error) { return dad.NewTemplate(dims, axes) }
+
+// NewExplicitTemplate builds a template from an arbitrary non-overlapping
+// patch tiling.
+func NewExplicitTemplate(dims []int, nprocs int, patches []Patch) (*Template, error) {
+	return dad.NewExplicitTemplate(dims, nprocs, patches)
+}
+
+// NewDescriptor builds a validated descriptor.
+func NewDescriptor(name string, elem ElemKind, mode Access, t *Template) (*Descriptor, error) {
+	return dad.NewDescriptor(name, elem, mode, t)
+}
+
+// NewPatch builds a patch with copied bounds.
+func NewPatch(lo, hi []int, owner int) Patch { return dad.NewPatch(lo, hi, owner) }
+
+// Per-axis distribution constructors.
+var (
+	CollapsedAxis   = dad.CollapsedAxis
+	BlockAxis       = dad.BlockAxis
+	CyclicAxis      = dad.CyclicAxis
+	BlockCyclicAxis = dad.BlockCyclicAxis
+	GenBlockAxis    = dad.GenBlockAxis
+	ImplicitAxis    = dad.ImplicitAxis
+)
+
+// ---- Communication schedules ----
+
+// Schedule is a redistribution plan between two conforming templates:
+// per rank pair, the contiguous runs to move between local buffers.
+type Schedule = schedule.Schedule
+
+// ScheduleCache memoizes schedules by template pair.
+type ScheduleCache = schedule.Cache
+
+// BuildSchedule computes the redistribution schedule from src to dst.
+func BuildSchedule(src, dst *Template) (*Schedule, error) { return schedule.Build(src, dst) }
+
+// NewScheduleCache returns an empty schedule cache.
+func NewScheduleCache() *ScheduleCache { return schedule.NewCache() }
+
+// ---- Redistribution executors ----
+
+// Layout places the two cohorts of a transfer within one communicator
+// group.
+type Layout = redist.Layout
+
+// Exchange performs one schedule-driven parallel transfer; every rank of
+// both cohorts calls it.
+func Exchange(c *Comm, s *Schedule, lay Layout, srcLocal, dstLocal []float64, baseTag int) error {
+	return redist.Exchange(c, s, lay, srcLocal, dstLocal, baseTag)
+}
+
+// ExecuteLocal runs a whole schedule in one goroutine (reference
+// executor).
+func ExecuteLocal(s *Schedule, srcLocals, dstLocals [][]float64) {
+	redist.ExecuteLocal(s, srcLocals, dstLocals)
+}
+
+// Redistribute is the one-call convenience API: build (or reuse) the
+// schedule for (src, dst) and move srcLocals into dstLocals locally.
+func Redistribute(src, dst *Template, srcLocals, dstLocals [][]float64) error {
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		return err
+	}
+	redist.ExecuteLocal(s, srcLocals, dstLocals)
+	return nil
+}
+
+// ---- Linearization ----
+
+// Linearizer maps distributed data to the abstract one-dimensional
+// intermediate representation.
+type Linearizer = linear.Linearizer
+
+// RowMajorLinearization linearizes a template by global row-major order.
+func RowMajorLinearization(t *Template) Linearizer { return linear.NewRowMajor(t) }
+
+// LinearExchange performs a receiver-driven transfer with no
+// communication schedule (the Meta-Chaos / Indiana MPI-IO approach).
+func LinearExchange(c *Comm, srcLin, dstLin Linearizer, lay Layout, nSrc, nDst int,
+	srcLocal, dstLocal []float64, baseTag int) error {
+	return redist.LinearExchange(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag)
+}
+
+// ---- The M×N component (the paper's Section 4.1) ----
+
+// Hub is one side's M×N component: field registration plus connection
+// negotiation over a bridge.
+type Hub = core.Hub
+
+// Connection is an established M×N coupling; DataReady performs matched
+// transfers.
+type Connection = core.Connection
+
+// Bridge is the out-of-band channel between paired M×N components.
+type Bridge = core.Bridge
+
+// ConnOpts configures a connection (persistence, synchronization).
+type ConnOpts = core.ConnOpts
+
+// Direction tells which role the local field plays.
+type Direction = core.Direction
+
+// Connection roles and synchronization options.
+const (
+	AsSource      = core.AsSource
+	AsDestination = core.AsDestination
+	SyncEachFrame = core.SyncEachFrame
+	FreeRunning   = core.FreeRunning
+)
+
+// ErrChannelClosed reports a persistent stream closed by its source.
+var ErrChannelClosed = core.ErrChannelClosed
+
+// NewHub creates an M×N component cohort attached to a bridge end.
+func NewHub(name string, np int, bridge Bridge) *Hub { return core.NewHub(name, np, bridge) }
+
+// BridgePair returns an in-memory bridge for co-located frameworks
+// (Figure 3).
+func BridgePair() (a, b Bridge) { return core.BridgePair() }
+
+// NewNetBridge wraps a transport connection end as a bridge.
+func NewNetBridge(conn transport.Conn) Bridge { return core.NewNetBridge(conn) }
+
+// ConnectHubs is third-party connection initiation between two co-located
+// hubs.
+func ConnectHubs(connID string, src *Hub, srcField string, dst *Hub, dstField string, opts ConnOpts) (srcConn, dstConn *Connection, err error) {
+	return core.Connect(connID, src, srcField, dst, dstField, opts)
+}
+
+// ---- Transport ----
+
+// Conn is a reliable ordered message connection between frameworks.
+type Conn = transport.Conn
+
+// Listener accepts incoming transport connections.
+type Listener = transport.Listener
+
+// Listen opens a listener on "inproc" or "tcp".
+func Listen(network, addr string) (Listener, error) { return transport.Listen(network, addr) }
+
+// Dial connects to a listener.
+func Dial(network, addr string) (Conn, error) { return transport.Dial(network, addr) }
+
+// Pipe returns a connected in-memory transport pair.
+func Pipe() (Conn, Conn) { return transport.Pipe() }
+
+// ---- SIDL and PRMI ----
+
+// SIDLPackage is a parsed scientific-IDL source unit.
+type SIDLPackage = sidl.Package
+
+// SIDLInterface is one declared port interface with PRMI attributes.
+type SIDLInterface = sidl.Interface
+
+// ParseSIDL parses scientific-IDL source with the paper's PRMI
+// extensions (collective/independent/oneway methods, parallel array
+// parameters).
+func ParseSIDL(src string) (*SIDLPackage, error) { return sidl.Parse(src) }
+
+// CallerPort is a caller rank's proxy for a remote parallel port.
+type CallerPort = prmi.CallerPort
+
+// Endpoint is a callee rank's server for a remote parallel port.
+type Endpoint = prmi.Endpoint
+
+// Incoming and Outgoing are the callee-side views of one invocation.
+type (
+	Incoming = prmi.Incoming
+	Outgoing = prmi.Outgoing
+)
+
+// Handler services one method at one callee rank.
+type Handler = prmi.Handler
+
+// Participation declares which caller ranks take part in a collective
+// invocation.
+type Participation = prmi.Participation
+
+// Arg is one named invocation argument.
+type Arg = prmi.Arg
+
+// Result is a non-oneway invocation's outcome.
+type Result = prmi.Result
+
+// DeliveryMode selects eager or barrier-delayed invocation delivery
+// (Figure 5).
+type DeliveryMode = prmi.DeliveryMode
+
+// Delivery modes.
+const (
+	Eager          = prmi.Eager
+	BarrierDelayed = prmi.BarrierDelayed
+)
+
+// ErrStalled reports a collective invocation stalled waiting for
+// participants — the observable Figure 5 deadlock.
+var ErrStalled = prmi.ErrStalled
+
+// Link carries PRMI messages between the two sides of a port connection.
+type Link = prmi.Link
+
+// NewCallerPort builds a caller-side port proxy.
+func NewCallerPort(iface *SIDLInterface, link Link, rank, nCallee int, mode DeliveryMode) *CallerPort {
+	return prmi.NewCallerPort(iface, link, rank, nCallee, mode)
+}
+
+// NewEndpoint builds a callee-rank server.
+func NewEndpoint(iface *SIDLInterface, link Link, rank, nCallee, nCaller int) *Endpoint {
+	return prmi.NewEndpoint(iface, link, rank, nCallee, nCaller)
+}
+
+// NewCommLink builds a PRMI link over a shared communicator.
+func NewCommLink(c *Comm, peerBase, tag int) Link { return prmi.NewCommLink(c, peerBase, tag) }
+
+// NewConnLink builds a PRMI link over a mesh of transport connections.
+func NewConnLink(conns []Conn, myRank int) Link { return prmi.NewConnLink(conns, myRank) }
+
+// Simple builds a simple (replicated) argument.
+func Simple(name string, v any) Arg { return prmi.Simple(name, v) }
+
+// Parallel builds a parallel (decomposed, redistributed) argument.
+func Parallel(name string, t *Template, local []float64) Arg { return prmi.Parallel(name, t, local) }
+
+// FullParticipation declares that every caller cohort rank participates.
+func FullParticipation(cohort *Comm) Participation { return prmi.FullParticipation(cohort) }
+
+// ---- Pipelines (Section 6: composed redistributions and filters) ----
+
+// ComposeSchedules fuses two schedules A→B and B→C into one A→C plan with
+// no intermediate materialization (the paper's "super-component").
+func ComposeSchedules(s1, s2 *Schedule) (*Schedule, error) { return schedule.Compose(s1, s2) }
+
+// ParallelRef builds a parallel in-argument passed by reference: the data
+// stays on the caller until the callee specifies its layout and pulls it
+// (the paper's delayed-transfer strategy for callee-side layouts).
+func ParallelRef(name string, t *Template, local []float64) Arg {
+	return prmi.ParallelRef(name, t, local)
+}

@@ -1,0 +1,152 @@
+package mxn
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the paper's Figure 1 scenario through
+// the public facade alone: a 3-D array moves from an M=8 cohort to an
+// N=27 cohort.
+func TestFacadeQuickstart(t *testing.T) {
+	src, err := NewTemplate([]int{6, 6, 6}, []AxisDist{BlockAxis(2), BlockAxis(2), BlockAxis(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewTemplate([]int{6, 6, 6}, []AxisDist{BlockAxis(3), BlockAxis(3), BlockAxis(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcLocals := make([][]float64, 8)
+	for r := range srcLocals {
+		srcLocals[r] = make([]float64, src.LocalCount(r))
+		for i := range srcLocals[r] {
+			srcLocals[r][i] = float64(r*1000 + i)
+		}
+	}
+	dstLocals := make([][]float64, 27)
+	for r := range dstLocals {
+		dstLocals[r] = make([]float64, dst.LocalCount(r))
+	}
+	if err := Redistribute(src, dst, srcLocals, dstLocals); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check: value at a global index survives the move.
+	idx := []int{3, 4, 5}
+	sr := src.OwnerOf(idx)
+	dr := dst.OwnerOf(idx)
+	want := srcLocals[sr][src.LocalOffset(sr, idx)]
+	got := dstLocals[dr][dst.LocalOffset(dr, idx)]
+	if got != want {
+		t.Errorf("value at %v: got %v want %v", idx, got, want)
+	}
+}
+
+// TestFacadeParallelExchange runs the parallel executor through the
+// facade.
+func TestFacadeParallelExchange(t *testing.T) {
+	src, _ := NewTemplate([]int{16}, []AxisDist{BlockAxis(2)})
+	dst, _ := NewTemplate([]int{16}, []AxisDist{CyclicAxis(3)})
+	s, err := BuildSchedule(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]float64, 3)
+	var mu sync.Mutex
+	Run(5, func(c *Comm) {
+		lay := Layout{SrcBase: 0, DstBase: 2}
+		var sl, dl []float64
+		if c.Rank() < 2 {
+			sl = make([]float64, src.LocalCount(c.Rank()))
+			for i := range sl {
+				sl[i] = float64(c.Rank()*8 + i)
+			}
+		} else {
+			dl = make([]float64, dst.LocalCount(c.Rank()-2))
+		}
+		if err := Exchange(c, s, lay, sl, dl, 0); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
+		if dl != nil {
+			mu.Lock()
+			got[c.Rank()-2] = dl
+			mu.Unlock()
+		}
+	})
+	for g := 0; g < 16; g++ {
+		r := dst.OwnerOf([]int{g})
+		if v := got[r][dst.LocalOffset(r, []int{g})]; v != float64(g) {
+			t.Errorf("global %d = %v", g, v)
+		}
+	}
+}
+
+// TestFacadeHub exercises the M×N component through the facade.
+func TestFacadeHub(t *testing.T) {
+	ba, bb := BridgePair()
+	a := NewHub("A", 1, ba)
+	b := NewHub("B", 1, bb)
+	tpl, _ := NewTemplate([]int{4}, []AxisDist{BlockAxis(1)})
+	da, _ := NewDescriptor("f", Float64, ReadOnly, tpl)
+	db, _ := NewDescriptor("f", Float64, WriteOnly, tpl)
+	if err := a.Register(da); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(db); err != nil {
+		t.Fatal(err)
+	}
+	srcConn, dstConn, err := ConnectHubs("c", a, "f", b, "f", ConnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srcConn.DataReady(0, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 4)
+	if _, err := dstConn.DataReady(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[2] != 3 {
+		t.Errorf("buf = %v", buf)
+	}
+}
+
+// TestFacadePRMI drives a collective invocation through the facade.
+func TestFacadePRMI(t *testing.T) {
+	pkg, err := ParseSIDL(`package p; interface I { collective double sum(in double x); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, _ := pkg.Interface("I")
+	w := NewWorld(3)
+	all := w.Comms()
+	callerCohort := w.Group([]int{0, 1})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ep := NewEndpoint(iface, NewCommLink(all[2], 0, 0), 0, 1, 2)
+		ep.Handle("sum", func(in *Incoming, out *Outgoing) error {
+			out.Return = in.Simple["x"].(float64) * 2
+			return nil
+		})
+		if err := ep.Serve(); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := NewCallerPort(iface, NewCommLink(all[i], 2, 0), i, 1, BarrierDelayed)
+			res, err := p.CallCollective("sum", FullParticipation(callerCohort[i]), Simple("x", 21.0))
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			} else if res.Return != 42.0 {
+				t.Errorf("caller %d: %v", i, res.Return)
+			}
+			p.Close()
+		}(i)
+	}
+	wg.Wait()
+}
