@@ -1,0 +1,36 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+# Every fuzz target in the tree, as package:target pairs.
+FUZZ_TARGETS := \
+	./internal/wire:FuzzDecoder \
+	./internal/wire:FuzzReadFrame \
+	./internal/dad:FuzzDecodeTemplate \
+	./internal/dad:FuzzDecodeDescriptor
+
+.PHONY: all build test race fuzz-short vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages (comm, transport, faultconn, prmi, core)
+# are race-clean; run the whole tree under the detector.
+race:
+	$(GO) test -race ./...
+
+# Run each fuzz target for a short, CI-sized budget. Crash inputs land in
+# <pkg>/testdata/fuzz/<Target>/ and become regression seeds.
+fuzz-short:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		echo "fuzz $$pkg $$target ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
+vet:
+	$(GO) vet ./...

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Wildcards for Recv matching.
@@ -65,6 +66,34 @@ func (mb *mailbox) take(gid uint64, from, tag int) message {
 				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
 				return m
 			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// takeTimeout is take bounded by a deadline; ok reports whether a matching
+// message arrived in time.
+func (mb *mailbox) takeTimeout(gid uint64, from, tag int, d time.Duration) (message, bool) {
+	deadline := time.Now().Add(d)
+	// The waker takes the mutex so its broadcast cannot slip into the gap
+	// between the waiter's deadline check and its cond.Wait.
+	timer := time.AfterFunc(d, func() {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	})
+	defer timer.Stop()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.msgs {
+			if m.gid == gid && (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag) {
+				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				return m, true
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return message{}, false
 		}
 		mb.cond.Wait()
 	}
@@ -213,6 +242,25 @@ func (c *Comm) recv(from, tag int) message {
 	}
 	wr := c.group.ranks[c.rank]
 	return c.group.world.boxes[wr].take(c.group.gid, wfrom, tag)
+}
+
+// RecvTimeout is Recv bounded by a timeout: ok reports whether a matching
+// message arrived before it expired. It is the primitive the PRMI layer
+// uses to turn silent link failures into typed timeout errors.
+func (c *Comm) RecvTimeout(from, tag int, d time.Duration) (payload any, source int, ok bool) {
+	wfrom := from
+	if from != AnySource {
+		if from < 0 || from >= len(c.group.ranks) {
+			panic(fmt.Sprintf("comm: recv from rank %d outside group of size %d", from, len(c.group.ranks)))
+		}
+		wfrom = c.group.ranks[from]
+	}
+	wr := c.group.ranks[c.rank]
+	m, ok := c.group.world.boxes[wr].takeTimeout(c.group.gid, wfrom, tag, d)
+	if !ok {
+		return nil, 0, false
+	}
+	return m.payload, c.groupRankOf(m.from), true
 }
 
 // TryRecv is the non-blocking variant of Recv. ok reports whether a

@@ -1,14 +1,22 @@
 package comm
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
+// watchdog is the per-cohort deadline for tests below: generous next to the
+// microsecond message latencies involved, small next to the test binary's
+// own timeout, and it buys a goroutine dump instead of a hung binary when a
+// collective deadlocks.
+const watchdog = 10 * time.Second
+
 func TestSendRecvBasic(t *testing.T) {
-	Run(2, func(c *Comm) {
+	RunTimeout(t, watchdog, 2, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 7, "hello")
 		} else {
@@ -21,7 +29,7 @@ func TestSendRecvBasic(t *testing.T) {
 }
 
 func TestRecvTagMatching(t *testing.T) {
-	Run(2, func(c *Comm) {
+	RunTimeout(t, watchdog, 2, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 1, "one")
 			c.Send(1, 2, "two")
@@ -39,7 +47,7 @@ func TestRecvTagMatching(t *testing.T) {
 }
 
 func TestRecvWildcards(t *testing.T) {
-	Run(3, func(c *Comm) {
+	RunTimeout(t, watchdog, 3, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
 			c.Send(2, 5, 10)
@@ -63,7 +71,7 @@ func TestRecvWildcards(t *testing.T) {
 
 func TestFIFOPerPairAndTag(t *testing.T) {
 	const n = 100
-	Run(2, func(c *Comm) {
+	RunTimeout(t, watchdog, 2, func(c *Comm) {
 		if c.Rank() == 0 {
 			for i := 0; i < n; i++ {
 				c.Send(1, 0, i)
@@ -80,7 +88,7 @@ func TestFIFOPerPairAndTag(t *testing.T) {
 }
 
 func TestTryRecv(t *testing.T) {
-	Run(2, func(c *Comm) {
+	RunTimeout(t, watchdog, 2, func(c *Comm) {
 		if c.Rank() == 0 {
 			if _, _, ok := c.TryRecv(1, 0); ok {
 				t.Error("TryRecv returned ok with empty mailbox")
@@ -101,7 +109,7 @@ func TestTryRecv(t *testing.T) {
 func TestBarrierSynchronizes(t *testing.T) {
 	const n = 8
 	var before, after atomic.Int32
-	Run(n, func(c *Comm) {
+	RunTimeout(t, watchdog, n, func(c *Comm) {
 		before.Add(1)
 		c.Barrier()
 		if got := before.Load(); got != n {
@@ -115,7 +123,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 }
 
 func TestBcast(t *testing.T) {
-	Run(5, func(c *Comm) {
+	RunTimeout(t, watchdog, 5, func(c *Comm) {
 		var v any
 		if c.Rank() == 2 {
 			v = 42
@@ -128,7 +136,7 @@ func TestBcast(t *testing.T) {
 }
 
 func TestGatherScatter(t *testing.T) {
-	Run(4, func(c *Comm) {
+	RunTimeout(t, watchdog, 4, func(c *Comm) {
 		all := c.Gather(1, c.Rank()*10)
 		if c.Rank() == 1 {
 			for i, v := range all {
@@ -157,7 +165,7 @@ func TestGatherScatter(t *testing.T) {
 }
 
 func TestAllgather(t *testing.T) {
-	Run(6, func(c *Comm) {
+	RunTimeout(t, watchdog, 6, func(c *Comm) {
 		all := c.Allgather(c.Rank() * c.Rank())
 		for i, v := range all {
 			if v.(int) != i*i {
@@ -169,7 +177,7 @@ func TestAllgather(t *testing.T) {
 
 func TestAlltoall(t *testing.T) {
 	const n = 5
-	Run(n, func(c *Comm) {
+	RunTimeout(t, watchdog, n, func(c *Comm) {
 		send := make([]any, n)
 		for j := 0; j < n; j++ {
 			send[j] = c.Rank()*100 + j
@@ -186,7 +194,7 @@ func TestAlltoall(t *testing.T) {
 
 func TestAlltoallvFloat64(t *testing.T) {
 	const n = 4
-	Run(n, func(c *Comm) {
+	RunTimeout(t, watchdog, n, func(c *Comm) {
 		send := make([][]float64, n)
 		for j := 0; j < n; j++ {
 			// Variable-length chunks: rank r sends j+1 copies of r to rank j.
@@ -211,7 +219,7 @@ func TestAlltoallvFloat64(t *testing.T) {
 }
 
 func TestReduceAndAllreduce(t *testing.T) {
-	Run(4, func(c *Comm) {
+	RunTimeout(t, watchdog, 4, func(c *Comm) {
 		v := float64(c.Rank() + 1) // 1,2,3,4
 		sum, ok := c.ReduceFloat64(0, v, OpSum)
 		if c.Rank() == 0 {
@@ -234,7 +242,7 @@ func TestReduceAndAllreduce(t *testing.T) {
 }
 
 func TestSubCommunicator(t *testing.T) {
-	Run(6, func(c *Comm) {
+	RunTimeout(t, watchdog, 6, func(c *Comm) {
 		// Evens form a subgroup.
 		sub := c.Sub([]int{0, 2, 4})
 		if c.Rank()%2 == 1 {
@@ -262,7 +270,7 @@ func TestSubCommunicator(t *testing.T) {
 }
 
 func TestSubThenParentStillWorks(t *testing.T) {
-	Run(4, func(c *Comm) {
+	RunTimeout(t, watchdog, 4, func(c *Comm) {
 		sub := c.Sub([]int{1, 3})
 		c.Barrier()
 		if sub != nil {
@@ -371,7 +379,7 @@ func TestCommunicatorIsolation(t *testing.T) {
 }
 
 func TestSplit(t *testing.T) {
-	Run(6, func(c *Comm) {
+	RunTimeout(t, watchdog, 6, func(c *Comm) {
 		// Evens form color 0, odds color 1.
 		sub := c.Split(c.Rank() % 2)
 		if sub == nil {
@@ -397,7 +405,7 @@ func TestSplit(t *testing.T) {
 }
 
 func TestSplitOptOut(t *testing.T) {
-	Run(4, func(c *Comm) {
+	RunTimeout(t, watchdog, 4, func(c *Comm) {
 		color := 0
 		if c.Rank() == 2 {
 			color = -1 // opts out
@@ -416,10 +424,78 @@ func TestSplitOptOut(t *testing.T) {
 }
 
 func TestSplitAllDistinctColors(t *testing.T) {
-	Run(3, func(c *Comm) {
+	RunTimeout(t, watchdog, 3, func(c *Comm) {
 		sub := c.Split(c.Rank() * 10)
 		if sub == nil || sub.Size() != 1 || sub.Rank() != 0 {
 			t.Errorf("rank %d: singleton split wrong", c.Rank())
 		}
 	})
 }
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	w := NewWorld(2)
+	cs := w.Comms()
+	start := time.Now()
+	if _, _, ok := cs[1].RecvTimeout(0, 0, 30*time.Millisecond); ok {
+		t.Fatal("RecvTimeout returned ok with no message")
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("RecvTimeout returned before the timeout")
+	}
+}
+
+func TestRecvTimeoutDelivers(t *testing.T) {
+	RunTimeout(t, watchdog, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, "prompt")
+		} else {
+			v, src, ok := c.RecvTimeout(0, 3, watchdog)
+			if !ok || v != "prompt" || src != 0 {
+				t.Errorf("RecvTimeout = %v, %d, %v", v, src, ok)
+			}
+		}
+	})
+}
+
+func TestRecvTimeoutWakesOnLateMessage(t *testing.T) {
+	w := NewWorld(2)
+	cs := w.Comms()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cs[0].Send(1, 0, "late")
+	}()
+	v, _, ok := cs[1].RecvTimeout(0, 0, watchdog)
+	if !ok || v != "late" {
+		t.Fatalf("RecvTimeout = %v, %v", v, ok)
+	}
+}
+
+func TestRunTimeoutReportsDeadlock(t *testing.T) {
+	// Drive the watchdog with a rigged testing.TB and a genuinely
+	// deadlocked cohort (both ranks receive, nobody sends).
+	rec := &recordingTB{TB: t}
+	RunTimeout(rec, 50*time.Millisecond, 2, func(c *Comm) {
+		c.Recv(1-c.Rank(), 0)
+	})
+	if !rec.failed {
+		t.Fatal("watchdog did not fire on a deadlocked cohort")
+	}
+	if !strings.Contains(rec.message, "goroutine") {
+		t.Fatalf("watchdog report lacks a goroutine dump:\n%s", rec.message)
+	}
+}
+
+// recordingTB captures Fatalf instead of aborting, so the watchdog's
+// failure path itself can be tested.
+type recordingTB struct {
+	testing.TB
+	failed  bool
+	message string
+}
+
+func (r *recordingTB) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.message = fmt.Sprintf(format, args...)
+}
+
+func (r *recordingTB) Helper() {}

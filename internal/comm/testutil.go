@@ -1,0 +1,36 @@
+package comm
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// RunTimeout runs body on a fresh n-rank cohort like Run, but acts as a
+// deadlock watchdog: if the cohort has not finished within timeout, the
+// test fails with a dump of every goroutine stack, which is the evidence
+// needed to see which rank is blocked in which receive or collective.
+//
+// Collectives in this package deadlock exactly as MPI would on a wrong
+// ordering (see the Figure 5 experiment), so any test standing up a cohort
+// should prefer RunTimeout over Run: a bug then costs one timeout and a
+// readable stack dump instead of a hung test binary.
+//
+// On timeout the cohort's goroutines are abandoned — acceptable in a
+// failing test, fatal to a long-lived process; nothing outside tests should
+// call this.
+func RunTimeout(t testing.TB, timeout time.Duration, n int, body func(c *Comm)) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		Run(n, body)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Fatalf("comm cohort of %d still running after %v — goroutine dump:\n%s", n, timeout, buf)
+	}
+}

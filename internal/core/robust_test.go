@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mxn/internal/dad"
+	"mxn/internal/faultconn"
+	"mxn/internal/transport"
+	"mxn/internal/wire"
+)
+
+// echoServer accepts connections forever; each connection echoes every
+// data frame back on channel "echo" with the same seq and payload.
+func echoServer(t *testing.T) transport.Listener {
+	t.Helper()
+	lst, err := transport.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lst.Close() })
+	go func() {
+		for {
+			c, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			go func(c transport.Conn) {
+				defer c.Close()
+				for {
+					msg, err := c.Recv()
+					if err != nil {
+						return
+					}
+					d := wire.NewDecoder(msg)
+					if d.Byte() != netData {
+						continue
+					}
+					_ = d.String()
+					seq := d.Uint64()
+					data := d.Float64s()
+					if d.Err() != nil {
+						continue
+					}
+					e := wire.NewEncoder(nil)
+					e.PutByte(netData)
+					e.PutString("echo")
+					e.PutUint64(seq)
+					e.PutFloat64s(data)
+					if c.Send(e.Bytes()) != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return lst
+}
+
+func TestRobustBridgeRedialsAfterLinkFailure(t *testing.T) {
+	lst := echoServer(t)
+
+	var mu sync.Mutex
+	var conns []transport.Conn
+	dial := func() (transport.Conn, error) {
+		c, err := transport.Dial("tcp", lst.Addr())
+		if err == nil {
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+		return c, err
+	}
+	rb, err := NewRobustBridge(dial, 3, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := rb.SendData("ping", 1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rb.RecvData("echo", 1)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("first round-trip: %v %v", got, err)
+	}
+
+	// Cut the link out from under the bridge; both the pump and the next
+	// send observe the failure and the bridge must come back on a fresh
+	// connection without RecvData callers noticing.
+	mu.Lock()
+	conns[0].Close()
+	mu.Unlock()
+
+	if err := rb.SendData("ping", 2, []float64{3}); err != nil {
+		t.Fatalf("send across redial: %v", err)
+	}
+	got, err = rb.RecvData("echo", 2)
+	if err != nil || len(got) != 1 || got[0] != 3 {
+		t.Fatalf("round-trip after redial: %v %v", got, err)
+	}
+
+	mu.Lock()
+	n := len(conns)
+	mu.Unlock()
+	if n < 2 {
+		t.Fatalf("bridge never redialed: %d dials", n)
+	}
+}
+
+func TestRobustBridgeSurvivesFaultconnPartition(t *testing.T) {
+	lst := echoServer(t)
+	// The first connection hard-partitions itself after 2 frames in either
+	// direction; later dials are clean.
+	dials := 0
+	dial := func() (transport.Conn, error) {
+		dials++
+		c, err := transport.Dial("tcp", lst.Addr())
+		if err != nil {
+			return nil, err
+		}
+		if dials == 1 {
+			return faultconn.Wrap(c, faultconn.Scenario{
+				Seed: 7,
+				Send: faultconn.Faults{FailAfter: 2},
+				Recv: faultconn.Faults{FailAfter: 2},
+			}), nil
+		}
+		return c, err
+	}
+	rb, err := NewRobustBridge(dial, 5, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 6; seq++ {
+		if err := rb.SendData("ping", seq, []float64{float64(seq)}); err != nil {
+			t.Fatalf("seq %d send: %v", seq, err)
+		}
+		got, err := rb.RecvData("echo", seq)
+		if err != nil || len(got) != 1 || got[0] != float64(seq) {
+			t.Fatalf("seq %d round-trip: %v %v", seq, got, err)
+		}
+	}
+	if dials < 2 {
+		t.Fatalf("partitioned bridge never redialed: %d dials", dials)
+	}
+}
+
+func TestRobustBridgeExhaustsRedialBudget(t *testing.T) {
+	lst := echoServer(t)
+	dials := 0
+	var first transport.Conn
+	dial := func() (transport.Conn, error) {
+		dials++
+		if dials > 1 {
+			return nil, fmt.Errorf("network is gone")
+		}
+		c, err := transport.Dial("tcp", lst.Addr())
+		first = c
+		return c, err
+	}
+	rb, err := NewRobustBridge(dial, 2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.SendData("ping", 1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.RecvData("echo", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the only working link; the dialer refuses to come back, so the
+	// budget drains and every operation reports the failure.
+	first.Close()
+	waitDead(t, rb)
+
+	if err := rb.SendData("ping", 9, []float64{1}); err == nil {
+		t.Fatal("send succeeded on a dead bridge")
+	}
+	if _, err := rb.RecvData("echo", 9); err == nil {
+		t.Fatal("recv succeeded on a dead bridge")
+	}
+	if _, err := rb.RecvControl(); err == nil {
+		t.Fatal("recv control succeeded on a dead bridge")
+	}
+	if dials != 3 { // 1 initial + 2 budget
+		t.Fatalf("dial attempts = %d, want 3", dials)
+	}
+}
+
+// waitDead drives sends until the bridge reports permanent failure or the
+// deadline passes.
+func waitDead(t *testing.T, rb Bridge) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := rb.SendData("probe", 0, nil); err != nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("bridge never reported link failure")
+}
+
+func TestRobustBridgeInitialDialFailure(t *testing.T) {
+	_, err := NewRobustBridge(func() (transport.Conn, error) {
+		return nil, errors.New("refused")
+	}, 3, time.Millisecond)
+	if err == nil {
+		t.Fatal("constructor swallowed dial failure")
+	}
+}
+
+// Two hubs joined by a robust bridge pair survive losing the physical
+// link between connection negotiations: the client side redials, the
+// server side accepts the replacement connection (its "redial" is
+// lst.Accept), and the next propose/accept plus transfer run unchanged.
+func TestHubsReconnectAcrossLinkFailure(t *testing.T) {
+	const m, n, elems = 2, 3, 12
+	lst, err := transport.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lst.Close() })
+
+	var mu sync.Mutex
+	var cliConns []transport.Conn
+	cliDial := func() (transport.Conn, error) {
+		c, err := transport.Dial("tcp", lst.Addr())
+		if err == nil {
+			mu.Lock()
+			cliConns = append(cliConns, c)
+			mu.Unlock()
+		}
+		return c, err
+	}
+	type bres struct {
+		b   Bridge
+		err error
+	}
+	srvCh := make(chan bres, 1)
+	go func() {
+		b, err := NewRobustBridge(lst.Accept, 3, time.Millisecond)
+		srvCh <- bres{b, err}
+	}()
+	cliBridge, err := NewRobustBridge(cliDial, 3, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := <-srvCh
+	if sv.err != nil {
+		t.Fatal(sv.err)
+	}
+
+	src := NewHub("A", m, cliBridge)
+	dst := NewHub("B", n, sv.b)
+	if err := src.Register(desc(t, "temp", dad.ReadOnly, blockTpl(t, elems, m))); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Register(desc(t, "temp", dad.WriteOnly, blockTpl(t, elems, n))); err != nil {
+		t.Fatal(err)
+	}
+
+	connect := func(id string) (*Connection, *Connection) {
+		var dstConn *Connection
+		done := make(chan error, 1)
+		go func() {
+			var err error
+			dstConn, err = dst.Accept()
+			done <- err
+		}()
+		srcConn, err := src.Propose(id, "temp", "temp", AsSource, ConnOpts{})
+		if err != nil {
+			t.Fatalf("%s propose: %v", id, err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("%s accept: %v", id, err)
+		}
+		return srcConn, dstConn
+	}
+
+	sc, dc := connect("epoch1")
+	verifyDst(t, dc.local.Template, runTransfer(t, sc, dc, m, n, elems))
+
+	// Sever the physical link between epochs; nothing is in flight, so
+	// recovery must be invisible to the hubs.
+	mu.Lock()
+	cliConns[0].Close()
+	mu.Unlock()
+
+	sc, dc = connect("epoch2")
+	verifyDst(t, dc.local.Template, runTransfer(t, sc, dc, m, n, elems))
+
+	mu.Lock()
+	redials := len(cliConns)
+	mu.Unlock()
+	if redials < 2 {
+		t.Fatal("client bridge never redialed")
+	}
+}

@@ -15,6 +15,11 @@ const (
 	encExplicit byte = 2
 )
 
+// maxDecodeProcs bounds the rank count a decoded template may claim: far
+// above any deployment this runtime serves, far below what would let a
+// corrupt frame drive an enormous allocation.
+const maxDecodeProcs = 1 << 22
+
 // Encode appends the template's wire form to e.
 func (t *Template) Encode(e *wire.Encoder) {
 	if t.IsExplicit() {
@@ -49,28 +54,37 @@ func DecodeTemplate(d *wire.Decoder) (*Template, error) {
 	case encExplicit:
 		dims := d.Ints()
 		nprocs := d.Int()
+		// NewExplicitTemplate allocates per-rank tables, so a corrupt rank
+		// count must be rejected before construction.
+		if nprocs < 1 || nprocs > maxDecodeProcs {
+			return nil, fmt.Errorf("%w: explicit template claims %d ranks", wire.ErrCorrupt, nprocs)
+		}
 		n := d.Uvarint()
-		if d.Err() != nil {
-			return nil, d.Err()
+		// A corrupt length prefix must not drive a huge allocation: every
+		// patch costs at least ten encoded bytes (two length prefixes and
+		// the owner), so bound the count by the bytes actually present.
+		if d.Err() != nil || n > uint64(d.Remaining()) {
+			return nil, wire.ErrCorrupt
 		}
 		patches := make([]Patch, 0, n)
 		for i := uint64(0); i < n; i++ {
 			lo := d.Ints()
 			hi := d.Ints()
 			owner := d.Int()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
 			patches = append(patches, Patch{Lo: lo, Hi: hi, Owner: owner})
-		}
-		if d.Err() != nil {
-			return nil, d.Err()
 		}
 		return NewExplicitTemplate(dims, nprocs, patches)
 	case encRegular:
 		dims := d.Ints()
 		n := d.Uvarint()
-		if d.Err() != nil {
-			return nil, d.Err()
+		if d.Err() != nil || n > uint64(d.Remaining()) {
+			return nil, wire.ErrCorrupt
 		}
 		axes := make([]AxisDist, 0, n)
+		totalProcs := 1
 		for i := uint64(0); i < n; i++ {
 			ax := AxisDist{
 				Kind:      Kind(d.Byte()),
@@ -79,10 +93,21 @@ func DecodeTemplate(d *wire.Decoder) (*Template, error) {
 				Sizes:     d.Ints(),
 				Owner:     d.Ints(),
 			}
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			// NewTemplate allocates per-coordinate tables and multiplies the
+			// per-axis extents into a rank count, so a corrupt Procs must be
+			// bounded here — per axis and as a running product — before
+			// construction can act on it.
+			if ax.Procs < 1 || ax.Procs > maxDecodeProcs {
+				return nil, fmt.Errorf("%w: axis %d claims %d process coordinates", wire.ErrCorrupt, i, ax.Procs)
+			}
+			totalProcs *= ax.Procs
+			if totalProcs > maxDecodeProcs {
+				return nil, fmt.Errorf("%w: template rank grid exceeds %d", wire.ErrCorrupt, maxDecodeProcs)
+			}
 			axes = append(axes, ax)
-		}
-		if d.Err() != nil {
-			return nil, d.Err()
 		}
 		return NewTemplate(dims, axes)
 	default:
@@ -106,6 +131,13 @@ func DecodeDescriptor(d *wire.Decoder) (*Descriptor, error) {
 	name := d.String()
 	elem := ElemKind(d.Byte())
 	mode := Access(d.Byte())
+	// ElemKind.Bytes panics on unknown kinds, so a corrupt element tag must
+	// be rejected here rather than at first use.
+	switch elem {
+	case Float64, Float32, Int64, Int32, Byte:
+	default:
+		return nil, fmt.Errorf("%w: unknown element kind %d", wire.ErrCorrupt, int(elem))
+	}
 	t, err := DecodeTemplate(d)
 	if err != nil {
 		return nil, err

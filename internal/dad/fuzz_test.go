@@ -1,0 +1,86 @@
+package dad
+
+import (
+	"testing"
+
+	"mxn/internal/wire"
+)
+
+// fuzzSeedTemplates returns valid templates covering every distribution
+// kind, used to seed the decode fuzzers with well-formed encodings.
+func fuzzSeedTemplates(f *testing.F) []*Template {
+	f.Helper()
+	var out []*Template
+	add := func(t *Template, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, t)
+	}
+	add(NewTemplate([]int{12}, []AxisDist{BlockAxis(3)}))
+	add(NewTemplate([]int{10, 8}, []AxisDist{CyclicAxis(2), BlockCyclicAxis(2, 3)}))
+	add(NewTemplate([]int{6}, []AxisDist{GenBlockAxis([]int{1, 2, 3})}))
+	add(NewTemplate([]int{5}, []AxisDist{ImplicitAxis(2, []int{0, 1, 0, 1, 0})}))
+	add(NewTemplate([]int{4, 4}, []AxisDist{CollapsedAxis(), BlockAxis(4)}))
+	add(NewExplicitTemplate([]int{4, 4}, 2, []Patch{
+		NewPatch([]int{0, 0}, []int{4, 2}, 0),
+		NewPatch([]int{0, 2}, []int{4, 4}, 1),
+	}))
+	return out
+}
+
+// FuzzDecodeTemplate feeds arbitrary bytes to the template decoder: it
+// must never panic, and any template it accepts must satisfy the
+// construction invariants well enough to answer basic queries.
+func FuzzDecodeTemplate(f *testing.F) {
+	for _, t := range fuzzSeedTemplates(f) {
+		e := wire.NewEncoder(nil)
+		t.Encode(e)
+		f.Add(e.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tpl, err := DecodeTemplate(wire.NewDecoder(data))
+		if err != nil {
+			return
+		}
+		// An accepted template must round-trip through the codec to an
+		// equivalent distribution.
+		e := wire.NewEncoder(nil)
+		tpl.Encode(e)
+		back, err := DecodeTemplate(wire.NewDecoder(e.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of accepted template failed: %v", err)
+		}
+		if back.Key() != tpl.Key() {
+			t.Fatalf("round-trip changed key: %q vs %q", back.Key(), tpl.Key())
+		}
+	})
+}
+
+// FuzzDecodeDescriptor exercises the descriptor decoder (name, element
+// kind, access mode, template) against corrupt input.
+func FuzzDecodeDescriptor(f *testing.F) {
+	for _, t := range fuzzSeedTemplates(f) {
+		desc, err := NewDescriptor("field", Float64, ReadWrite, t)
+		if err != nil {
+			f.Fatal(err)
+		}
+		e := wire.NewEncoder(nil)
+		desc.Encode(e)
+		f.Add(e.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		desc, err := DecodeDescriptor(wire.NewDecoder(data))
+		if err != nil {
+			return
+		}
+		if desc.Template == nil {
+			t.Fatal("accepted descriptor has nil template")
+		}
+		// Element kinds reaching the caller must be usable: Bytes panics on
+		// unknown kinds, so the decoder must have rejected them.
+		if desc.Elem.Bytes() <= 0 {
+			t.Fatalf("accepted descriptor has bad element size")
+		}
+	})
+}

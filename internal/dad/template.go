@@ -100,12 +100,17 @@ func NewExplicitTemplate(dims []int, nprocs int, patches []Patch) (*Template, er
 		}
 		total *= d
 	}
+	// Validate every patch before the pairwise overlap pass: Intersect
+	// assumes both operands span len(dims) axes, so a malformed later patch
+	// must be rejected before an earlier one is intersected against it.
 	covered := 0
-	for i, p := range patches {
+	for _, p := range patches {
 		if err := p.validate(dims, nprocs); err != nil {
 			return nil, err
 		}
 		covered += p.Size()
+	}
+	for i, p := range patches {
 		for j := i + 1; j < len(patches); j++ {
 			if _, overlap := p.Intersect(patches[j]); overlap {
 				return nil, fmt.Errorf("dad: patches %v and %v overlap", p, patches[j])

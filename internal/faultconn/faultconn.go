@@ -1,0 +1,331 @@
+// Package faultconn wraps a transport.Conn with deterministic, seed-driven
+// fault injection: added latency, message drop, duplication, reordering,
+// byte corruption, and hard partition. It is the substrate for chaos tests
+// of the redistribution and PRMI stacks — every failure a hostile network
+// can produce, reproducible from a single seed.
+//
+// Faults are configured per direction with a Scenario. All randomness comes
+// from seeded PRNGs derived from Scenario.Seed, so a failing test run is
+// replayed exactly by rerunning with the same seed; nothing consults
+// time.Now for decisions (latency faults sleep, but whether and how long is
+// seed-determined).
+package faultconn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mxn/internal/transport"
+)
+
+// ErrPartitioned is returned by operations on a partitioned connection.
+// It matches errors.Is(err, transport.ErrClosed): a partition is
+// indistinguishable from a dead link to the layers above.
+var ErrPartitioned = fmt.Errorf("faultconn: partitioned (%w)", transport.ErrClosed)
+
+// Faults configures the fault mix for one direction of a connection.
+// Probabilities are in [0,1] and are rolled independently per message.
+type Faults struct {
+	// Latency is added to every message; Jitter adds a uniform random
+	// extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// Drop is the probability a message silently disappears.
+	Drop float64
+	// Dup is the probability a message is delivered twice.
+	Dup float64
+	// Reorder is the probability a message is held back and delivered
+	// after the one that follows it. A held message with no successor
+	// stays held until Close — exactly the behavior of a real router
+	// queue that never drains.
+	Reorder float64
+	// Corrupt is the probability one byte of the message is flipped
+	// (in a copy; the caller's buffer is never touched).
+	Corrupt float64
+	// FailAfter, when positive, hard-partitions the connection after
+	// that many messages have been attempted in this direction.
+	FailAfter int
+}
+
+// Scenario describes a complete fault environment for one connection.
+type Scenario struct {
+	// Seed drives every random decision. Two conns wrapped with equal
+	// scenarios inject identical fault sequences.
+	Seed int64
+	// Send faults apply to outgoing messages, Recv faults to incoming
+	// ones (after the inner Recv returns).
+	Send Faults
+	Recv Faults
+}
+
+// Conn injects faults around an inner transport.Conn. It implements
+// transport.Conn and is safe for the same concurrent use as the inner conn
+// (one sender and one receiver; the fault state itself is mutex-guarded).
+type Conn struct {
+	inner transport.Conn
+	sc    Scenario
+
+	mu          sync.Mutex
+	sendRng     *rand.Rand
+	recvRng     *rand.Rand
+	sendHeld    [][]byte // reorder: messages waiting for a successor
+	recvQueue   [][]byte // dup/reorder: messages owed to the next Recv
+	recvHeld    [][]byte
+	sendCount   int
+	recvCount   int
+	partitioned bool
+}
+
+// Wrap returns a Conn that injects sc's faults around inner.
+func Wrap(inner transport.Conn, sc Scenario) *Conn {
+	return &Conn{
+		inner:   inner,
+		sc:      sc,
+		sendRng: rand.New(rand.NewSource(sc.Seed)),
+		recvRng: rand.New(rand.NewSource(sc.Seed + 1)),
+	}
+}
+
+// Pipe returns an in-memory conn pair with sc's faults injected on the
+// first conn; the second is the raw peer. Faults on a's Send direction
+// affect what b receives, and vice versa.
+func Pipe(sc Scenario) (*Conn, transport.Conn) {
+	a, b := transport.Pipe()
+	return Wrap(a, sc), b
+}
+
+// Partition hard-fails the connection: the inner conn is closed (which
+// unblocks any pending Recv on either end) and every subsequent operation
+// reports ErrPartitioned.
+func (c *Conn) Partition() {
+	c.mu.Lock()
+	already := c.partitioned
+	c.partitioned = true
+	c.mu.Unlock()
+	if !already {
+		c.inner.Close()
+	}
+}
+
+// Close closes the inner connection.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+func (c *Conn) Send(msg []byte) error {
+	return c.SendContext(context.Background(), msg)
+}
+
+// sendPlan is the outcome of rolling the send-direction faults for one
+// message, decided under the mutex so the PRNG sequence is deterministic.
+type sendPlan struct {
+	delay   time.Duration
+	out     [][]byte // messages to hand to the inner conn, in order
+	blocked error    // non-nil: fail without touching the inner conn
+}
+
+func (c *Conn) planSend(msg []byte) sendPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.partitioned {
+		return sendPlan{blocked: ErrPartitioned}
+	}
+	f := c.sc.Send
+	c.sendCount++
+	if f.FailAfter > 0 && c.sendCount > f.FailAfter {
+		c.partitioned = true
+		c.inner.Close()
+		return sendPlan{blocked: ErrPartitioned}
+	}
+	var p sendPlan
+	p.delay = rollLatency(c.sendRng, f)
+	if roll(c.sendRng, f.Drop) {
+		return p // silently dropped; the latency was still "spent"
+	}
+	m := cloneMsg(msg)
+	if roll(c.sendRng, f.Corrupt) {
+		flipByte(c.sendRng, m)
+	}
+	if roll(c.sendRng, f.Reorder) {
+		c.sendHeld = append(c.sendHeld, m)
+		return p
+	}
+	p.out = append(p.out, m)
+	if roll(c.sendRng, f.Dup) {
+		p.out = append(p.out, cloneMsg(m))
+	}
+	// A successor releases everything held for reordering: held messages
+	// go out after it, which is exactly the inversion we promised.
+	p.out = append(p.out, c.sendHeld...)
+	c.sendHeld = nil
+	return p
+}
+
+func (c *Conn) SendContext(ctx context.Context, msg []byte) error {
+	p := c.planSend(msg)
+	if p.blocked != nil {
+		return p.blocked
+	}
+	if err := sleepCtx(ctx, p.delay); err != nil {
+		return err
+	}
+	for _, m := range p.out {
+		if err := c.inner.SendContext(ctx, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Conn) Recv() ([]byte, error) {
+	return c.RecvContext(context.Background())
+}
+
+func (c *Conn) RecvContext(ctx context.Context) ([]byte, error) {
+	for {
+		c.mu.Lock()
+		if c.partitioned {
+			c.mu.Unlock()
+			return nil, ErrPartitioned
+		}
+		if len(c.recvQueue) > 0 {
+			m := c.recvQueue[0]
+			c.recvQueue = c.recvQueue[1:]
+			c.mu.Unlock()
+			return m, nil
+		}
+		c.mu.Unlock()
+
+		msg, err := c.inner.RecvContext(ctx)
+		if err != nil {
+			c.mu.Lock()
+			partitioned := c.partitioned
+			c.mu.Unlock()
+			if partitioned && errors.Is(err, transport.ErrClosed) {
+				return nil, ErrPartitioned
+			}
+			return nil, err
+		}
+
+		c.mu.Lock()
+		f := c.sc.Recv
+		c.recvCount++
+		if f.FailAfter > 0 && c.recvCount > f.FailAfter {
+			c.partitioned = true
+			c.inner.Close()
+			c.mu.Unlock()
+			return nil, ErrPartitioned
+		}
+		delay := rollLatency(c.recvRng, f)
+		if roll(c.recvRng, f.Drop) {
+			c.mu.Unlock()
+			if err := sleepCtx(ctx, delay); err != nil {
+				return nil, err
+			}
+			continue // the message never existed; wait for the next one
+		}
+		if roll(c.recvRng, f.Corrupt) {
+			flipByte(c.recvRng, msg)
+		}
+		if roll(c.recvRng, f.Reorder) {
+			c.recvHeld = append(c.recvHeld, msg)
+			c.mu.Unlock()
+			if err := sleepCtx(ctx, delay); err != nil {
+				return nil, err
+			}
+			continue // deliver the successor first
+		}
+		if roll(c.recvRng, f.Dup) {
+			c.recvQueue = append(c.recvQueue, cloneMsg(msg))
+		}
+		// Successor delivered; release anything held for reordering.
+		c.recvQueue = append(c.recvQueue, c.recvHeld...)
+		c.recvHeld = nil
+		c.mu.Unlock()
+		if err := sleepCtx(ctx, delay); err != nil {
+			return nil, err
+		}
+		return msg, nil
+	}
+}
+
+// Listener wraps a transport.Listener so every accepted conn carries the
+// scenario's faults. Each conn gets a distinct PRNG stream (seed offset by
+// accept order) so scenarios stay deterministic across multiple conns.
+type Listener struct {
+	inner transport.Listener
+	sc    Scenario
+	mu    sync.Mutex
+	n     int64
+}
+
+// WrapListener wraps l with sc.
+func WrapListener(l transport.Listener, sc Scenario) *Listener {
+	return &Listener{inner: l, sc: sc}
+}
+
+func (l *Listener) Accept() (transport.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	sc := l.sc
+	sc.Seed += 2 * l.n // Wrap burns Seed and Seed+1 per conn
+	l.n++
+	l.mu.Unlock()
+	return Wrap(c, sc), nil
+}
+
+func (l *Listener) Close() error { return l.inner.Close() }
+
+func (l *Listener) Addr() string { return l.inner.Addr() }
+
+func roll(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return rng.Float64() < p
+}
+
+func rollLatency(rng *rand.Rand, f Faults) time.Duration {
+	d := f.Latency
+	if f.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(f.Jitter)))
+	}
+	return d
+}
+
+func flipByte(rng *rand.Rand, m []byte) {
+	if len(m) == 0 {
+		return
+	}
+	i := rng.Intn(len(m))
+	// XOR with a random non-zero mask so the byte always changes.
+	m[i] ^= byte(1 + rng.Intn(255))
+}
+
+func cloneMsg(m []byte) []byte {
+	cp := make([]byte, len(m))
+	copy(cp, m)
+	return cp
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return fmt.Errorf("%w: %v", transport.ErrTimeout, ctx.Err())
+		}
+		return ctx.Err()
+	}
+}

@@ -21,6 +21,7 @@ package scirun
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mxn/internal/comm"
 	"mxn/internal/dad"
@@ -405,6 +406,21 @@ func (l *mappedLink) Send(peerRank int, msg []byte) error {
 
 func (l *mappedLink) Recv() (int, []byte, error) {
 	payload, src := l.c.Recv(comm.AnySource, l.tag)
+	return l.attribute(payload, src)
+}
+
+func (l *mappedLink) RecvTimeout(d time.Duration) (int, []byte, error) {
+	if d <= 0 {
+		return l.Recv()
+	}
+	payload, src, ok := l.c.RecvTimeout(comm.AnySource, l.tag, d)
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: no message within %v", prmi.ErrTimeout, d)
+	}
+	return l.attribute(payload, src)
+}
+
+func (l *mappedLink) attribute(payload any, src int) (int, []byte, error) {
 	msg, ok := payload.([]byte)
 	if !ok {
 		return 0, nil, fmt.Errorf("scirun: link received %T", payload)

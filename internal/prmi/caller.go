@@ -1,9 +1,11 @@
 package prmi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"mxn/internal/comm"
 	"mxn/internal/dad"
@@ -11,6 +13,37 @@ import (
 	"mxn/internal/sidl"
 	"mxn/internal/wire"
 )
+
+// RetryPolicy bounds how long a caller waits for replies and how hard it
+// tries to push an idempotent call through a flaky link.
+//
+// Retry applies only to independent (and one-way) invocations: they are
+// one-to-one exchanges where a fresh sequence number cleanly supersedes a
+// lost attempt, and stale replies are filtered by sequence. Collective
+// calls are never retried automatically — a retry would need every
+// participant to agree to re-invoke (and the callee cohort to discard a
+// half-collected invocation), so a collective failure surfaces as a typed
+// error for the application (or framework) to recover at its own level.
+type RetryPolicy struct {
+	// Timeout bounds each attempt's wait for a reply (and for collective
+	// calls, the wait for each expected replier). Zero waits forever,
+	// reproducing the paper's blocking semantics.
+	Timeout time.Duration
+	// MaxAttempts is the total number of tries for an idempotent call.
+	// Values below 1 mean 1 (no retry).
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; it doubles each
+	// further attempt, capped by BackoffCap (uncapped when zero).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+}
+
+// retryableErr reports whether a failed attempt is worth repeating: the
+// reply timed out (maybe the network was slow) or the link reported down
+// (maybe a robust transport underneath is redialing).
+func retryableErr(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrLinkDown)
+}
 
 // DeliveryMode selects when a collective invocation leaves the caller
 // (Section 2.4 / Figure 5 of the paper).
@@ -111,6 +144,7 @@ type CallerPort struct {
 	stash   map[stashKey]*stashEntry // referenced buffers of in-flight calls
 	tcache  *templateCache           // callee layouts arriving in pull requests
 	seq     uint64
+	policy  RetryPolicy
 	mu      sync.Mutex
 }
 
@@ -131,6 +165,15 @@ func NewCallerPort(iface *sidl.Interface, link Link, rank, nCallee int, mode Del
 		stash:   map[stashKey]*stashEntry{},
 		tcache:  newTemplateCache(),
 	}
+}
+
+// SetRetryPolicy installs the port's timeout/retry behavior. The zero
+// policy (the default) blocks forever and never retries — the paper's
+// original semantics.
+func (p *CallerPort) SetRetryPolicy(rp RetryPolicy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.policy = rp
 }
 
 // SetCalleeLayout registers the callee-side distribution of a parallel
@@ -210,19 +253,49 @@ func (p *CallerPort) CallIndependent(target int, method string, args ...Arg) (*R
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.seq++
-	hdr := &callMsg{method: method, seq: p.seq, callerRank: p.rank, simple: simple}
-	if err := p.link.Send(target, encodeCall(hdr)); err != nil {
-		return nil, err
+
+	// Independent calls are idempotent from the runtime's point of view
+	// (one caller, one callee, value semantics), so a lost exchange may be
+	// retried under the port's policy: each attempt gets a fresh sequence
+	// number, and stale replies from superseded attempts are discarded by
+	// sequence in recvReplyFrom.
+	attempts := p.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	if m.OneWay {
-		return nil, nil
+	backoff := p.policy.Backoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if p.policy.BackoffCap > 0 && backoff > p.policy.BackoffCap {
+				backoff = p.policy.BackoffCap
+			}
+		}
+		p.seq++
+		hdr := &callMsg{method: method, seq: p.seq, callerRank: p.rank, simple: simple}
+		if err := mapLinkErr(p.link.Send(target, encodeCall(hdr))); err != nil {
+			if retryableErr(err) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		if m.OneWay {
+			return nil, nil
+		}
+		rep, err := p.recvReplyFrom(target, p.seq, p.policy.Timeout)
+		if err != nil {
+			if retryableErr(err) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		return replyToResult(m, rep)
 	}
-	rep, err := p.recvReplyFrom(target)
-	if err != nil {
-		return nil, err
-	}
-	return replyToResult(m, rep)
+	return nil, fmt.Errorf("prmi: %s to callee %d failed after %d attempts: %w", method, target, attempts, lastErr)
 }
 
 // CallCollective performs an all-to-all collective invocation: every rank
@@ -334,7 +407,7 @@ func (p *CallerPort) CallCollective(method string, part Participation, args ...A
 			}
 			hdr.parallel = append(hdr.parallel, frag)
 		}
-		if err := p.link.Send(j, encodeCall(hdr)); err != nil {
+		if err := mapLinkErr(p.link.Send(j, encodeCall(hdr))); err != nil {
 			return nil, err
 		}
 	}
@@ -377,7 +450,7 @@ func (p *CallerPort) CallCollective(method string, part Participation, args ...A
 				break
 			}
 		}
-		rep, err := p.recvReplyFrom(from)
+		rep, err := p.recvReplyFrom(from, p.seq, p.policy.Timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -507,20 +580,49 @@ func (p *CallerPort) encodingOf(t *dad.Template) []byte {
 	return e.Bytes()
 }
 
-// recvReplyFrom blocks until a reply from callee rank src arrives,
-// queueing replies from other callees and serving pull requests for
-// referenced arguments along the way (the caller is the data server while
-// its deferred call is in flight).
-func (p *CallerPort) recvReplyFrom(src int) (*replyMsg, error) {
-	if q := p.pending[src]; len(q) > 0 {
-		rep := q[0]
-		p.pending[src] = q[1:]
-		return rep, nil
+// recvReplyFrom blocks until a reply from callee rank src with sequence
+// number seq arrives, queueing replies from other callees and serving pull
+// requests for referenced arguments along the way (the caller is the data
+// server while its deferred call is in flight). Replies carrying a
+// different sequence number are stale — leftovers of a timed-out attempt
+// that was retried — and are silently discarded from every queue they
+// appear in. timeout > 0 bounds the total wait; expiry reports ErrTimeout.
+func (p *CallerPort) recvReplyFrom(src int, seq uint64, timeout time.Duration) (*replyMsg, error) {
+	q := p.pending[src][:0]
+	var found *replyMsg
+	for _, rep := range p.pending[src] {
+		switch {
+		case found == nil && rep.seq == seq:
+			found = rep
+		case rep.seq == seq:
+			q = append(q, rep)
+		default:
+			// stale attempt; drop
+		}
+	}
+	p.pending[src] = q
+	if found != nil {
+		return found, nil
+	}
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
 	}
 	for {
-		from, raw, err := p.link.Recv()
+		var from int
+		var raw []byte
+		var err error
+		if timeout > 0 {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return nil, fmt.Errorf("%w: no reply from callee %d within %v", ErrTimeout, src, timeout)
+			}
+			from, raw, err = p.link.RecvTimeout(remain)
+		} else {
+			from, raw, err = p.link.Recv()
+		}
 		if err != nil {
-			return nil, err
+			return nil, mapLinkErr(err)
 		}
 		if len(raw) == 0 {
 			return nil, fmt.Errorf("prmi: caller received empty message")
@@ -538,6 +640,9 @@ func (p *CallerPort) recvReplyFrom(src int) (*replyMsg, error) {
 			rep, err := decodeReply(wire.NewDecoder(raw[1:]))
 			if err != nil {
 				return nil, err
+			}
+			if rep.seq != seq {
+				continue // stale reply from a superseded attempt
 			}
 			if from == src {
 				return rep, nil

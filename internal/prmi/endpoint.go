@@ -502,49 +502,15 @@ func (ep *Endpoint) nextFrom(src int, timeout time.Duration) ([]byte, error) {
 	}
 }
 
-// recvLink receives from the link, optionally bounded by a timeout
-// implemented with a pump goroutine handoff.
+// recvLink receives from the link, optionally bounded by a timeout. The
+// link's own RecvTimeout keeps an undelivered message in the link (no
+// goroutine handoff), so a message racing the deadline is never lost.
 func (ep *Endpoint) recvLink(timeout time.Duration) (int, []byte, error) {
-	if timeout <= 0 {
-		return ep.link.Recv()
-	}
-	type rcv struct {
-		src int
-		raw []byte
-		err error
-	}
-	ch := make(chan rcv, 1)
-	go func() {
-		src, raw, err := ep.link.Recv()
-		ch <- rcv{src, raw, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.src, r.raw, r.err
-	case <-time.After(timeout):
-		// The pump goroutine will deliver into the buffered channel when
-		// the message eventually arrives; re-queue it so it is not lost.
-		go func() {
-			r := <-ch
-			if r.err == nil {
-				ep.requeue(r.src, r.raw)
-			}
-		}()
+	src, raw, err := ep.link.RecvTimeout(timeout)
+	if errors.Is(err, ErrTimeout) {
 		return 0, nil, ErrStalled
 	}
-}
-
-// requeue stores a message that arrived after a timeout. Serve loops are
-// single-goroutine, but the late pump delivery races with them, so this
-// path is guarded.
-func (ep *Endpoint) requeue(src int, raw []byte) {
-	// Serve has already returned with ErrStalled by the time a late
-	// message lands here; the queue is only inspected by subsequent Serve
-	// calls on the same endpoint, which the stall test does not make. A
-	// lost message after a detected stall is acceptable: the endpoint is
-	// in a failed state.
-	_ = src
-	_ = raw
+	return src, raw, err
 }
 
 // simpleMap converts wire values to the handler-facing map.

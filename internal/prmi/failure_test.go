@@ -10,9 +10,13 @@ import (
 	"sync"
 	"testing"
 
+	"sync/atomic"
+	"time"
+
 	"mxn/internal/comm"
 	"mxn/internal/sidl"
 	"mxn/internal/transport"
+	"mxn/internal/wire"
 )
 
 func simpleIface(t *testing.T) *sidl.Interface {
@@ -146,4 +150,138 @@ func TestMeshShortFrame(t *testing.T) {
 	if _, _, err := link.Recv(); err == nil {
 		t.Fatal("short frame accepted")
 	}
+}
+
+func TestIndependentCallTimesOutTyped(t *testing.T) {
+	iface := simpleIface(t)
+	a, b := transport.Pipe()
+	defer a.Close()
+	_ = b // callee never answers
+	port := NewCallerPort(iface, NewConnLink([]transport.Conn{a}, 0), 0, 1, Eager)
+	port.SetRetryPolicy(RetryPolicy{Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	_, err := port.CallIndependent(0, "f", Simple("x", 1.0))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("call to silent callee: %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout not enforced")
+	}
+}
+
+func TestIndependentCallRetriesThroughDrop(t *testing.T) {
+	iface := simpleIface(t)
+	// Drop exactly the first outgoing message; the retry's resend gets
+	// through. faultconn would also do this, but a hand-rolled conn keeps
+	// the dependency direction clean (faultconn's own tests cover it, and
+	// the failure-matrix test exercises the full stack).
+	pa, pb := transport.Pipe()
+	dropper := &dropFirstConn{Conn: pa}
+	port := NewCallerPort(iface, NewConnLink([]transport.Conn{dropper}, 0), 0, 1, Eager)
+	port.SetRetryPolicy(RetryPolicy{Timeout: 80 * time.Millisecond, MaxAttempts: 3, Backoff: 5 * time.Millisecond})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ep := NewEndpoint(iface, NewConnLink([]transport.Conn{pb}, 0), 0, 1, 1)
+		ep.Handle("f", func(in *Incoming, out *Outgoing) error {
+			out.Return = in.Simple["x"].(float64) * 2
+			return nil
+		})
+		ep.Serve()
+	}()
+	res, err := port.CallIndependent(0, "f", Simple("x", 21.0))
+	if err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if res.Return.(float64) != 42 {
+		t.Fatalf("return = %v", res.Return)
+	}
+	if n := dropper.sends.Load(); n < 2 {
+		t.Fatalf("expected a resend, saw %d sends", n)
+	}
+	port.Close()
+	<-done
+}
+
+func TestIndependentCallExhaustsRetries(t *testing.T) {
+	iface := simpleIface(t)
+	a, b := transport.Pipe()
+	defer a.Close()
+	_ = b
+	port := NewCallerPort(iface, NewConnLink([]transport.Conn{a}, 0), 0, 1, Eager)
+	port.SetRetryPolicy(RetryPolicy{Timeout: 20 * time.Millisecond, MaxAttempts: 3, Backoff: time.Millisecond, BackoffCap: 2 * time.Millisecond})
+	_, err := port.CallIndependent(0, "f", Simple("x", 1.0))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout after exhausted retries", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("err %q does not report the attempt count", err)
+	}
+}
+
+func TestLinkDownIsTyped(t *testing.T) {
+	iface := simpleIface(t)
+	a, b := transport.Pipe()
+	b.Close()
+	_ = b
+	port := NewCallerPort(iface, NewConnLink([]transport.Conn{a}, 0), 0, 1, Eager)
+	port.SetRetryPolicy(RetryPolicy{Timeout: 50 * time.Millisecond, MaxAttempts: 2, Backoff: time.Millisecond})
+	_, err := port.CallIndependent(0, "f", Simple("x", 1.0))
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("call over closed link: %v, want ErrLinkDown", err)
+	}
+}
+
+func TestStaleReplyDiscarded(t *testing.T) {
+	iface := simpleIface(t)
+	a, b := transport.Pipe()
+	defer a.Close()
+	port := NewCallerPort(iface, NewConnLink([]transport.Conn{a}, 0), 0, 1, Eager)
+	port.SetRetryPolicy(RetryPolicy{Timeout: 150 * time.Millisecond, MaxAttempts: 2, Backoff: time.Millisecond})
+
+	// A "slow" callee: ignores the first call entirely, then answers the
+	// second call twice — once with the first attempt's stale seq, then
+	// with the right one. The caller must skip the stale reply and accept
+	// the fresh one.
+	go func() {
+		raw1, err := b.Recv() // first attempt; never answered
+		if err != nil {
+			return
+		}
+		raw2, err := b.Recv() // second attempt
+		if err != nil {
+			return
+		}
+		d1 := wire.NewDecoder(raw1[5:]) // skip rank prefix + kind
+		seq1 := func() uint64 { _ = d1.String(); return d1.Uint64() }()
+		d2 := wire.NewDecoder(raw2[5:])
+		seq2 := func() uint64 { _ = d2.String(); return d2.Uint64() }()
+
+		stale := encodeReply(&replyMsg{method: "f", seq: seq1, calleeRank: 0, ret: -1.0})
+		fresh := encodeReply(&replyMsg{method: "f", seq: seq2, calleeRank: 0, ret: 42.0})
+		prefix := []byte{0, 0, 0, 0}
+		b.Send(append(append([]byte{}, prefix...), stale...))
+		b.Send(append(append([]byte{}, prefix...), fresh...))
+	}()
+	res, err := port.CallIndependent(0, "f", Simple("x", 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return.(float64) != 42 {
+		t.Fatalf("caller accepted stale reply: return = %v", res.Return)
+	}
+}
+
+// dropFirstConn swallows the first Send and counts attempts.
+type dropFirstConn struct {
+	transport.Conn
+	sends atomic.Int64
+}
+
+func (c *dropFirstConn) Send(msg []byte) error {
+	if c.sends.Add(1) == 1 {
+		return nil // eaten by the network
+	}
+	return c.Conn.Send(msg)
 }

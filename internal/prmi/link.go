@@ -32,12 +32,26 @@
 package prmi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"mxn/internal/comm"
 	"mxn/internal/transport"
 )
+
+// ErrTimeout reports that a bounded wait for a remote reply (or message)
+// expired. A call failing with ErrTimeout may have executed on the callee:
+// only the reply is known to be missing, which is why the retry layer
+// restricts automatic retry to idempotent call kinds.
+var ErrTimeout = errors.New("prmi: timed out")
+
+// ErrLinkDown reports that the link to the peer cohort failed (closed,
+// partitioned, or otherwise unable to carry messages). Unlike ErrTimeout,
+// the link will not recover by waiting; callers should re-establish the
+// connection or give up.
+var ErrLinkDown = errors.New("prmi: link down")
 
 // Link carries framed messages between the two sides of one port
 // connection. Rank numbering is the peer cohort's: Send(j, m) delivers to
@@ -46,6 +60,26 @@ import (
 type Link interface {
 	Send(peerRank int, msg []byte) error
 	Recv() (peerRank int, msg []byte, err error)
+	// RecvTimeout is Recv bounded by d (d <= 0 blocks forever). Expiry
+	// reports an error matching ErrTimeout.
+	RecvTimeout(d time.Duration) (peerRank int, msg []byte, err error)
+}
+
+// mapLinkErr rewrites transport-level failures into the package's typed
+// errors so callers can branch on errors.Is without knowing the link kind.
+func mapLinkErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrTimeout), errors.Is(err, ErrLinkDown):
+		return err
+	case errors.Is(err, transport.ErrClosed):
+		return fmt.Errorf("%w: %v", ErrLinkDown, err)
+	case errors.Is(err, transport.ErrTimeout):
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	default:
+		return err
+	}
 }
 
 // commLink connects two cohorts that live in one communicator group:
@@ -75,6 +109,21 @@ func (l *commLink) Recv() (int, []byte, error) {
 	payload, src := l.c.Recv(comm.AnySource, l.tag)
 	msg, ok := payload.([]byte)
 	if !ok {
+		return 0, nil, fmt.Errorf("prmi: link received %T", payload)
+	}
+	return src - l.peerBase, msg, nil
+}
+
+func (l *commLink) RecvTimeout(d time.Duration) (int, []byte, error) {
+	if d <= 0 {
+		return l.Recv()
+	}
+	payload, src, ok := l.c.RecvTimeout(comm.AnySource, l.tag, d)
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: no message within %v", ErrTimeout, d)
+	}
+	msg, isBytes := payload.([]byte)
+	if !isBytes {
 		return 0, nil, fmt.Errorf("prmi: link received %T", payload)
 	}
 	return src - l.peerBase, msg, nil
@@ -145,4 +194,19 @@ func (l *connLink) Recv() (int, []byte, error) {
 	l.start()
 	in := <-l.inbox
 	return in.src, in.msg, in.err
+}
+
+func (l *connLink) RecvTimeout(d time.Duration) (int, []byte, error) {
+	if d <= 0 {
+		return l.Recv()
+	}
+	l.start()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case in := <-l.inbox:
+		return in.src, in.msg, in.err
+	case <-t.C:
+		return 0, nil, fmt.Errorf("%w: no message within %v", ErrTimeout, d)
+	}
 }

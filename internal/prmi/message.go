@@ -136,8 +136,10 @@ func encodeNamedValues(e *wire.Encoder, vals []namedValue) {
 
 func decodeNamedValues(d *wire.Decoder) ([]namedValue, error) {
 	n := d.Uvarint()
-	if d.Err() != nil {
-		return nil, d.Err()
+	// Every value costs at least two encoded bytes, so a count beyond the
+	// bytes present is corruption; reject before it sizes an allocation.
+	if d.Err() != nil || n > uint64(d.Remaining()) {
+		return nil, wire.ErrCorrupt
 	}
 	out := make([]namedValue, 0, n)
 	for i := uint64(0); i < n; i++ {
@@ -163,8 +165,8 @@ func encodeFrags(e *wire.Encoder, frags []parallelFrag) {
 
 func decodeFrags(d *wire.Decoder) ([]parallelFrag, error) {
 	n := d.Uvarint()
-	if d.Err() != nil {
-		return nil, d.Err()
+	if d.Err() != nil || n > uint64(d.Remaining()) {
+		return nil, wire.ErrCorrupt
 	}
 	out := make([]parallelFrag, 0, n)
 	for i := uint64(0); i < n; i++ {

@@ -9,10 +9,12 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"mxn/internal/wire"
 )
@@ -20,15 +22,45 @@ import (
 // ErrClosed is returned by operations on a closed Conn or Listener.
 var ErrClosed = errors.New("transport: closed")
 
+// ErrTimeout is returned (wrapped) when a context deadline expires inside
+// SendContext, RecvContext or DialContext. It is distinct from ErrClosed so
+// callers can tell a slow peer from a dead link and decide whether to retry.
+var ErrTimeout = errors.New("transport: timeout")
+
 // Conn is a reliable, ordered, full-duplex message connection.
 type Conn interface {
 	// Send transmits one message. It may block for flow control.
 	Send(msg []byte) error
 	// Recv blocks until the next message arrives.
 	Recv() ([]byte, error)
+	// SendContext is Send bounded by ctx: expiry reports ErrTimeout
+	// (wrapped), cancellation reports ctx.Err(). A TCP conn abandoned
+	// mid-frame by an expired deadline is poisoned for further framed
+	// traffic and should be closed.
+	SendContext(ctx context.Context, msg []byte) error
+	// RecvContext is Recv bounded by ctx, with the same error contract as
+	// SendContext.
+	RecvContext(ctx context.Context) ([]byte, error)
 	// Close releases the connection. Pending and future operations on
 	// either end fail with ErrClosed (or io errors for TCP).
 	Close() error
+}
+
+// ctxErr maps a finished context to the transport error contract.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return ctx.Err()
+}
+
+// mapNetErr rewrites net-level timeouts into the transport error contract.
+func mapNetErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
 }
 
 // Listener accepts incoming connections at an address.
@@ -59,13 +91,20 @@ func Listen(network, addr string) (Listener, error) {
 
 // Dial connects to a listener.
 func Dial(network, addr string) (Conn, error) {
+	return DialContext(context.Background(), network, addr)
+}
+
+// DialContext connects to a listener, bounded by ctx. Deadline expiry
+// reports ErrTimeout (wrapped).
+func DialContext(ctx context.Context, network, addr string) (Conn, error) {
 	switch network {
 	case "inproc":
-		return dialInproc(addr)
+		return dialInproc(ctx, addr)
 	case "tcp":
-		nc, err := net.Dial("tcp", addr)
+		var d net.Dialer
+		nc, err := d.DialContext(ctx, "tcp", addr)
 		if err != nil {
-			return nil, err
+			return nil, mapNetErr(err)
 		}
 		return newTCPConn(nc), nil
 	default:
@@ -101,6 +140,18 @@ type chanConn struct {
 }
 
 func (c *chanConn) Send(msg []byte) error {
+	return c.SendContext(context.Background(), msg)
+}
+
+func (c *chanConn) SendContext(ctx context.Context, msg []byte) error {
+	// Check closure first: with buffer space free the main select would
+	// otherwise pick randomly between the send and the closed arm, making
+	// Send on a closed pipe nondeterministic.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
 	// Copy so the caller may reuse its buffer, matching TCP semantics.
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
@@ -109,10 +160,16 @@ func (c *chanConn) Send(msg []byte) error {
 		return ErrClosed
 	case c.out <- cp:
 		return nil
+	case <-ctx.Done():
+		return ctxErr(ctx)
 	}
 }
 
 func (c *chanConn) Recv() ([]byte, error) {
+	return c.RecvContext(context.Background())
+}
+
+func (c *chanConn) RecvContext(ctx context.Context) ([]byte, error) {
 	select {
 	case m := <-c.in:
 		return m, nil
@@ -125,6 +182,8 @@ func (c *chanConn) Recv() ([]byte, error) {
 		default:
 			return nil, ErrClosed
 		}
+	case <-ctx.Done():
+		return nil, ctxErr(ctx)
 	}
 }
 
@@ -155,7 +214,7 @@ func listenInproc(addr string) (Listener, error) {
 	return l, nil
 }
 
-func dialInproc(addr string) (Conn, error) {
+func dialInproc(ctx context.Context, addr string) (Conn, error) {
 	inprocMu.Lock()
 	l, ok := inprocListeners[addr]
 	inprocMu.Unlock()
@@ -168,6 +227,8 @@ func dialInproc(addr string) (Conn, error) {
 		return a, nil
 	case <-l.closed:
 		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctxErr(ctx)
 	}
 }
 
@@ -208,10 +269,73 @@ func (c *tcpConn) Send(msg []byte) error {
 	return wire.WriteFrame(c.nc, msg)
 }
 
+func (c *tcpConn) SendContext(ctx context.Context, msg []byte) error {
+	c.sMu.Lock()
+	defer c.sMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return ctxErr(ctx)
+	}
+	defer c.armDeadline(ctx, c.nc.SetWriteDeadline)()
+	return finishCtx(ctx, wire.WriteFrame(c.nc, msg))
+}
+
 func (c *tcpConn) Recv() ([]byte, error) {
 	c.rMu.Lock()
 	defer c.rMu.Unlock()
 	return wire.ReadFrame(c.nc)
+}
+
+func (c *tcpConn) RecvContext(ctx context.Context) ([]byte, error) {
+	c.rMu.Lock()
+	defer c.rMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(ctx)
+	}
+	defer c.armDeadline(ctx, c.nc.SetReadDeadline)()
+	msg, err := wire.ReadFrame(c.nc)
+	return msg, finishCtx(ctx, err)
+}
+
+// finishCtx resolves the error of a deadline-bounded socket operation: a
+// finished context takes precedence (an AfterFunc-forced deadline shows up
+// as a net timeout even when the cause was cancellation, not expiry).
+func finishCtx(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return ctxErr(ctx)
+	}
+	return mapNetErr(err)
+}
+
+// armDeadline applies ctx's deadline to one direction of the socket and
+// registers cancellation to abort an in-flight operation. The returned
+// func clears both; it must run before the direction's mutex is released.
+// An operation abandoned mid-frame leaves the stream unframeable — callers
+// that time out should close the conn and redial.
+func (c *tcpConn) armDeadline(ctx context.Context, set func(time.Time) error) func() {
+	if dl, ok := ctx.Deadline(); ok {
+		set(dl)
+	}
+	// The AfterFunc callback can run concurrently with the cleanup below
+	// (stop() returns false once the callback has started); without the
+	// flag its forced past-deadline could land after the reset and stick
+	// to the socket, failing every later operation instantly.
+	var mu sync.Mutex
+	done := false
+	stop := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if !done {
+			// Force any blocked read/write to return immediately.
+			set(time.Unix(1, 0))
+		}
+	})
+	return func() {
+		stop()
+		mu.Lock()
+		defer mu.Unlock()
+		done = true
+		set(time.Time{})
+	}
 }
 
 func (c *tcpConn) Close() error {

@@ -2,9 +2,12 @@ package transport
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func testConnPair(t *testing.T, a, b Conn) {
@@ -229,4 +232,138 @@ func TestUnknownNetwork(t *testing.T) {
 	if _, err := Dial("carrier-pigeon", "x"); err == nil {
 		t.Error("Dial(carrier-pigeon) succeeded")
 	}
+}
+
+func TestRecvContextTimeout(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pair func(t *testing.T) (Conn, Conn)
+	}{
+		{"pipe", func(t *testing.T) (Conn, Conn) { a, b := Pipe(); return a, b }},
+		{"tcp", func(t *testing.T) (Conn, Conn) { return tcpPair(t) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.pair(t)
+			defer a.Close()
+			defer b.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			_, err := b.RecvContext(ctx)
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("recv on silent conn: %v, want ErrTimeout", err)
+			}
+		})
+	}
+}
+
+func TestRecvContextCancel(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.RecvContext(ctx)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("recv after cancel: %v, want context.Canceled", err)
+	}
+}
+
+func TestRecvContextDelivers(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.SendContext(ctx, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.RecvContext(ctx)
+	if err != nil || string(m) != "hi" {
+		t.Fatalf("recv: %q, %v", m, err)
+	}
+}
+
+func TestSendContextTimeoutWhenFull(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	_ = b
+	// Fill the pipe's buffered direction, then the next send must block
+	// and time out.
+	for i := 0; i < pipeDepth; i++ {
+		if err := a.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := a.SendContext(ctx, []byte("overflow")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("send on full pipe: %v, want ErrTimeout", err)
+	}
+}
+
+func TestDialContextExpired(t *testing.T) {
+	// An already-expired context must fail the dial regardless of how the
+	// local network treats the address.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	l, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := DialContext(ctx, "tcp", l.Addr()); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dial with expired context: %v, want ErrTimeout", err)
+	}
+}
+
+func TestTCPRecvAfterTimeoutThenClose(t *testing.T) {
+	cli, srv := tcpPair(t)
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := cli.RecvContext(ctx); !errorsIsTimeout(err) {
+		t.Fatalf("recv: %v, want ErrTimeout", err)
+	}
+	// The conn survives the timeout for a retry when no frame was cut.
+	go srv.Send([]byte("late"))
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	m, err := cli.RecvContext(ctx2)
+	if err != nil || string(m) != "late" {
+		t.Fatalf("recv after timeout: %q, %v", m, err)
+	}
+	cli.Close()
+}
+
+func errorsIsTimeout(err error) bool { return errors.Is(err, ErrTimeout) }
+
+// tcpPair returns a connected client/server TCP conn pair on loopback.
+func tcpPair(t *testing.T) (Conn, Conn) {
+	t.Helper()
+	l, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type res struct {
+		c   Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	cli, err := Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return cli, r.c
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -368,17 +369,24 @@ func (d *Decoder) Value() any {
 	}
 }
 
-// Frame I/O: each frame is a 4-byte little-endian length followed by the
-// payload. MaxFrame bounds a single frame to guard against corrupt peers.
+// Frame I/O: each frame is a 4-byte little-endian length, a 4-byte
+// little-endian CRC-32C checksum of the payload, then the payload. The
+// checksum lets the receiving end distinguish a corrupted link from a
+// merely slow one, which the PRMI retry layer depends on. MaxFrame bounds
+// a single frame to guard against corrupt peers.
 const MaxFrame = 1 << 30
 
-// WriteFrame writes one length-prefixed frame to w.
+// frameTable is the CRC-32C (Castagnoli) table used for frame checksums.
+var frameTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteFrame writes one length-prefixed, checksummed frame to w.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(payload), MaxFrame)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, frameTable))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -386,19 +394,32 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame from r.
+// ReadFrame reads one frame written by WriteFrame, verifying its checksum.
+// A checksum mismatch reports ErrCorrupt (wrapped).
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrame)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	// Read in bounded chunks rather than trusting the header with a single
+	// up-front allocation: a corrupt length prefix must cost no more memory
+	// than the bytes the peer actually sends.
+	payload := make([]byte, 0, min(int(n), 64<<10))
+	for len(payload) < int(n) {
+		chunk := min(int(n)-len(payload), 1<<20)
+		start := len(payload)
+		payload = append(payload, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return nil, err
+		}
+	}
+	if got := crc32.Checksum(payload, frameTable); got != sum {
+		return nil, fmt.Errorf("%w: frame checksum mismatch (got %08x, header says %08x)", ErrCorrupt, got, sum)
 	}
 	return payload, nil
 }
