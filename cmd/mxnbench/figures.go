@@ -1,14 +1,26 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"mxn"
 	"mxn/internal/prmi"
 )
+
+// withConnLabel runs fn under a runtime/pprof "conn" label so profiles
+// attribute a transfer's samples to the connection that carried it.
+func withConnLabel(connID string, fn func() error) error {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("conn", connID), func(context.Context) {
+		err = fn()
+	})
+	return err
+}
 
 // runE1 reproduces Figure 1: a 60³ field moves from M=8 (2×2×2 blocks) to
 // N=27 (3×3×3 blocks) with live cohorts, reporting the communication
@@ -202,11 +214,20 @@ func measurePRMI(calls int, overTCP bool) (time.Duration, error) {
 		done <- ep.Serve()
 	}()
 	port := mxn.NewCallerPort(iface, callerLink, 0, 1, mxn.Eager)
+	connID := "e2-inproc"
+	if overTCP {
+		connID = "e2-tcp"
+	}
 	start := time.Now()
-	for i := 0; i < calls; i++ {
-		if _, err := port.CallIndependent(0, "square", mxn.Simple("x", float64(i))); err != nil {
-			return 0, err
+	if err := withConnLabel(connID, func() error {
+		for i := 0; i < calls; i++ {
+			if _, err := port.CallIndependent(0, "square", mxn.Simple("x", float64(i))); err != nil {
+				return err
+			}
 		}
+		return nil
+	}); err != nil {
+		return 0, err
 	}
 	per := time.Since(start) / time.Duration(calls)
 	if err := port.Close(); err != nil {
@@ -305,44 +326,52 @@ func runE3Bridge(overTCP bool, frames int) (string, error) {
 		return "", err
 	}
 
+	connID := "e3-mem"
+	if overTCP {
+		connID = "e3-tcp"
+	}
 	start := time.Now()
-	var wg sync.WaitGroup
-	var failMu sync.Mutex
-	var fail error
-	for r := 0; r < m; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			local := make([]float64, srcT.LocalCount(r))
-			for f := 0; f < frames; f++ {
-				local[0] = float64(f)
-				if _, err := srcConn.DataReady(r, local); err != nil {
-					failMu.Lock()
-					fail = err
-					failMu.Unlock()
-					return
+	// The transfer goroutines are spawned under the conn label and
+	// inherit it, so profiles split DataReady time per bridge kind.
+	if err := withConnLabel(connID, func() error {
+		var wg sync.WaitGroup
+		var failMu sync.Mutex
+		var fail error
+		for r := 0; r < m; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				local := make([]float64, srcT.LocalCount(r))
+				for f := 0; f < frames; f++ {
+					local[0] = float64(f)
+					if _, err := srcConn.DataReady(r, local); err != nil {
+						failMu.Lock()
+						fail = err
+						failMu.Unlock()
+						return
+					}
 				}
-			}
-		}(r)
-	}
-	for r := 0; r < n; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			buf := make([]float64, dstT.LocalCount(r))
-			for f := 0; f < frames; f++ {
-				if _, err := dstConn.DataReady(r, buf); err != nil {
-					failMu.Lock()
-					fail = err
-					failMu.Unlock()
-					return
+			}(r)
+		}
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				buf := make([]float64, dstT.LocalCount(r))
+				for f := 0; f < frames; f++ {
+					if _, err := dstConn.DataReady(r, buf); err != nil {
+						failMu.Lock()
+						fail = err
+						failMu.Unlock()
+						return
+					}
 				}
-			}
-		}(r)
-	}
-	wg.Wait()
-	if fail != nil {
-		return "", fail
+			}(r)
+		}
+		wg.Wait()
+		return fail
+	}); err != nil {
+		return "", err
 	}
 	elapsed := time.Since(start)
 	bytes := float64(e3Elems*8*frames) / 1e6

@@ -7,15 +7,26 @@ import "fmt"
 // the same sequence of collectives. Because point-to-point delivery between
 // a pair of ranks is FIFO per tag, successive collectives by the same group
 // cannot cross-match and need no epoch counters.
+//
+// Every exported collective increments comm.collective_participations
+// exactly once per calling rank; composite collectives (Allgather,
+// Barrier, the reductions) delegate to unexported helpers so their
+// building blocks are not double-counted.
 
 // Barrier blocks until every rank of the group has entered it.
 func (c *Comm) Barrier() {
-	c.Allgather(nil)
+	mCollectives.Inc()
+	c.allgather(nil)
 }
 
 // Bcast distributes root's value to every rank and returns it. Non-root
 // callers pass any value (conventionally nil); the root's value wins.
 func (c *Comm) Bcast(root int, v any) any {
+	mCollectives.Inc()
+	return c.bcast(root, v)
+}
+
+func (c *Comm) bcast(root int, v any) any {
 	if c.Size() == 1 {
 		return v
 	}
@@ -34,6 +45,11 @@ func (c *Comm) Bcast(root int, v any) any {
 // Gather collects one value from every rank at root. At the root the
 // returned slice is indexed by group rank; at other ranks it is nil.
 func (c *Comm) Gather(root int, v any) []any {
+	mCollectives.Inc()
+	return c.gather(root, v)
+}
+
+func (c *Comm) gather(root int, v any) []any {
 	if c.rank != root {
 		c.send(root, tagGather, v)
 		return nil
@@ -53,8 +69,13 @@ func (c *Comm) Gather(root int, v any) []any {
 // Allgather collects one value from every rank at every rank. The returned
 // slice is indexed by group rank.
 func (c *Comm) Allgather(v any) []any {
-	all := c.Gather(0, v)
-	got := c.Bcast(0, all)
+	mCollectives.Inc()
+	return c.allgather(v)
+}
+
+func (c *Comm) allgather(v any) []any {
+	all := c.gather(0, v)
+	got := c.bcast(0, all)
 	return got.([]any)
 }
 
@@ -62,6 +83,7 @@ func (c *Comm) Allgather(v any) []any {
 // caller's element. At the root, values must have length Size(); elsewhere
 // it is ignored.
 func (c *Comm) Scatter(root int, values []any) any {
+	mCollectives.Inc()
 	if c.rank == root {
 		if len(values) != c.Size() {
 			panic(fmt.Sprintf("comm: Scatter needs %d values, got %d", c.Size(), len(values)))
@@ -80,6 +102,11 @@ func (c *Comm) Scatter(root int, values []any) any {
 // Alltoall sends values[j] to group rank j and returns the values received
 // from every rank, indexed by source rank. values must have length Size().
 func (c *Comm) Alltoall(values []any) []any {
+	mCollectives.Inc()
+	return c.alltoall(values)
+}
+
+func (c *Comm) alltoall(values []any) []any {
 	if len(values) != c.Size() {
 		panic(fmt.Sprintf("comm: Alltoall needs %d values, got %d", c.Size(), len(values)))
 	}
@@ -104,11 +131,12 @@ func (c *Comm) Alltoall(values []any) []any {
 // indexed by source rank. Unlike MPI no displacement bookkeeping is needed
 // because slices carry their lengths.
 func (c *Comm) AlltoallvFloat64(send [][]float64) [][]float64 {
+	mCollectives.Inc()
 	vals := make([]any, len(send))
 	for i, s := range send {
 		vals[i] = s
 	}
-	got := c.Alltoall(vals)
+	got := c.alltoall(vals)
 	out := make([][]float64, len(got))
 	for i, g := range got {
 		if g != nil {
@@ -120,11 +148,12 @@ func (c *Comm) AlltoallvFloat64(send [][]float64) [][]float64 {
 
 // AlltoallvBytes is AlltoallvFloat64 for raw byte payloads.
 func (c *Comm) AlltoallvBytes(send [][]byte) [][]byte {
+	mCollectives.Inc()
 	vals := make([]any, len(send))
 	for i, s := range send {
 		vals[i] = s
 	}
-	got := c.Alltoall(vals)
+	got := c.alltoall(vals)
 	out := make([][]byte, len(got))
 	for i, g := range got {
 		if g != nil {
@@ -165,7 +194,12 @@ func (op ReduceOp) apply(a, b float64) float64 {
 // ReduceFloat64 folds one float64 per rank at root. Non-root callers
 // receive 0 and ok=false.
 func (c *Comm) ReduceFloat64(root int, v float64, op ReduceOp) (float64, bool) {
-	all := c.Gather(root, v)
+	mCollectives.Inc()
+	return c.reduceFloat64(root, v, op)
+}
+
+func (c *Comm) reduceFloat64(root int, v float64, op ReduceOp) (float64, bool) {
+	all := c.gather(root, v)
 	if all == nil {
 		return 0, false
 	}
@@ -179,13 +213,17 @@ func (c *Comm) ReduceFloat64(root int, v float64, op ReduceOp) (float64, bool) {
 // AllreduceFloat64 folds one float64 per rank and returns the result at
 // every rank.
 func (c *Comm) AllreduceFloat64(v float64, op ReduceOp) float64 {
-	r, _ := c.ReduceFloat64(0, v, op)
-	got := c.Bcast(0, r)
+	mCollectives.Inc()
+	r, _ := c.reduceFloat64(0, v, op)
+	got := c.bcast(0, r)
 	return got.(float64)
 }
 
 // AllreduceInt folds one int per rank with OpSum/OpMin/OpMax semantics and
 // returns the result at every rank.
 func (c *Comm) AllreduceInt(v int, op ReduceOp) int {
-	return int(c.AllreduceFloat64(float64(v), op))
+	mCollectives.Inc()
+	r, _ := c.reduceFloat64(0, float64(v), op)
+	got := c.bcast(0, r)
+	return int(got.(float64))
 }

@@ -17,6 +17,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mxn/internal/obs"
+)
+
+// Runtime instruments. The queue-depth gauge tracks messages queued in
+// mailboxes process-wide (put minus take), the closest analogue of an MPI
+// implementation's unexpected-message queue length; a persistently growing
+// value means receivers are falling behind their senders.
+var (
+	mMsgsSent    = obs.Default().Counter("comm.msgs_sent")
+	mMsgsRecv    = obs.Default().Counter("comm.msgs_recv")
+	mRecvWaits   = obs.Default().Counter("comm.recv_timeouts_expired")
+	mCollectives = obs.Default().Counter("comm.collective_participations")
+	mQueueDepth  = obs.Default().Gauge("comm.queue_depth")
 )
 
 // Wildcards for Recv matching.
@@ -53,6 +67,8 @@ func (mb *mailbox) put(m message) {
 	mb.msgs = append(mb.msgs, m)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
+	mMsgsSent.Inc()
+	mQueueDepth.Add(1)
 }
 
 // take removes and returns the first message matching (group, from, tag),
@@ -64,6 +80,8 @@ func (mb *mailbox) take(gid uint64, from, tag int) message {
 		for i, m := range mb.msgs {
 			if m.gid == gid && (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag) {
 				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				mMsgsRecv.Inc()
+				mQueueDepth.Add(-1)
 				return m
 			}
 		}
@@ -89,10 +107,13 @@ func (mb *mailbox) takeTimeout(gid uint64, from, tag int, d time.Duration) (mess
 		for i, m := range mb.msgs {
 			if m.gid == gid && (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag) {
 				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				mMsgsRecv.Inc()
+				mQueueDepth.Add(-1)
 				return m, true
 			}
 		}
 		if !time.Now().Before(deadline) {
+			mRecvWaits.Inc()
 			return message{}, false
 		}
 		mb.cond.Wait()
@@ -106,6 +127,8 @@ func (mb *mailbox) tryTake(gid uint64, from, tag int) (message, bool) {
 	for i, m := range mb.msgs {
 		if m.gid == gid && (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag) {
 			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			mMsgsRecv.Inc()
+			mQueueDepth.Add(-1)
 			return m, true
 		}
 	}

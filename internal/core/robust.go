@@ -5,8 +5,17 @@ import (
 	"sync"
 	"time"
 
+	"mxn/internal/obs"
 	"mxn/internal/transport"
 	"mxn/internal/wire"
+)
+
+// Bridge instruments, registered in the process-default registry.
+var (
+	mRedials      = obs.Default().Counter("core.redials")
+	mRedialFails  = obs.Default().Counter("core.redial_failures")
+	mFramesResent = obs.Default().Counter("core.frames_resent")
+	mLinkDown     = obs.Default().Counter("core.links_down")
 )
 
 // robustBridge is a netBridge that survives link failure by redialing.
@@ -84,15 +93,20 @@ func (b *robustBridge) redial(failed transport.Conn, cause error) (transport.Con
 	failed.Close()
 	for b.redials < b.budget {
 		b.redials++
+		mRedials.Inc()
+		start := time.Now()
 		time.Sleep(b.backoff)
 		conn, err := b.dial()
 		if err != nil {
+			mRedialFails.Inc()
 			cause = err
 			continue
 		}
+		obs.Trace().Span(obs.EvRedial, "bridge", -1, -1, 0, start)
 		b.conn = conn
 		return conn, nil
 	}
+	mLinkDown.Inc()
 	b.down = fmt.Errorf("core: bridge link failed after %d redials: %w", b.redials, cause)
 	return nil, b.down
 }
@@ -150,9 +164,12 @@ func (b *robustBridge) send(frame []byte) error {
 	b.wmu.Lock()
 	defer b.wmu.Unlock()
 	conn, err := b.current()
-	for {
+	for attempt := 0; ; attempt++ {
 		if err != nil {
 			return err
+		}
+		if attempt > 0 {
+			mFramesResent.Inc()
 		}
 		serr := conn.Send(frame)
 		if serr == nil {

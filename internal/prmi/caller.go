@@ -9,6 +9,7 @@ import (
 
 	"mxn/internal/comm"
 	"mxn/internal/dad"
+	"mxn/internal/obs"
 	"mxn/internal/schedule"
 	"mxn/internal/sidl"
 	"mxn/internal/wire"
@@ -259,6 +260,12 @@ func (p *CallerPort) CallIndependent(target int, method string, args ...Arg) (*R
 	// retried under the port's policy: each attempt gets a fresh sequence
 	// number, and stale replies from superseded attempts are discarded by
 	// sequence in recvReplyFrom.
+	mCallsIndependent.Inc()
+	if m.OneWay {
+		mCallsOneway.Inc()
+	}
+	callStart := time.Now()
+	defer mCallNS.ObserveSince(callStart)
 	attempts := p.policy.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -266,11 +273,15 @@ func (p *CallerPort) CallIndependent(target int, method string, args ...Arg) (*R
 	backoff := p.policy.Backoff
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 && backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-			if p.policy.BackoffCap > 0 && backoff > p.policy.BackoffCap {
-				backoff = p.policy.BackoffCap
+		if attempt > 0 {
+			mRetries.Inc()
+			obs.Trace().Span(obs.EvRetry, "", p.rank, target, 0, callStart)
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+				if p.policy.BackoffCap > 0 && backoff > p.policy.BackoffCap {
+					backoff = p.policy.BackoffCap
+				}
 			}
 		}
 		p.seq++
@@ -344,6 +355,12 @@ func (p *CallerPort) CallCollective(method string, part Participation, args ...A
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.seq++
+	mCallsCollective.Inc()
+	if m.OneWay {
+		mCallsOneway.Inc()
+	}
+	callStart := time.Now()
+	defer mCallNS.ObserveSince(callStart)
 
 	// Compute per-callee fragments of every parallel in/inout argument.
 	// Deferred (by-reference) arguments send no data: they are stashed
@@ -598,6 +615,7 @@ func (p *CallerPort) recvReplyFrom(src int, seq uint64, timeout time.Duration) (
 			q = append(q, rep)
 		default:
 			// stale attempt; drop
+			mStaleDropped.Inc()
 		}
 	}
 	p.pending[src] = q
@@ -615,6 +633,7 @@ func (p *CallerPort) recvReplyFrom(src int, seq uint64, timeout time.Duration) (
 		if timeout > 0 {
 			remain := time.Until(deadline)
 			if remain <= 0 {
+				mTimeouts.Inc()
 				return nil, fmt.Errorf("%w: no reply from callee %d within %v", ErrTimeout, src, timeout)
 			}
 			from, raw, err = p.link.RecvTimeout(remain)
@@ -622,7 +641,11 @@ func (p *CallerPort) recvReplyFrom(src int, seq uint64, timeout time.Duration) (
 			from, raw, err = p.link.Recv()
 		}
 		if err != nil {
-			return nil, mapLinkErr(err)
+			err = mapLinkErr(err)
+			if errors.Is(err, ErrTimeout) {
+				mTimeouts.Inc()
+			}
+			return nil, err
 		}
 		if len(raw) == 0 {
 			return nil, fmt.Errorf("prmi: caller received empty message")
@@ -642,6 +665,7 @@ func (p *CallerPort) recvReplyFrom(src int, seq uint64, timeout time.Duration) (
 				return nil, err
 			}
 			if rep.seq != seq {
+				mStaleDropped.Inc()
 				continue // stale reply from a superseded attempt
 			}
 			if from == src {

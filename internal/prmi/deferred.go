@@ -136,6 +136,7 @@ func (p *CallerPort) servePull(req *pullMsg) error {
 			break
 		}
 	}
+	mPullsServed.Inc()
 	return p.link.Send(req.calleeRank, encodePullData(&pullDataMsg{
 		seq: req.seq, argName: req.argName, data: data,
 	}))

@@ -227,6 +227,7 @@ func (ep *Endpoint) serveIndependent(hdr *callMsg) error {
 		Simple:     simpleMap(hdr.simple),
 		Parallel:   map[string][]float64{},
 	}
+	mEndpointInvokes.Inc()
 	out := &Outgoing{SimpleOut: map[string]any{}, Parallel: map[string][]float64{}}
 	h := ep.handlers[hdr.method]
 	if h == nil {
@@ -254,6 +255,7 @@ func (ep *Endpoint) serveCollective(first *callMsg) error {
 	if !ok {
 		return fmt.Errorf("prmi: callee received unknown method %q", first.method)
 	}
+	mEndpointInvokes.Inc()
 	hdrs := map[int]*callMsg{first.callerRank: first}
 	type heldMsg struct {
 		src int
@@ -488,6 +490,7 @@ func (ep *Endpoint) nextFrom(src int, timeout time.Duration) ([]byte, error) {
 		if !deadline.IsZero() {
 			remain = time.Until(deadline)
 			if remain <= 0 {
+				mEndpointStalls.Inc()
 				return nil, ErrStalled
 			}
 		}
@@ -508,6 +511,7 @@ func (ep *Endpoint) nextFrom(src int, timeout time.Duration) ([]byte, error) {
 func (ep *Endpoint) recvLink(timeout time.Duration) (int, []byte, error) {
 	src, raw, err := ep.link.RecvTimeout(timeout)
 	if errors.Is(err, ErrTimeout) {
+		mEndpointStalls.Inc()
 		return 0, nil, ErrStalled
 	}
 	return src, raw, err

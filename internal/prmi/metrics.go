@@ -1,0 +1,19 @@
+package prmi
+
+import "mxn/internal/obs"
+
+// PRMI instruments, registered in the process-default registry. Call
+// counters are incremented once per invocation on the initiating side;
+// endpoint counters once per serviced invocation per callee rank.
+var (
+	mCallsIndependent = obs.Default().Counter("prmi.calls_independent")
+	mCallsCollective  = obs.Default().Counter("prmi.calls_collective")
+	mCallsOneway      = obs.Default().Counter("prmi.calls_oneway")
+	mRetries          = obs.Default().Counter("prmi.retries")
+	mTimeouts         = obs.Default().Counter("prmi.timeouts")
+	mStaleDropped     = obs.Default().Counter("prmi.stale_replies_dropped")
+	mPullsServed      = obs.Default().Counter("prmi.pulls_served")
+	mEndpointInvokes  = obs.Default().Counter("prmi.endpoint_invocations")
+	mEndpointStalls   = obs.Default().Counter("prmi.endpoint_stalls")
+	mCallNS           = obs.Default().Histogram("prmi.call_ns")
+)

@@ -15,29 +15,93 @@
 //     M×N device (Section 2.2.1): each receiver tells the senders which
 //     linear chunks it requires, and no communication schedule is ever
 //     computed. The per-transfer request traffic is the price.
+//
+// Error hygiene: a destination that detects a malformed or mis-sized
+// message still consumes every message its transfer expects before
+// returning the (typed) error, so a failed transfer never leaves messages
+// queued under its tag to cross-match the next transfer reusing that tag.
 package redist
 
 import (
 	"fmt"
+	"time"
 
 	"mxn/internal/comm"
 	"mxn/internal/linear"
+	"mxn/internal/obs"
 	"mxn/internal/schedule"
 )
+
+// Redistribution instruments, registered in the process-default registry.
+// The pack/unpack histograms time per-pair buffer staging; the element
+// histograms record message granularity. All updates are single atomic
+// operations: enabling metrics adds zero allocations to the pack/send
+// path (guarded by TestExchangeMetricsZeroAlloc).
+var (
+	mLocalExecs  = obs.Default().Counter("redist.local_execs")
+	mTransfers   = obs.Default().Counter("redist.transfers")
+	mMsgsSent    = obs.Default().Counter("redist.msgs_sent")
+	mMsgsRecv    = obs.Default().Counter("redist.msgs_recv")
+	mElemsPacked = obs.Default().Counter("redist.elems_packed")
+	mElemsUnpack = obs.Default().Counter("redist.elems_unpacked")
+	mErrors      = obs.Default().Counter("redist.errors")
+	mDrained     = obs.Default().Counter("redist.msgs_drained_after_error")
+	mPackNS      = obs.Default().Histogram("redist.pack_ns")
+	mUnpackNS    = obs.Default().Histogram("redist.unpack_ns")
+	mMsgElems    = obs.Default().Histogram("redist.msg_elems")
+	mLinRequests = obs.Default().Counter("redist.linear_requests")
+	mLinReplies  = obs.Default().Counter("redist.linear_replies")
+)
+
+// ElemCountError reports a received fragment whose element count (or
+// position set) does not match what the schedule or linearization
+// intersection requires. It is a typed error so callers can distinguish a
+// data-integrity failure from transport-level trouble.
+type ElemCountError struct {
+	Transfer string // "exchange" or "linear"
+	DstRank  int    // destination cohort rank that detected the mismatch
+	SrcRank  int    // offending source cohort rank, or -1 for the whole transfer
+	Got      int
+	Want     int
+}
+
+func (e *ElemCountError) Error() string {
+	if e.SrcRank < 0 {
+		return fmt.Sprintf("redist: %s transfer: destination rank %d received %d elements, expected %d",
+			e.Transfer, e.DstRank, e.Got, e.Want)
+	}
+	return fmt.Sprintf("redist: %s transfer: destination rank %d received %d elements from source rank %d, expected %d",
+		e.Transfer, e.DstRank, e.Got, e.SrcRank, e.Want)
+}
 
 // ExecuteLocal runs a whole schedule within one goroutine, packing from
 // srcLocals[i] and unpacking into dstLocals[j]. It is the reference
 // executor: the parallel paths must produce identical results.
+//
+// Every pair is packed before any pair is unpacked: srcLocals and
+// dstLocals may alias (a self-redistribution such as an in-place
+// transpose, the Layout{SrcBase == DstBase} analogue), and an interleaved
+// pack/unpack would read elements an earlier pair's unpack had already
+// overwritten.
 func ExecuteLocal(s *schedule.Schedule, srcLocals, dstLocals [][]float64) {
-	buf := make([]float64, 0)
+	total := 0
 	for _, p := range s.Pairs {
-		if cap(buf) < p.Elems {
-			buf = make([]float64, p.Elems)
-		}
-		b := buf[:p.Elems]
-		schedule.Pack(p, srcLocals[p.SrcRank], b)
-		schedule.Unpack(p, dstLocals[p.DstRank], b)
+		total += p.Elems
 	}
+	backing := make([]float64, total)
+	off := 0
+	for _, p := range s.Pairs {
+		schedule.Pack(p, srcLocals[p.SrcRank], backing[off:off+p.Elems])
+		off += p.Elems
+	}
+	off = 0
+	for _, p := range s.Pairs {
+		schedule.Unpack(p, dstLocals[p.DstRank], backing[off:off+p.Elems])
+		off += p.Elems
+	}
+	mLocalExecs.Inc()
+	mElemsPacked.Add(uint64(total))
+	mElemsUnpack.Add(uint64(total))
 }
 
 // Layout places the two cohorts of a transfer within one communicator
@@ -59,7 +123,9 @@ type Layout struct {
 // The transfer decomposes into independent pairwise messages: sources
 // pack and post all their sends without waiting, then each destination
 // consumes exactly the messages addressed to it. No barrier is involved
-// on either side.
+// on either side. A destination that detects a malformed message consumes
+// the rest of its expected messages before returning the error, keeping
+// the tag namespace clean for the next transfer.
 func Exchange(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []float64, baseTag int) error {
 	me := c.Rank()
 	srcRank := me - lay.SrcBase
@@ -72,31 +138,59 @@ func Exchange(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal
 	if isDst && dstLocal == nil {
 		return fmt.Errorf("redist: group rank %d is destination rank %d but has no destination buffer", me, dstRank)
 	}
+	tr := obs.Trace()
 	if isSrc {
 		if want := s.Src.LocalCount(srcRank); len(srcLocal) != want {
 			return fmt.Errorf("redist: source rank %d buffer has %d elements, template says %d", srcRank, len(srcLocal), want)
 		}
 		for _, p := range s.OutgoingFor(srcRank) {
 			buf := make([]float64, p.Elems)
+			start := time.Now()
 			schedule.Pack(p, srcLocal, buf)
+			mPackNS.ObserveSince(start)
+			tr.Span(obs.EvPack, "", srcRank, p.DstRank, int64(p.Elems), start)
 			c.Send(lay.DstBase+p.DstRank, baseTag, buf)
+			mMsgsSent.Inc()
+			mElemsPacked.Add(uint64(p.Elems))
+			mMsgElems.Observe(int64(p.Elems))
+			tr.Span(obs.EvSend, "", srcRank, p.DstRank, int64(p.Elems), start)
 		}
+		mTransfers.Inc()
 	}
 	if isDst {
 		if want := s.Dst.LocalCount(dstRank); len(dstLocal) != want {
 			return fmt.Errorf("redist: destination rank %d buffer has %d elements, template says %d", dstRank, len(dstLocal), want)
 		}
+		// Consume every expected message even after a failure so nothing
+		// stays queued under baseTag for a later transfer to cross-match.
+		var firstErr error
 		for _, p := range s.IncomingFor(dstRank) {
+			start := time.Now()
 			payload, _ := c.Recv(lay.SrcBase+p.SrcRank, baseTag)
+			mMsgsRecv.Inc()
+			tr.Span(obs.EvRecv, "", dstRank, p.SrcRank, int64(p.Elems), start)
+			if firstErr != nil {
+				mDrained.Inc()
+				continue
+			}
 			buf, ok := payload.([]float64)
 			if !ok {
-				return fmt.Errorf("redist: destination rank %d received %T, want []float64", dstRank, payload)
+				firstErr = fmt.Errorf("redist: destination rank %d received %T, want []float64", dstRank, payload)
+				continue
 			}
 			if len(buf) != p.Elems {
-				return fmt.Errorf("redist: destination rank %d received %d elements from %d, schedule says %d",
-					dstRank, len(buf), p.SrcRank, p.Elems)
+				firstErr = &ElemCountError{Transfer: "exchange", DstRank: dstRank, SrcRank: p.SrcRank, Got: len(buf), Want: p.Elems}
+				continue
 			}
+			ustart := time.Now()
 			schedule.Unpack(p, dstLocal, buf)
+			mUnpackNS.ObserveSince(ustart)
+			mElemsUnpack.Add(uint64(p.Elems))
+			tr.Span(obs.EvUnpack, "", dstRank, p.SrcRank, int64(p.Elems), ustart)
+		}
+		if firstErr != nil {
+			mErrors.Inc()
+			return firstErr
 		}
 	}
 	return nil
@@ -126,6 +220,12 @@ type linReply struct {
 // owned set and replies with (positions, data); destinations unpack each
 // reply. Tag usage: baseTag for requests, baseTag+1 for replies, so a
 // caller running concurrent linear exchanges must space base tags by two.
+//
+// Replies are attributed by their actual source rank (not arrival order),
+// deduplicated, and each is validated against the intersection of that
+// source's owned positions with this destination's needs; a mismatch
+// surfaces as an *ElemCountError after the remaining expected replies
+// have been drained.
 func LinearExchange(c *comm.Comm, srcLin, dstLin linear.Linearizer, lay Layout, nSrc, nDst int,
 	srcLocal, dstLocal []float64, baseTag int) error {
 
@@ -137,6 +237,7 @@ func LinearExchange(c *comm.Comm, srcLin, dstLin linear.Linearizer, lay Layout, 
 	dstRank := me - lay.DstBase
 	isSrc := srcRank >= 0 && srcRank < nSrc
 	isDst := dstRank >= 0 && dstRank < nDst
+	tr := obs.Trace()
 
 	reqTag, dataTag := baseTag, baseTag+1
 
@@ -147,40 +248,104 @@ func LinearExchange(c *comm.Comm, srcLin, dstLin linear.Linearizer, lay Layout, 
 		need := dstLin.OwnedBy(dstRank)
 		for s := 0; s < nSrc; s++ {
 			c.Send(lay.SrcBase+s, reqTag, linRequest{dstRank: dstRank, need: need})
+			mLinRequests.Inc()
 		}
 	}
 
-	// Sources answer every request with the chunks they hold.
+	// Sources answer every request with the chunks they hold. Requests are
+	// consumed first and validated second: a malformed request must not
+	// abandon the loop with later requests still queued under reqTag.
 	if isSrc {
 		owned := srcLin.OwnedBy(srcRank)
+		reqs := make([]linRequest, 0, nDst)
+		var firstErr error
 		for i := 0; i < nDst; i++ {
 			payload, _ := c.Recv(comm.AnySource, reqTag)
 			req, ok := payload.(linRequest)
 			if !ok {
-				return fmt.Errorf("redist: source rank %d received %T, want request", srcRank, payload)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("redist: source rank %d received %T, want request", srcRank, payload)
+				}
+				mDrained.Inc()
+				continue
 			}
+			reqs = append(reqs, req)
+		}
+		for _, req := range reqs {
 			have := owned.Intersect(req.need)
 			data := make([]float64, have.Len())
+			start := time.Now()
 			srcLin.Pack(srcRank, srcLocal, have, data)
+			mPackNS.ObserveSince(start)
+			mElemsPacked.Add(uint64(len(data)))
+			mMsgElems.Observe(int64(len(data)))
 			c.Send(lay.DstBase+req.dstRank, dataTag, linReply{have: have, data: data})
+			mLinReplies.Inc()
+			tr.Span(obs.EvSend, "", srcRank, req.dstRank, int64(len(data)), start)
 		}
+		if firstErr != nil {
+			mErrors.Inc()
+			return firstErr
+		}
+		mTransfers.Inc()
 	}
 
-	// Destinations unpack one reply per source.
+	// Destinations unpack one reply per source, attributing each reply to
+	// its actual sender and validating it against that sender's owned∩need
+	// intersection. All expected replies are consumed even after an error.
 	if isDst {
+		need := dstLin.OwnedBy(dstRank)
+		want := need.Len()
 		got := 0
+		seen := make([]bool, nSrc)
+		var firstErr error
 		for s := 0; s < nSrc; s++ {
-			payload, _ := c.Recv(comm.AnySource, dataTag)
+			payload, from := c.Recv(comm.AnySource, dataTag)
+			mMsgsRecv.Inc()
+			if firstErr != nil {
+				mDrained.Inc()
+				continue
+			}
 			rep, ok := payload.(linReply)
 			if !ok {
-				return fmt.Errorf("redist: destination rank %d received %T, want reply", dstRank, payload)
+				firstErr = fmt.Errorf("redist: destination rank %d received %T, want reply", dstRank, payload)
+				continue
 			}
+			sr := from - lay.SrcBase
+			if sr < 0 || sr >= nSrc {
+				firstErr = fmt.Errorf("redist: destination rank %d received reply from group rank %d, outside the source cohort", dstRank, from)
+				continue
+			}
+			if seen[sr] {
+				firstErr = fmt.Errorf("redist: destination rank %d received a duplicate reply from source rank %d", dstRank, sr)
+				continue
+			}
+			seen[sr] = true
+			expect := srcLin.OwnedBy(sr).Intersect(need)
+			if !rep.have.Equal(expect) {
+				firstErr = &ElemCountError{Transfer: "linear", DstRank: dstRank, SrcRank: sr, Got: rep.have.Len(), Want: expect.Len()}
+				continue
+			}
+			if len(rep.data) != rep.have.Len() {
+				firstErr = &ElemCountError{Transfer: "linear", DstRank: dstRank, SrcRank: sr, Got: len(rep.data), Want: rep.have.Len()}
+				continue
+			}
+			start := time.Now()
 			dstLin.Unpack(dstRank, dstLocal, rep.have, rep.data)
+			mUnpackNS.ObserveSince(start)
+			mElemsUnpack.Add(uint64(len(rep.data)))
+			tr.Span(obs.EvUnpack, "", dstRank, sr, int64(len(rep.data)), start)
 			got += rep.have.Len()
 		}
-		if want := dstLin.OwnedBy(dstRank).Len(); got != want {
-			return fmt.Errorf("redist: destination rank %d received %d of %d positions", dstRank, got, want)
+		if firstErr != nil {
+			mErrors.Inc()
+			return firstErr
 		}
+		if got != want {
+			mErrors.Inc()
+			return &ElemCountError{Transfer: "linear", DstRank: dstRank, SrcRank: -1, Got: got, Want: want}
+		}
+		mTransfers.Inc()
 	}
 	return nil
 }

@@ -1,0 +1,250 @@
+package redist
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mxn/internal/comm"
+	"mxn/internal/dad"
+	"mxn/internal/linear"
+	"mxn/internal/obs"
+	"mxn/internal/schedule"
+)
+
+// Regression: ExecuteLocal with aliased source and destination buffers (a
+// self-redistribution in place). The interleaved pack/unpack it used to do
+// read source elements that an earlier pair's unpack had already
+// overwritten; all pairs must be packed before any is unpacked.
+func TestExecuteLocalAliasedBuffers(t *testing.T) {
+	src := tpl(t, []int{16}, dad.BlockAxis(2))
+	dst := tpl(t, []int{16}, dad.CyclicAxis(2))
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference result with disjoint buffers.
+	want := make([][]float64, dst.NumProcs())
+	for r := range want {
+		want[r] = make([]float64, dst.LocalCount(r))
+	}
+	ExecuteLocal(s, fillByGlobal(src), want)
+
+	// In-place: the same slices serve as source and destination. Local
+	// counts match (8 elements per rank on both sides), so this is the
+	// legal aliased case.
+	locals := fillByGlobal(src)
+	ExecuteLocal(s, locals, locals)
+	for r := range want {
+		for i := range want[r] {
+			if locals[r][i] != want[r][i] {
+				t.Fatalf("aliased rank %d elem %d: got %v, want %v", r, i, locals[r][i], want[r][i])
+			}
+		}
+	}
+	verify(t, dst, locals)
+}
+
+// Regression: a destination that detects a bad message mid-transfer must
+// still consume the rest of its expected messages, or the leftovers stay
+// queued under baseTag and cross-match the next transfer reusing that tag.
+// Transfer 1 is hand-played by the sources with one mis-sized message and
+// one sentinel-valued message; transfer 2 runs the real protocol on the
+// SAME tag and must come through intact.
+func TestExchangeDrainsAfterError(t *testing.T) {
+	src := tpl(t, []int{8}, dad.BlockAxis(2))
+	dst := tpl(t, []int{8}, dad.CyclicAxis(2))
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcLocals := fillByGlobal(src)
+	dstLocals := make([][]float64, 2)
+	var mu sync.Mutex
+	comm.Run(4, func(c *comm.Comm) {
+		lay := Layout{SrcBase: 0, DstBase: 2}
+		const tag = 0
+		switch r := c.Rank(); {
+		case r < 2:
+			// Transfer 1, hand-played: rank 0 sends destination rank 0 a
+			// message one element too long; everything else gets a
+			// correct-length sentinel payload.
+			for _, p := range s.OutgoingFor(r) {
+				n := p.Elems
+				if r == 0 && p.DstRank == 0 {
+					n++
+				}
+				bad := make([]float64, n)
+				for i := range bad {
+					bad[i] = -999
+				}
+				c.Send(lay.DstBase+p.DstRank, tag, bad)
+			}
+			// Transfer 2: the real protocol on the same tag.
+			if err := Exchange(c, s, lay, srcLocals[r], nil, tag); err != nil {
+				t.Errorf("source rank %d transfer 2: %v", r, err)
+			}
+		default:
+			dl := make([]float64, dst.LocalCount(r-2))
+			err := Exchange(c, s, lay, nil, dl, tag)
+			if r == 2 {
+				var ece *ElemCountError
+				if !errors.As(err, &ece) {
+					t.Errorf("dst rank 0 transfer 1: got %v, want ElemCountError", err)
+				}
+			} else if err != nil {
+				t.Errorf("dst rank %d transfer 1: %v", r-2, err)
+			}
+			// Transfer 2 on the same tag must see only transfer-2 data.
+			dl2 := make([]float64, dst.LocalCount(r-2))
+			if err := Exchange(c, s, lay, nil, dl2, tag); err != nil {
+				t.Errorf("dst rank %d transfer 2: %v", r-2, err)
+			}
+			mu.Lock()
+			dstLocals[r-2] = dl2
+			mu.Unlock()
+		}
+	})
+	verify(t, dst, dstLocals)
+}
+
+// Regression: LinearExchange used to discard the source result of
+// Recv(AnySource) and trust both arrival order and the reply's own claim
+// about which positions it carries. A reply must be attributed to its
+// actual sender and validated against that sender's owned∩needed
+// intersection; transfer 2 on the same base tag must still work after the
+// failed transfer drained its messages.
+func TestLinearExchangeValidatesAndDrains(t *testing.T) {
+	src := tpl(t, []int{8}, dad.BlockAxis(2))
+	dst := tpl(t, []int{8}, dad.CyclicAxis(2))
+	srcLin := linear.NewRowMajor(src)
+	dstLin := linear.NewRowMajor(dst)
+	srcLocals := fillByGlobal(src)
+	dstLocals := make([][]float64, 2)
+	var mu sync.Mutex
+	comm.Run(4, func(c *comm.Comm) {
+		lay := Layout{SrcBase: 0, DstBase: 2}
+		const tag = 0
+		reqTag, dataTag := tag, tag+1
+		switch r := c.Rank(); {
+		case r == 0:
+			// Transfer 1, hand-played misbehaving source: answer
+			// destination rank 0 with a reply claiming one position fewer
+			// than the true intersection; answer destination rank 1
+			// honestly.
+			owned := srcLin.OwnedBy(0)
+			for i := 0; i < 2; i++ {
+				payload, _ := c.Recv(comm.AnySource, reqTag)
+				req := payload.(linRequest)
+				have := owned.Intersect(req.need)
+				if req.dstRank == 0 {
+					// Drop the last position of the last interval.
+					short := append(linear.Set(nil), have...)
+					short[len(short)-1].Hi--
+					have = short
+				}
+				data := make([]float64, have.Len())
+				srcLin.Pack(0, srcLocals[0], have, data)
+				c.Send(lay.DstBase+req.dstRank, dataTag, linReply{have: have, data: data})
+			}
+			// Transfer 2: honest protocol on the same base tag.
+			if err := LinearExchange(c, srcLin, dstLin, lay, 2, 2, srcLocals[0], nil, tag); err != nil {
+				t.Errorf("source rank 0 transfer 2: %v", err)
+			}
+		case r == 1:
+			for transfer := 0; transfer < 2; transfer++ {
+				if err := LinearExchange(c, srcLin, dstLin, lay, 2, 2, srcLocals[1], nil, tag); err != nil {
+					t.Errorf("source rank 1 transfer %d: %v", transfer+1, err)
+				}
+			}
+		default:
+			dl := make([]float64, dst.LocalCount(r-2))
+			err := LinearExchange(c, srcLin, dstLin, lay, 2, 2, nil, dl, tag)
+			if r == 2 {
+				var ece *ElemCountError
+				if !errors.As(err, &ece) {
+					t.Errorf("dst rank 0 transfer 1: got %v, want ElemCountError", err)
+				} else if ece.SrcRank != 0 && ece.SrcRank != -1 {
+					t.Errorf("dst rank 0 transfer 1: blamed source rank %d", ece.SrcRank)
+				}
+			} else if err != nil {
+				t.Errorf("dst rank %d transfer 1: %v", r-2, err)
+			}
+			dl2 := make([]float64, dst.LocalCount(r-2))
+			if err := LinearExchange(c, srcLin, dstLin, lay, 2, 2, nil, dl2, tag); err != nil {
+				t.Errorf("dst rank %d transfer 2: %v", r-2, err)
+			}
+			mu.Lock()
+			dstLocals[r-2] = dl2
+			mu.Unlock()
+		}
+	})
+	verify(t, dst, dstLocals)
+}
+
+// Guard: the metric updates on the Exchange pack/send path are pure atomic
+// operations and must not allocate. (comm.Send itself boxes its payload;
+// that pre-existing cost is measured by BenchmarkExchangePackPath, not
+// here.)
+func TestExchangeMetricsZeroAlloc(t *testing.T) {
+	src := tpl(t, []int{64}, dad.BlockAxis(2))
+	dst := tpl(t, []int{64}, dad.CyclicAxis(2))
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.OutgoingFor(0)[0]
+	local := make([]float64, src.LocalCount(0))
+	buf := make([]float64, p.Elems)
+	obs.DisableTracing()
+	tr := obs.Trace()
+	allocs := testing.AllocsPerRun(100, func() {
+		start := time.Now()
+		schedule.Pack(p, local, buf)
+		mPackNS.ObserveSince(start)
+		tr.Span(obs.EvPack, "", 0, p.DstRank, int64(p.Elems), start)
+		mMsgsSent.Inc()
+		mElemsPacked.Add(uint64(p.Elems))
+		mMsgElems.Observe(int64(p.Elems))
+		tr.Span(obs.EvSend, "", 0, p.DstRank, int64(p.Elems), start)
+	})
+	if allocs != 0 {
+		t.Fatalf("pack-path metrics allocate: %v allocs/op", allocs)
+	}
+}
+
+// BenchmarkExchangePackPath times one instrumented pack+send iteration so
+// -benchmem shows the full per-message allocation budget (message buffer +
+// comm.Send boxing); the metrics themselves contribute zero, as asserted
+// by TestExchangeMetricsZeroAlloc.
+func BenchmarkExchangePackPath(b *testing.B) {
+	out, err := dad.NewTemplate([]int{1 << 12}, []dad.AxisDist{dad.BlockAxis(2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := dad.NewTemplate([]int{1 << 12}, []dad.AxisDist{dad.CyclicAxis(2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := schedule.Build(out, in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := s.OutgoingFor(0)[0]
+	local := make([]float64, out.LocalCount(0))
+	buf := make([]float64, p.Elems)
+	tr := obs.Trace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		schedule.Pack(p, local, buf)
+		mPackNS.ObserveSince(start)
+		tr.Span(obs.EvPack, "", 0, p.DstRank, int64(p.Elems), start)
+		mMsgsSent.Inc()
+		mElemsPacked.Add(uint64(p.Elems))
+		mMsgElems.Observe(int64(p.Elems))
+	}
+}

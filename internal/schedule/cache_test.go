@@ -1,0 +1,129 @@
+package schedule
+
+import (
+	"sync"
+	"testing"
+
+	"mxn/internal/dad"
+)
+
+// Concurrent misses for one template pair must be safe (run under -race),
+// every caller must receive an equivalent plan, and later Gets must all
+// return the single retained winner.
+func TestCacheConcurrentMiss(t *testing.T) {
+	src, err := dad.NewTemplate([]int{24}, []dad.AxisDist{dad.BlockAxis(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := dad.NewTemplate([]int{24}, []dad.AxisDist{dad.CyclicAxis(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache()
+	const workers = 16
+	got := make([]*Schedule, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := c.Get(src, dst)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			got[w] = s
+		}(w)
+	}
+	wg.Wait()
+
+	for w, s := range got {
+		if s == nil {
+			continue
+		}
+		if len(s.Pairs) != len(want.Pairs) {
+			t.Fatalf("worker %d: %d pairs, want %d", w, len(s.Pairs), len(want.Pairs))
+		}
+		for i, p := range s.Pairs {
+			wp := want.Pairs[i]
+			if p.SrcRank != wp.SrcRank || p.DstRank != wp.DstRank || p.Elems != wp.Elems {
+				t.Fatalf("worker %d pair %d: (%d->%d, %d elems), want (%d->%d, %d elems)",
+					w, i, p.SrcRank, p.DstRank, p.Elems, wp.SrcRank, wp.DstRank, wp.Elems)
+			}
+		}
+	}
+
+	hits, misses := c.Stats()
+	if hits+misses != workers {
+		t.Errorf("hits %d + misses %d != %d workers", hits, misses, workers)
+	}
+	if misses < 1 {
+		t.Errorf("no miss recorded for a cold cache")
+	}
+
+	// The retained winner is stable: every post-race Get returns it.
+	a, err := c.Get(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("post-race Gets returned different schedule instances")
+	}
+	if h2, _ := c.Stats(); h2 != hits+2 {
+		t.Errorf("post-race Gets recorded %d hits, want %d", h2-hits, 2)
+	}
+}
+
+// Distinct pairs populated concurrently must each be cached independently.
+func TestCacheConcurrentDistinctPairs(t *testing.T) {
+	mk := func(np int) *dad.Template {
+		out, err := dad.NewTemplate([]int{60}, []dad.AxisDist{dad.BlockAxis(np)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	tpls := []*dad.Template{mk(2), mk(3), mk(4), mk(5)}
+	c := NewCache()
+	var wg sync.WaitGroup
+	for _, src := range tpls {
+		for _, dst := range tpls {
+			wg.Add(1)
+			go func(src, dst *dad.Template) {
+				defer wg.Done()
+				if _, err := c.Get(src, dst); err != nil {
+					t.Errorf("Get(%s, %s): %v", src.Key(), dst.Key(), err)
+				}
+			}(src, dst)
+		}
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != len(tpls)*len(tpls) {
+		t.Errorf("hits %d + misses %d != %d Gets", hits, misses, len(tpls)*len(tpls))
+	}
+	// All pairs now resident: a second sweep is pure hits.
+	for _, src := range tpls {
+		for _, dst := range tpls {
+			if _, err := c.Get(src, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	h2, m2 := c.Stats()
+	if m2 != misses {
+		t.Errorf("warm sweep added %d misses", m2-misses)
+	}
+	if h2 != hits+len(tpls)*len(tpls) {
+		t.Errorf("warm sweep recorded %d hits, want %d", h2-hits, len(tpls)*len(tpls))
+	}
+}

@@ -19,8 +19,22 @@ package schedule
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mxn/internal/dad"
+	"mxn/internal/obs"
+)
+
+// Schedule-layer instruments. Cache hit/miss counters are process-wide
+// aggregates across every Cache instance (each Cache also keeps its own
+// counts, see Stats); the build histogram captures the cost the paper's
+// reuse argument amortizes away.
+var (
+	mBuilds      = obs.Default().Counter("schedule.builds")
+	mBuildNS     = obs.Default().Histogram("schedule.build_ns")
+	mBuildElems  = obs.Default().Histogram("schedule.build_elems")
+	mCacheHits   = obs.Default().Counter("schedule.cache_hits")
+	mCacheMisses = obs.Default().Counter("schedule.cache_misses")
 )
 
 // Run is a contiguous span of elements moving between local buffers:
@@ -56,6 +70,7 @@ func Build(src, dst *dad.Template) (*Schedule, error) {
 	if !src.Conforms(dst) {
 		return nil, fmt.Errorf("schedule: templates do not conform: %v vs %v", src.Dims(), dst.Dims())
 	}
+	start := time.Now()
 	s := &Schedule{Src: src, Dst: dst}
 	if !src.IsExplicit() && !dst.IsExplicit() {
 		s.buildAxiswise()
@@ -63,6 +78,10 @@ func Build(src, dst *dad.Template) (*Schedule, error) {
 		s.buildGeneric()
 	}
 	s.index()
+	mBuilds.Inc()
+	mBuildNS.ObserveSince(start)
+	mBuildElems.Observe(int64(s.TotalElems()))
+	obs.Trace().Span(obs.EvScheduleBuild, "", -1, -1, int64(s.TotalElems()), start)
 	return s, nil
 }
 
@@ -376,10 +395,12 @@ func (c *Cache) Get(src, dst *dad.Template) (*Schedule, error) {
 	if s, ok := c.m[key]; ok {
 		c.hits++
 		c.mu.Unlock()
+		mCacheHits.Inc()
 		return s, nil
 	}
 	c.misses++
 	c.mu.Unlock()
+	mCacheMisses.Inc()
 
 	s, err := Build(src, dst)
 	if err != nil {

@@ -16,7 +16,24 @@ import (
 	"sync"
 	"time"
 
+	"mxn/internal/obs"
 	"mxn/internal/wire"
+)
+
+// Connection-level instruments. Frame and byte counts for TCP conns are
+// accounted by internal/wire (wire.frames_*, wire.bytes_*); this layer
+// adds dial/accept activity, inproc message traffic, deadline expiries and
+// the number of open TCP conns.
+var (
+	mDialsTCP      = obs.Default().Counter("transport.dials_tcp")
+	mDialsInproc   = obs.Default().Counter("transport.dials_inproc")
+	mAccepts       = obs.Default().Counter("transport.accepts")
+	mDeadlineHits  = obs.Default().Counter("transport.deadline_hits")
+	mInprocSent    = obs.Default().Counter("transport.inproc_msgs_sent")
+	mInprocRecv    = obs.Default().Counter("transport.inproc_msgs_recv")
+	mInprocBytes   = obs.Default().Counter("transport.inproc_bytes_sent")
+	mTCPConnsOpen  = obs.Default().Gauge("transport.tcp_conns_open")
+	mInprocPending = obs.Default().Gauge("transport.inproc_msgs_inflight")
 )
 
 // ErrClosed is returned by operations on a closed Conn or Listener.
@@ -49,6 +66,7 @@ type Conn interface {
 // ctxErr maps a finished context to the transport error contract.
 func ctxErr(ctx context.Context) error {
 	if err := ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+		mDeadlineHits.Inc()
 		return fmt.Errorf("%w: %v", ErrTimeout, err)
 	}
 	return ctx.Err()
@@ -58,6 +76,7 @@ func ctxErr(ctx context.Context) error {
 func mapNetErr(err error) error {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
+		mDeadlineHits.Inc()
 		return fmt.Errorf("%w: %v", ErrTimeout, err)
 	}
 	return err
@@ -99,9 +118,11 @@ func Dial(network, addr string) (Conn, error) {
 func DialContext(ctx context.Context, network, addr string) (Conn, error) {
 	switch network {
 	case "inproc":
+		mDialsInproc.Inc()
 		return dialInproc(ctx, addr)
 	case "tcp":
 		var d net.Dialer
+		mDialsTCP.Inc()
 		nc, err := d.DialContext(ctx, "tcp", addr)
 		if err != nil {
 			return nil, mapNetErr(err)
@@ -159,6 +180,9 @@ func (c *chanConn) SendContext(ctx context.Context, msg []byte) error {
 	case <-c.closed:
 		return ErrClosed
 	case c.out <- cp:
+		mInprocSent.Inc()
+		mInprocBytes.Add(uint64(len(msg)))
+		mInprocPending.Add(1)
 		return nil
 	case <-ctx.Done():
 		return ctxErr(ctx)
@@ -172,12 +196,16 @@ func (c *chanConn) Recv() ([]byte, error) {
 func (c *chanConn) RecvContext(ctx context.Context) ([]byte, error) {
 	select {
 	case m := <-c.in:
+		mInprocRecv.Inc()
+		mInprocPending.Add(-1)
 		return m, nil
 	case <-c.closed:
 		// Drain anything already queued before reporting closure, so a
 		// close racing the last message does not drop it.
 		select {
 		case m := <-c.in:
+			mInprocRecv.Inc()
+			mInprocPending.Add(-1)
 			return m, nil
 		default:
 			return nil, ErrClosed
@@ -235,6 +263,7 @@ func dialInproc(ctx context.Context, addr string) (Conn, error) {
 func (l *inprocListener) Accept() (Conn, error) {
 	select {
 	case c := <-l.backlog:
+		mAccepts.Inc()
 		return c, nil
 	case <-l.closed:
 		return nil, ErrClosed
@@ -261,7 +290,10 @@ type tcpConn struct {
 	once sync.Once
 }
 
-func newTCPConn(nc net.Conn) *tcpConn { return &tcpConn{nc: nc} }
+func newTCPConn(nc net.Conn) *tcpConn {
+	mTCPConnsOpen.Add(1)
+	return &tcpConn{nc: nc}
+}
 
 func (c *tcpConn) Send(msg []byte) error {
 	c.sMu.Lock()
@@ -340,7 +372,10 @@ func (c *tcpConn) armDeadline(ctx context.Context, set func(time.Time) error) fu
 
 func (c *tcpConn) Close() error {
 	var err error
-	c.once.Do(func() { err = c.nc.Close() })
+	c.once.Do(func() {
+		mTCPConnsOpen.Add(-1)
+		err = c.nc.Close()
+	})
 	return err
 }
 
@@ -353,6 +388,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	mAccepts.Inc()
 	return newTCPConn(nc), nil
 }
 

@@ -16,6 +16,18 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+
+	"mxn/internal/obs"
+)
+
+// Frame-level instruments, registered in the process-default registry.
+var (
+	mFramesWritten    = obs.Default().Counter("wire.frames_written")
+	mFramesRead       = obs.Default().Counter("wire.frames_read")
+	mBytesWritten     = obs.Default().Counter("wire.bytes_written")
+	mBytesRead        = obs.Default().Counter("wire.bytes_read")
+	mChecksumFailures = obs.Default().Counter("wire.checksum_failures")
+	mFrameBytes       = obs.Default().Histogram("wire.frame_bytes")
 )
 
 // ErrCorrupt reports a malformed buffer.
@@ -390,8 +402,13 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
-	return err
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	mFramesWritten.Inc()
+	mBytesWritten.Add(uint64(len(hdr) + len(payload)))
+	mFrameBytes.Observe(int64(len(payload)))
+	return nil
 }
 
 // ReadFrame reads one frame written by WriteFrame, verifying its checksum.
@@ -419,7 +436,10 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		}
 	}
 	if got := crc32.Checksum(payload, frameTable); got != sum {
+		mChecksumFailures.Inc()
 		return nil, fmt.Errorf("%w: frame checksum mismatch (got %08x, header says %08x)", ErrCorrupt, got, sum)
 	}
+	mFramesRead.Inc()
+	mBytesRead.Add(uint64(8 + len(payload)))
 	return payload, nil
 }
