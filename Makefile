@@ -8,20 +8,27 @@ FUZZ_TARGETS := \
 	./internal/dad:FuzzDecodeTemplate \
 	./internal/dad:FuzzDecodeDescriptor
 
-.PHONY: all build test race fuzz-short vet
+.PHONY: all build test race chaos fuzz-short vet
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# Shuffled to flush inter-test ordering dependencies; -count=1 defeats the
+# test cache so every run actually executes.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 # The concurrency-heavy packages (comm, transport, faultconn, prmi, core)
 # are race-clean; run the whole tree under the detector.
 race:
 	$(GO) test -race ./...
+
+# The chaos soak: rank-crash and fault-injection survivability tests, under
+# the race detector with a hard timeout so a hang fails instead of wedging.
+chaos:
+	$(GO) test -race -run Chaos -count=1 -timeout 120s ./...
 
 # Run each fuzz target for a short, CI-sized budget. Crash inputs land in
 # <pkg>/testdata/fuzz/<Target>/ and become regression seeds.

@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"time"
+)
 
 // Collective operations. Like their MPI counterparts, these must be called
 // by every rank of the communicator's group, and every rank must execute
@@ -17,6 +21,90 @@ import "fmt"
 func (c *Comm) Barrier() {
 	mCollectives.Inc()
 	c.allgather(nil)
+}
+
+// BarrierTimeoutError reports a barrier that did not complete: either some
+// ranks failed to arrive within the deadline (Missing lists them, in group
+// rank order), or the coordinating rank 0 itself never answered
+// (RootLost). It is the typed evidence chaos tests use to assert a clean
+// abort instead of a deadlock.
+type BarrierTimeoutError struct {
+	Missing  []int
+	RootLost bool
+}
+
+func (e *BarrierTimeoutError) Error() string {
+	if e.RootLost {
+		return "comm: barrier timed out: coordinator (group rank 0) did not answer"
+	}
+	return fmt.Sprintf("comm: barrier timed out: ranks %v failed to arrive", e.Missing)
+}
+
+// BarrierTimeout is Barrier bounded by a deadline: it blocks until every
+// rank of the group has entered it or until d has elapsed at the
+// coordinator, whichever comes first. On success it returns (nil, nil); if
+// some ranks never arrived, every rank that did arrive receives the same
+// *BarrierTimeoutError listing the missing group ranks.
+//
+// Group rank 0 coordinates: it collects arrivals for up to d, then
+// broadcasts the outcome. Non-root ranks wait up to 2·d plus a grace
+// period for that outcome, so ranks entering at slightly different times
+// still agree; a non-root rank that never hears back (rank 0 died) reports
+// RootLost. Like Barrier, every live rank of the group must call it.
+func (c *Comm) BarrierTimeout(d time.Duration) ([]int, error) {
+	mCollectives.Inc()
+	if c.Size() == 1 {
+		return nil, nil
+	}
+	wme := c.group.ranks[c.rank]
+	if c.rank != 0 {
+		c.send(0, tagBarrierArrive, nil)
+		wait := 2*d + 500*time.Millisecond
+		m, ok := c.group.world.boxes[wme].takeTimeout(c.group.gid, c.group.ranks[0], tagBarrierResult, wait)
+		if !ok {
+			mBarrierExpiry.Inc()
+			return nil, &BarrierTimeoutError{RootLost: true}
+		}
+		missing := m.payload.([]int)
+		if len(missing) == 0 {
+			return nil, nil
+		}
+		return missing, &BarrierTimeoutError{Missing: missing}
+	}
+
+	arrived := make([]bool, c.Size())
+	arrived[0] = true
+	need := c.Size() - 1
+	deadline := time.Now().Add(d)
+	for need > 0 {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		m, ok := c.group.world.boxes[wme].takeTimeout(c.group.gid, AnySource, tagBarrierArrive, remain)
+		if !ok {
+			break
+		}
+		if g := c.groupRankOf(m.from); g >= 0 && !arrived[g] {
+			arrived[g] = true
+			need--
+		}
+	}
+	missing := []int{}
+	for g, ok := range arrived {
+		if !ok {
+			missing = append(missing, g)
+		}
+	}
+	sort.Ints(missing)
+	for peer := 1; peer < c.Size(); peer++ {
+		c.send(peer, tagBarrierResult, missing)
+	}
+	if len(missing) == 0 {
+		return nil, nil
+	}
+	mBarrierExpiry.Inc()
+	return missing, &BarrierTimeoutError{Missing: missing}
 }
 
 // Bcast distributes root's value to every rank and returns it. Non-root

@@ -26,11 +26,14 @@ import (
 // implementation's unexpected-message queue length; a persistently growing
 // value means receivers are falling behind their senders.
 var (
-	mMsgsSent    = obs.Default().Counter("comm.msgs_sent")
-	mMsgsRecv    = obs.Default().Counter("comm.msgs_recv")
-	mRecvWaits   = obs.Default().Counter("comm.recv_timeouts_expired")
-	mCollectives = obs.Default().Counter("comm.collective_participations")
-	mQueueDepth  = obs.Default().Gauge("comm.queue_depth")
+	mMsgsSent      = obs.Default().Counter("comm.msgs_sent")
+	mMsgsRecv      = obs.Default().Counter("comm.msgs_recv")
+	mRecvWaits     = obs.Default().Counter("comm.recv_timeouts_expired")
+	mCollectives   = obs.Default().Counter("comm.collective_participations")
+	mQueueDepth    = obs.Default().Gauge("comm.queue_depth")
+	mRanksKilled   = obs.Default().Counter("comm.ranks_killed")
+	mDroppedDead   = obs.Default().Counter("comm.msgs_dropped_dead_rank")
+	mBarrierExpiry = obs.Default().Counter("comm.barrier_timeouts")
 )
 
 // Wildcards for Recv matching.
@@ -140,6 +143,7 @@ func (mb *mailbox) tryTake(gid uint64, from, tag int) (message, bool) {
 type World struct {
 	size  int
 	boxes []*mailbox
+	dead  []atomic.Bool
 }
 
 // NewWorld creates a world with n ranks.
@@ -147,7 +151,7 @@ func NewWorld(n int) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("comm: world size must be positive, got %d", n))
 	}
-	w := &World{size: n, boxes: make([]*mailbox, n)}
+	w := &World{size: n, boxes: make([]*mailbox, n), dead: make([]atomic.Bool, n)}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
@@ -156,6 +160,32 @@ func NewWorld(n int) *World {
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
+
+// Kill marks a world rank crashed: its queued messages are discarded, and
+// from now on every message sent to it or from it silently disappears —
+// the observable behavior of a process that died without a FIN. Kill does
+// not stop the rank's goroutine (goroutines cannot be killed); chaos
+// harnesses pair Kill with a cooperative exit in the victim and a
+// liveness detector (core.StartHeartbeats) on the survivors. Idempotent.
+func (w *World) Kill(rank int) {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("comm: kill of rank %d outside world of size %d", rank, w.size))
+	}
+	if w.dead[rank].Swap(true) {
+		return
+	}
+	mRanksKilled.Inc()
+	// A crashed process loses its unreceived messages with it.
+	b := w.boxes[rank]
+	b.mu.Lock()
+	mQueueDepth.Add(-int64(len(b.msgs)))
+	b.msgs = nil
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Alive reports whether a world rank has not been killed.
+func (w *World) Alive(rank int) bool { return !w.dead[rank].Load() }
 
 // Comms returns one communicator handle per world rank, all belonging to a
 // single group spanning the whole world (the MPI_COMM_WORLD analogue).
@@ -243,8 +273,16 @@ func (c *Comm) send(to, tag int, payload any) {
 	if to < 0 || to >= len(c.group.ranks) {
 		panic(fmt.Sprintf("comm: send to rank %d outside group of size %d", to, len(c.group.ranks)))
 	}
+	w := c.group.world
 	wr := c.group.ranks[to]
-	c.group.world.boxes[wr].put(message{from: c.group.ranks[c.rank], tag: tag, gid: c.group.gid, payload: payload})
+	wme := c.group.ranks[c.rank]
+	// A dead rank neither produces nor consumes traffic: messages to or
+	// from it vanish, exactly as they would with a crashed MPI process.
+	if w.dead[wr].Load() || w.dead[wme].Load() {
+		mDroppedDead.Inc()
+		return
+	}
+	w.boxes[wr].put(message{from: wme, tag: tag, gid: c.group.gid, payload: payload})
 }
 
 // Recv blocks until a message with a matching source and tag arrives and
@@ -411,4 +449,6 @@ const (
 	tagGather
 	tagScatter
 	tagAlltoall
+	tagBarrierArrive
+	tagBarrierResult
 )

@@ -39,7 +39,20 @@ type Connection struct {
 
 	transfers  atomic.Int64
 	elemsMoved atomic.Int64
+
+	// peer is the liveness view of the remote cohort, if the
+	// application runs a failure detector. When set, destination-side
+	// DataReady refuses to wait on fragments from a dead source rank
+	// and returns *ErrRankDown instead of hanging.
+	peer atomic.Pointer[Membership]
 }
+
+// SetPeerMembership attaches a liveness view of the remote cohort. Safe to
+// call concurrently with transfers; pass nil to detach.
+func (c *Connection) SetPeerMembership(m *Membership) { c.peer.Store(m) }
+
+// PeerMembership returns the attached remote-cohort view, or nil.
+func (c *Connection) PeerMembership() *Membership { return c.peer.Load() }
 
 // Dir returns this side's role.
 func (c *Connection) Dir() Direction { return c.dir }
@@ -101,6 +114,9 @@ func (c *Connection) DataReady(rank int, local []float64) (uint64, error) {
 	epoch := c.seqs[rank]
 	c.seqs[rank]++
 	for _, plan := range c.sched.IncomingFor(rank) {
+		if mb := c.peer.Load(); mb != nil && !mb.IsAlive(plan.SrcRank) {
+			return 0, &ErrRankDown{Rank: plan.SrcRank, Epoch: mb.Epoch()}
+		}
 		data, err := c.hub.bridge.RecvData(c.pairChannel(plan.SrcRank, plan.DstRank), epoch)
 		if err != nil {
 			return 0, err

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mxn/internal/comm"
+	"mxn/internal/obs"
+)
+
+// Liveness: rank-failure detection for the framework.
+//
+// The paper's transfer protocols assume both cohorts stay fully alive; a
+// single crashed rank turns a redistribution or a collective PRMI call
+// into a hang. This file supplies the missing primitive: a Membership view
+// shared by a cohort, advanced to a new *epoch* whenever a rank is declared
+// dead, fed either by explicit MarkDown calls (e.g. a transport error) or
+// by the heartbeat prober below. Transfer layers (redist.ExchangeFenced,
+// prmi epoch stamping) fence their traffic with the epoch so survivors can
+// distinguish current messages from a dead rank's leftovers, and surface
+// *ErrRankDown instead of hanging.
+
+var (
+	mHeartbeatsSent  = obs.Default().Counter("core.heartbeats_sent")
+	mHeartbeatMisses = obs.Default().Counter("core.heartbeat_misses")
+	mHeartbeatRTT    = obs.Default().Histogram("core.heartbeat_rtt_ns")
+	mRanksDown       = obs.Default().Counter("core.ranks_down")
+)
+
+// ErrRankDown reports that a peer rank was declared dead. Epoch is the
+// membership epoch in force when the failure was observed, so callers can
+// tell a fresh failure from one they already re-planned around.
+type ErrRankDown struct {
+	Rank  int
+	Epoch uint64
+}
+
+func (e *ErrRankDown) Error() string {
+	return fmt.Sprintf("core: rank %d is down (membership epoch %d)", e.Rank, e.Epoch)
+}
+
+// Membership is a cohort's shared view of which ranks are alive. The epoch
+// starts at 1 and increases by one each time a rank is newly marked down,
+// so any two views with the same epoch agree on the alive set. Epoch 0 is
+// reserved to mean "unstamped" on the wire: a message carrying epoch 0
+// predates failure awareness and is never rejected as stale.
+//
+// All methods are safe for concurrent use; one Membership value is
+// typically shared by every local rank of a cohort plus its heartbeat
+// goroutines.
+type Membership struct {
+	mu    sync.Mutex
+	n     int
+	epoch uint64
+	down  []bool
+}
+
+// NewMembership returns an all-alive view over ranks [0, n) at epoch 1.
+func NewMembership(n int) *Membership {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: NewMembership size %d", n))
+	}
+	return &Membership{n: n, epoch: 1, down: make([]bool, n)}
+}
+
+// Size returns the total number of ranks, dead or alive.
+func (m *Membership) Size() int { return m.n }
+
+// Epoch returns the current membership epoch (≥ 1).
+func (m *Membership) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// IsAlive reports whether rank has not been marked down. Ranks outside
+// [0, Size()) are reported dead.
+func (m *Membership) IsAlive(rank int) bool {
+	if rank < 0 || rank >= m.n {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.down[rank]
+}
+
+// MarkDown declares rank dead, bumping the epoch. It is idempotent: marking
+// an already-dead rank changes nothing and reports false. newly reports
+// whether this call was the one that killed it.
+func (m *Membership) MarkDown(rank int) (newly bool) {
+	if rank < 0 || rank >= m.n {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down[rank] {
+		return false
+	}
+	m.down[rank] = true
+	m.epoch++
+	mRanksDown.Inc()
+	return true
+}
+
+// NumAlive returns how many ranks are currently alive.
+func (m *Membership) NumAlive() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	alive := 0
+	for _, d := range m.down {
+		if !d {
+			alive++
+		}
+	}
+	return alive
+}
+
+// Alive returns the sorted list of alive ranks.
+func (m *Membership) Alive() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, m.n)
+	for r, d := range m.down {
+		if !d {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Down returns the sorted list of dead ranks.
+func (m *Membership) Down() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []int{}
+	for r, d := range m.down {
+		if d {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AliveMask returns a snapshot indexed by rank: true = alive.
+func (m *Membership) AliveMask() []bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]bool, m.n)
+	for r, d := range m.down {
+		out[r] = !d
+	}
+	return out
+}
+
+// DownError returns a typed *ErrRankDown for the lowest-numbered dead
+// rank, or nil if everyone is alive. Transfer layers use it to convert a
+// membership change into the error they surface.
+func (m *Membership) DownError() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for r, d := range m.down {
+		if d {
+			return &ErrRankDown{Rank: r, Epoch: m.epoch}
+		}
+	}
+	return nil
+}
+
+// Heartbeats.
+//
+// StartHeartbeats runs a failure detector for one local rank over its
+// communicator: a responder goroutine echoes pings, and one prober
+// goroutine per peer sends a ping every Interval and waits up to Interval
+// for the echo. MissThreshold consecutive silent intervals mark the peer
+// down in the shared Membership. Detection latency is therefore about
+// Interval × MissThreshold; with the in-process comm runtime an RTT is
+// microseconds, so missed echoes mean the peer stopped serving (crashed,
+// killed via World.Kill, or wedged), not congestion.
+
+// HeartbeatConfig tunes a rank's failure detector.
+type HeartbeatConfig struct {
+	// Interval between pings to each peer. Default 50ms.
+	Interval time.Duration
+	// MissThreshold is how many consecutive unanswered pings declare a
+	// peer dead. Default 3.
+	MissThreshold int
+	// Tag is the base comm tag; Tag is used for pings and Tag+1 for
+	// echoes, so it must not collide with application traffic. Default
+	// 1 << 28.
+	Tag int
+}
+
+func (cfg HeartbeatConfig) withDefaults() HeartbeatConfig {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.MissThreshold <= 0 {
+		cfg.MissThreshold = 3
+	}
+	if cfg.Tag <= 0 {
+		cfg.Tag = 1 << 28
+	}
+	return cfg
+}
+
+// Heartbeater is a running failure detector; Stop shuts its goroutines
+// down.
+type Heartbeater struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Stop terminates the responder and all probers and waits for them to
+// exit. Safe to call once.
+func (h *Heartbeater) Stop() {
+	close(h.stop)
+	h.wg.Wait()
+}
+
+type heartbeatPing struct {
+	From int // group rank of the prober
+	Seq  uint64
+}
+
+// StartHeartbeats starts the failure detector for the calling rank of c,
+// probing each group rank in peers and recording deaths in m. Membership
+// ranks are c's group ranks, so m.Size() must equal c.Size(). Every rank
+// that should answer probes must run StartHeartbeats (or at least its
+// responder); a rank that stops responding — for any reason — will be
+// marked down by its probers.
+func StartHeartbeats(c *comm.Comm, m *Membership, cfg HeartbeatConfig, peers []int) *Heartbeater {
+	if m.Size() != c.Size() {
+		panic(fmt.Sprintf("core: membership size %d != comm size %d", m.Size(), c.Size()))
+	}
+	cfg = cfg.withDefaults()
+	h := &Heartbeater{stop: make(chan struct{})}
+
+	// Responder: echo every ping back to its prober on Tag+1.
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for {
+			select {
+			case <-h.stop:
+				return
+			default:
+			}
+			v, _, ok := c.RecvTimeout(comm.AnySource, cfg.Tag, cfg.Interval)
+			if !ok {
+				continue
+			}
+			ping := v.(heartbeatPing)
+			c.Send(ping.From, cfg.Tag+1, ping.Seq)
+		}
+	}()
+
+	for _, peer := range peers {
+		if peer == c.Rank() {
+			continue
+		}
+		h.wg.Add(1)
+		go func(peer int) {
+			defer h.wg.Done()
+			misses := 0
+			var seq uint64
+			ticker := time.NewTicker(cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-h.stop:
+					return
+				case <-ticker.C:
+				}
+				if !m.IsAlive(peer) {
+					return // someone else already declared it
+				}
+				seq++
+				start := time.Now()
+				c.Send(peer, cfg.Tag, heartbeatPing{From: c.Rank(), Seq: seq})
+				mHeartbeatsSent.Inc()
+				// Wait for the echo of *this* ping; older echoes
+				// arriving late are drained and ignored.
+				answered := false
+				deadline := time.Now().Add(cfg.Interval)
+				for {
+					remain := time.Until(deadline)
+					if remain <= 0 {
+						break
+					}
+					v, _, ok := c.RecvTimeout(peer, cfg.Tag+1, remain)
+					if !ok {
+						break
+					}
+					if v.(uint64) == seq {
+						answered = true
+						break
+					}
+				}
+				if answered {
+					misses = 0
+					mHeartbeatRTT.Observe(time.Since(start).Nanoseconds())
+					continue
+				}
+				misses++
+				mHeartbeatMisses.Inc()
+				if misses >= cfg.MissThreshold {
+					m.MarkDown(peer)
+					return
+				}
+			}
+		}(peer)
+	}
+	return h
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mxn/internal/comm"
+)
+
+func TestMembershipEpochs(t *testing.T) {
+	m := NewMembership(4)
+	if m.Epoch() != 1 {
+		t.Fatalf("fresh epoch = %d, want 1", m.Epoch())
+	}
+	if m.NumAlive() != 4 || !m.IsAlive(2) {
+		t.Fatal("fresh membership not all-alive")
+	}
+	if err := m.DownError(); err != nil {
+		t.Fatalf("DownError on all-alive = %v", err)
+	}
+
+	if !m.MarkDown(2) {
+		t.Fatal("first MarkDown(2) not newly")
+	}
+	if m.MarkDown(2) {
+		t.Fatal("second MarkDown(2) claimed newly")
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch after one death = %d, want 2", m.Epoch())
+	}
+	if m.IsAlive(2) || m.NumAlive() != 3 {
+		t.Fatal("rank 2 still alive after MarkDown")
+	}
+	if got := m.Alive(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("Alive = %v", got)
+	}
+	if got := m.Down(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Down = %v", got)
+	}
+	mask := m.AliveMask()
+	if !mask[0] || mask[2] {
+		t.Fatalf("AliveMask = %v", mask)
+	}
+
+	var down *ErrRankDown
+	if err := m.DownError(); !errors.As(err, &down) || down.Rank != 2 || down.Epoch != 2 {
+		t.Fatalf("DownError = %v", err)
+	}
+
+	// Out-of-range ranks are dead and unmarkable.
+	if m.IsAlive(-1) || m.IsAlive(4) {
+		t.Fatal("out-of-range rank alive")
+	}
+	if m.MarkDown(7) {
+		t.Fatal("out-of-range MarkDown claimed newly")
+	}
+}
+
+func TestHeartbeatsDetectKilledRank(t *testing.T) {
+	const n = 3
+	w := comm.NewWorld(n)
+	cs := w.Comms()
+	m := NewMembership(n)
+	// 80 ms of tolerated silence: tighter settings false-positive when the
+	// whole tree's tests run in parallel and goroutines stall on a loaded
+	// scheduler (same tuning as the chaos tests).
+	cfg := HeartbeatConfig{Interval: 10 * time.Millisecond, MissThreshold: 8}
+
+	peers := []int{0, 1, 2}
+	hbs := make([]*Heartbeater, n)
+	for r := 0; r < n; r++ {
+		hbs[r] = StartHeartbeats(cs[r], m, cfg, peers)
+	}
+	defer func() {
+		for r := 0; r < n; r++ {
+			if r != 2 {
+				hbs[r].Stop()
+			}
+		}
+	}()
+
+	// Let a few healthy rounds pass; nobody should be marked down.
+	time.Sleep(5 * cfg.Interval)
+	if m.NumAlive() != n {
+		t.Fatalf("healthy cohort lost ranks: alive=%v", m.Alive())
+	}
+
+	// Crash rank 2: its responder's echoes stop reaching anyone.
+	w.Kill(2)
+	hbs[2].Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.IsAlive(2) && time.Now().Before(deadline) {
+		time.Sleep(cfg.Interval)
+	}
+	if m.IsAlive(2) {
+		t.Fatal("rank 2 never detected dead")
+	}
+	if !m.IsAlive(0) || !m.IsAlive(1) {
+		t.Fatalf("false positive: alive=%v", m.Alive())
+	}
+	if m.Epoch() < 2 {
+		t.Fatalf("epoch = %d after a death", m.Epoch())
+	}
+}
+
+func TestDataReadyRefusesDeadSource(t *testing.T) {
+	const m, n, elems = 2, 2, 16
+	src, dst := pairHubs(t, m, n, elems)
+	srcConn, dstConn, err := Connect("cdead", src, "temp", dst, "temp", ConnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srcConn
+
+	mb := NewMembership(m)
+	mb.MarkDown(1)
+	dstConn.SetPeerMembership(mb)
+	if got := dstConn.PeerMembership(); got != mb {
+		t.Fatal("PeerMembership accessor")
+	}
+
+	// Destination rank 1 receives from source rank 1 under the 2×2 block
+	// schedule; with source rank 1 dead it must fail typed instead of
+	// blocking on a fragment that will never arrive.
+	buf := make([]float64, dstConn.local.Template.LocalCount(1))
+	_, err = dstConn.DataReady(1, buf)
+	var down *ErrRankDown
+	if !errors.As(err, &down) {
+		t.Fatalf("DataReady with dead source = %v, want *ErrRankDown", err)
+	}
+	if down.Rank != 1 {
+		t.Fatalf("ErrRankDown.Rank = %d, want 1", down.Rank)
+	}
+}

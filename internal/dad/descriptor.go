@@ -1,6 +1,9 @@
 package dad
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Access enumerates the M×N transfer modes a component may allow on a
 // registered data field (Section 4.1 of the paper).
@@ -84,6 +87,13 @@ type Descriptor struct {
 	Elem     ElemKind
 	Mode     Access
 	Template *Template
+
+	// Per-rank validity bitmaps, attached by failure-aware transfers
+	// when a crash left holes in a rank's local data (see validity.go).
+	// Lazily allocated; guarded because transfers on different ranks
+	// attach concurrently.
+	validityMu sync.Mutex
+	validity   map[int]*Validity
 }
 
 // NewDescriptor builds a descriptor and validates its parts.

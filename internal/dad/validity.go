@@ -1,0 +1,104 @@
+package dad
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Validity is a per-element bitmap recording which positions of a local
+// buffer hold trustworthy data. Failure-aware transfers use it to mark the
+// holes a dead source rank left behind: a fenced redistribution that
+// re-plans around a crash completes on the surviving pairs and invalidates
+// exactly the elements whose only source died, so the application can tell
+// real data from stale garbage.
+//
+// A fresh Validity is all-valid. Validity is not safe for concurrent
+// mutation; the transfer that owns the buffer owns its bitmap.
+type Validity struct {
+	n     int
+	words []uint64 // bit i set = element i valid
+}
+
+// NewValidity returns an all-valid bitmap over n elements.
+func NewValidity(n int) *Validity {
+	if n < 0 {
+		panic(fmt.Sprintf("dad: NewValidity(%d)", n))
+	}
+	v := &Validity{n: n, words: make([]uint64, (n+63)/64)}
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	if r := n % 64; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] = (uint64(1) << r) - 1
+	}
+	return v
+}
+
+// Len returns the number of elements covered.
+func (v *Validity) Len() int { return v.n }
+
+// Valid reports whether element i holds trustworthy data. Out-of-range
+// indices are invalid.
+func (v *Validity) Valid(i int) bool {
+	if i < 0 || i >= v.n {
+		return false
+	}
+	return v.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Invalidate marks element i as lost. Out-of-range indices are ignored.
+func (v *Validity) Invalidate(i int) {
+	if i < 0 || i >= v.n {
+		return
+	}
+	v.words[i/64] &^= 1 << (i % 64)
+}
+
+// InvalidateRange marks the n elements starting at lo as lost, clipping to
+// the bitmap's bounds.
+func (v *Validity) InvalidateRange(lo, n int) {
+	for i := lo; i < lo+n; i++ {
+		v.Invalidate(i)
+	}
+}
+
+// CountValid returns how many elements are valid.
+func (v *Validity) CountValid() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountInvalid returns how many elements are lost.
+func (v *Validity) CountInvalid() int { return v.n - v.CountValid() }
+
+// AllValid reports whether no element has been invalidated.
+func (v *Validity) AllValid() bool { return v.CountValid() == v.n }
+
+// SetValidity records the validity bitmap of rank's local buffer for this
+// descriptor, replacing any previous one. Pass nil to clear. Safe for
+// concurrent use with Validity; the bitmaps themselves are owned by the
+// transfer that wrote them.
+func (d *Descriptor) SetValidity(rank int, v *Validity) {
+	d.validityMu.Lock()
+	defer d.validityMu.Unlock()
+	if v == nil {
+		delete(d.validity, rank)
+		return
+	}
+	if d.validity == nil {
+		d.validity = map[int]*Validity{}
+	}
+	d.validity[rank] = v
+}
+
+// Validity returns the bitmap recorded for rank's local buffer, or nil if
+// none was set (meaning: all data valid, or no failure-aware transfer has
+// run).
+func (d *Descriptor) Validity(rank int) *Validity {
+	d.validityMu.Lock()
+	defer d.validityMu.Unlock()
+	return d.validity[rank]
+}

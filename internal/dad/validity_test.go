@@ -1,0 +1,77 @@
+package dad
+
+import "testing"
+
+func TestValidityBitmap(t *testing.T) {
+	v := NewValidity(130) // spans three words, partial last word
+	if v.Len() != 130 || !v.AllValid() || v.CountValid() != 130 || v.CountInvalid() != 0 {
+		t.Fatalf("fresh bitmap: len=%d valid=%d", v.Len(), v.CountValid())
+	}
+	if v.Valid(-1) || v.Valid(130) {
+		t.Fatal("out-of-range index reported valid")
+	}
+
+	v.Invalidate(0)
+	v.Invalidate(64)
+	v.Invalidate(129)
+	v.Invalidate(129) // idempotent
+	v.Invalidate(500) // ignored
+	if v.CountInvalid() != 3 {
+		t.Fatalf("CountInvalid = %d, want 3", v.CountInvalid())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if v.Valid(i) {
+			t.Errorf("element %d still valid", i)
+		}
+	}
+	if !v.Valid(1) || !v.Valid(63) || !v.Valid(128) {
+		t.Error("neighbors of invalidated elements were clobbered")
+	}
+	if v.AllValid() {
+		t.Error("AllValid after invalidations")
+	}
+
+	v2 := NewValidity(40)
+	v2.InvalidateRange(10, 5)
+	v2.InvalidateRange(38, 10) // clips at 40
+	if v2.CountInvalid() != 7 {
+		t.Fatalf("CountInvalid = %d, want 7", v2.CountInvalid())
+	}
+	for i := 10; i < 15; i++ {
+		if v2.Valid(i) {
+			t.Errorf("element %d valid inside invalidated range", i)
+		}
+	}
+	if !v2.Valid(9) || !v2.Valid(15) || !v2.Valid(37) {
+		t.Error("InvalidateRange overshot")
+	}
+
+	if z := NewValidity(0); z.Len() != 0 || !z.AllValid() {
+		t.Error("empty bitmap")
+	}
+}
+
+func TestDescriptorValidityAttachment(t *testing.T) {
+	tpl, err := NewTemplate([]int{16}, []AxisDist{BlockAxis(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDescriptor("f", Float64, ReadWrite, tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Validity(0) != nil {
+		t.Fatal("fresh descriptor has a bitmap")
+	}
+	v := NewValidity(8)
+	v.Invalidate(3)
+	d.SetValidity(1, v)
+	if d.Validity(1) != v || d.Validity(0) != nil {
+		t.Fatal("attachment is not per-rank")
+	}
+	d.SetValidity(1, nil)
+	if d.Validity(1) != nil {
+		t.Fatal("clearing the bitmap failed")
+	}
+	d.SetValidity(5, nil) // clearing an absent entry is a no-op
+}

@@ -49,6 +49,12 @@ type Faults struct {
 	// FailAfter, when positive, hard-partitions the connection after
 	// that many messages have been attempted in this direction.
 	FailAfter int
+	// BlackholeAfter, when positive, silently discards every message in
+	// this direction after that many have been attempted — an
+	// asymmetric one-way partition: unlike FailAfter nothing errors and
+	// the other direction keeps flowing, exactly the half-open link a
+	// misconfigured firewall produces.
+	BlackholeAfter int
 }
 
 // Scenario describes a complete fault environment for one connection.
@@ -60,6 +66,13 @@ type Scenario struct {
 	// ones (after the inner Recv returns).
 	Send Faults
 	Recv Faults
+	// CrashAfter, when positive, crashes the wrapped endpoint after
+	// that many messages total (both directions combined): from then on
+	// sends are silently swallowed and Recv blocks until the context is
+	// done or the conn is closed — a crashed process, not a broken
+	// link, so nothing ever errors on its own. Deterministic like every
+	// other fault: the N+1th message observes the crash.
+	CrashAfter int
 }
 
 // Conn injects faults around an inner transport.Conn. It implements
@@ -78,15 +91,20 @@ type Conn struct {
 	sendCount   int
 	recvCount   int
 	partitioned bool
+	crashed     bool
+
+	closeOnce sync.Once
+	closedCh  chan struct{} // closed by Close; unblocks crashed Recvs
 }
 
 // Wrap returns a Conn that injects sc's faults around inner.
 func Wrap(inner transport.Conn, sc Scenario) *Conn {
 	return &Conn{
-		inner:   inner,
-		sc:      sc,
-		sendRng: rand.New(rand.NewSource(sc.Seed)),
-		recvRng: rand.New(rand.NewSource(sc.Seed + 1)),
+		inner:    inner,
+		sc:       sc,
+		sendRng:  rand.New(rand.NewSource(sc.Seed)),
+		recvRng:  rand.New(rand.NewSource(sc.Seed + 1)),
+		closedCh: make(chan struct{}),
 	}
 }
 
@@ -111,8 +129,48 @@ func (c *Conn) Partition() {
 	}
 }
 
+// ErrCrashed is returned by Recv on a crashed conn once it is Closed. It
+// matches errors.Is(err, transport.ErrClosed). Before Close, a crashed
+// conn's Recv blocks silently — a crashed peer does not announce itself.
+var ErrCrashed = fmt.Errorf("faultconn: peer crashed (%w)", transport.ErrClosed)
+
+// Crash makes the endpoint behave as a crashed process from now on: sends
+// are silently swallowed (no error) and Recv blocks until its context is
+// done or the conn is closed. Unlike Partition the inner conn stays open
+// and nothing fails fast — the failure is only observable as silence.
+// Scenario.CrashAfter triggers this automatically at a message count.
+func (c *Conn) Crash() {
+	c.mu.Lock()
+	c.crashed = true
+	c.mu.Unlock()
+}
+
+// Crashed reports whether the endpoint has crashed (via Crash or
+// Scenario.CrashAfter).
+func (c *Conn) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// blockCrashed parks a Recv on a crashed conn until cancellation.
+func (c *Conn) blockCrashed(ctx context.Context) ([]byte, error) {
+	select {
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w: %v", transport.ErrTimeout, ctx.Err())
+		}
+		return nil, ctx.Err()
+	case <-c.closedCh:
+		return nil, ErrCrashed
+	}
+}
+
 // Close closes the inner connection.
-func (c *Conn) Close() error { return c.inner.Close() }
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closedCh) })
+	return c.inner.Close()
+}
 
 func (c *Conn) Send(msg []byte) error {
 	return c.SendContext(context.Background(), msg)
@@ -134,10 +192,19 @@ func (c *Conn) planSend(msg []byte) sendPlan {
 	}
 	f := c.sc.Send
 	c.sendCount++
+	if c.sc.CrashAfter > 0 && c.sendCount+c.recvCount > c.sc.CrashAfter {
+		c.crashed = true
+	}
+	if c.crashed {
+		return sendPlan{} // swallowed: a crashed process sends nothing
+	}
 	if f.FailAfter > 0 && c.sendCount > f.FailAfter {
 		c.partitioned = true
 		c.inner.Close()
 		return sendPlan{blocked: ErrPartitioned}
+	}
+	if f.BlackholeAfter > 0 && c.sendCount > f.BlackholeAfter {
+		return sendPlan{} // one-way partition: outgoing silence
 	}
 	var p sendPlan
 	p.delay = rollLatency(c.sendRng, f)
@@ -190,6 +257,10 @@ func (c *Conn) RecvContext(ctx context.Context) ([]byte, error) {
 			c.mu.Unlock()
 			return nil, ErrPartitioned
 		}
+		if c.crashed {
+			c.mu.Unlock()
+			return c.blockCrashed(ctx)
+		}
 		if len(c.recvQueue) > 0 {
 			m := c.recvQueue[0]
 			c.recvQueue = c.recvQueue[1:]
@@ -212,6 +283,18 @@ func (c *Conn) RecvContext(ctx context.Context) ([]byte, error) {
 		c.mu.Lock()
 		f := c.sc.Recv
 		c.recvCount++
+		if c.sc.CrashAfter > 0 && c.sendCount+c.recvCount > c.sc.CrashAfter {
+			c.crashed = true
+		}
+		if c.crashed {
+			// The message arrived after the crash: it was never read.
+			c.mu.Unlock()
+			return c.blockCrashed(ctx)
+		}
+		if f.BlackholeAfter > 0 && c.recvCount > f.BlackholeAfter {
+			c.mu.Unlock()
+			continue // one-way partition: incoming silence
+		}
 		if f.FailAfter > 0 && c.recvCount > f.FailAfter {
 			c.partitioned = true
 			c.inner.Close()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mxn/internal/comm"
+	"mxn/internal/core"
 	"mxn/internal/dad"
 	"mxn/internal/obs"
 	"mxn/internal/schedule"
@@ -147,6 +148,32 @@ type CallerPort struct {
 	seq     uint64
 	policy  RetryPolicy
 	mu      sync.Mutex
+
+	// Exactly-once / liveness state. nextCallID numbers logical calls
+	// (every retry attempt of one call shares its callID); watermarks
+	// track, per callee, the eviction watermark acked in replies — a
+	// retry of a callID below it is refused with *DedupEvictedError
+	// rather than risking re-execution. members, when set, is a liveness
+	// view over the callee cohort: calls are epoch-stamped and calls to
+	// ranks marked down fail fast with *core.ErrRankDown.
+	nextCallID uint64
+	watermarks map[int]uint64
+	members    *core.Membership
+}
+
+// DedupEvictedError reports that a retry was abandoned because the callee
+// has evicted the call's dedup entry: the original attempt may or may not
+// have executed, and retrying could execute it twice. The caller gets
+// at-most-once semantics for this call and must recover at its own level.
+type DedupEvictedError struct {
+	Target    int    // callee cohort rank
+	CallID    uint64 // the logical call
+	Watermark uint64 // callee's eviction watermark
+}
+
+func (e *DedupEvictedError) Error() string {
+	return fmt.Sprintf("prmi: call %d to callee %d fell below eviction watermark %d; retry would risk re-execution",
+		e.CallID, e.Target, e.Watermark)
 }
 
 // NewCallerPort builds a caller-side port proxy. iface describes the
@@ -165,7 +192,28 @@ func NewCallerPort(iface *sidl.Interface, link Link, rank, nCallee int, mode Del
 		pending: map[int][]*replyMsg{},
 		stash:   map[stashKey]*stashEntry{},
 		tcache:  newTemplateCache(),
+
+		watermarks: map[int]uint64{},
 	}
+}
+
+// SetMembership installs a liveness view over the callee cohort. With a
+// membership set, outgoing calls are stamped with the current epoch (so
+// endpoints behind a membership change reject them as stale), and calls to
+// a callee marked down fail fast with *core.ErrRankDown instead of
+// burning the full timeout/retry budget.
+func (p *CallerPort) SetMembership(m *core.Membership) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.members = m
+}
+
+// epochNow samples the membership epoch for stamping; zero = unstamped.
+func (p *CallerPort) epochNow() uint64 {
+	if p.members == nil {
+		return 0
+	}
+	return p.members.Epoch()
 }
 
 // SetRetryPolicy installs the port's timeout/retry behavior. The zero
@@ -255,17 +303,21 @@ func (p *CallerPort) CallIndependent(target int, method string, args ...Arg) (*R
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
-	// Independent calls are idempotent from the runtime's point of view
-	// (one caller, one callee, value semantics), so a lost exchange may be
-	// retried under the port's policy: each attempt gets a fresh sequence
-	// number, and stale replies from superseded attempts are discarded by
-	// sequence in recvReplyFrom.
+	// Every attempt of one logical call shares a callID and gets a fresh
+	// sequence number: the callee deduplicates by callID (replaying the
+	// cached reply for a completed call instead of re-running the
+	// handler) while stale replies from superseded attempts are discarded
+	// by sequence in recvReplyFrom. Together this upgrades the retry loop
+	// from at-least-once to exactly-once, so it is safe even for
+	// non-idempotent methods.
 	mCallsIndependent.Inc()
 	if m.OneWay {
 		mCallsOneway.Inc()
 	}
 	callStart := time.Now()
 	defer mCallNS.ObserveSince(callStart)
+	p.nextCallID++
+	callID := p.nextCallID
 	attempts := p.policy.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -284,8 +336,18 @@ func (p *CallerPort) CallIndependent(target int, method string, args ...Arg) (*R
 				}
 			}
 		}
+		if mb := p.members; mb != nil && !mb.IsAlive(target) {
+			mRankdownErrors.Inc()
+			return nil, &core.ErrRankDown{Rank: target, Epoch: mb.Epoch()}
+		}
+		if wm := p.watermarks[target]; wm > callID {
+			// The callee forgot this call's outcome; a retry could
+			// re-execute it. Exactly-once degrades to at-most-once here,
+			// surfaced as a typed error.
+			return nil, &DedupEvictedError{Target: target, CallID: callID, Watermark: wm}
+		}
 		p.seq++
-		hdr := &callMsg{method: method, seq: p.seq, callerRank: p.rank, simple: simple}
+		hdr := &callMsg{method: method, seq: p.seq, callerRank: p.rank, simple: simple, callID: callID, epoch: p.epochNow()}
 		if err := mapLinkErr(p.link.Send(target, encodeCall(hdr))); err != nil {
 			if retryableErr(err) {
 				lastErr = err
@@ -303,6 +365,9 @@ func (p *CallerPort) CallIndependent(target int, method string, args ...Arg) (*R
 				continue
 			}
 			return nil, err
+		}
+		if rep.watermark > p.watermarks[target] {
+			p.watermarks[target] = rep.watermark
 		}
 		return replyToResult(m, rep)
 	}
@@ -355,6 +420,7 @@ func (p *CallerPort) CallCollective(method string, part Participation, args ...A
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.seq++
+	p.nextCallID++
 	mCallsCollective.Inc()
 	if m.OneWay {
 		mCallsOneway.Inc()
@@ -405,7 +471,8 @@ func (p *CallerPort) CallCollective(method string, part Participation, args ...A
 	}()
 
 	for j := 0; j < p.nCallee; j++ {
-		hdr := &callMsg{method: method, seq: p.seq, callerRank: p.rank, collective: true, participants: parts, simple: simple}
+		hdr := &callMsg{method: method, seq: p.seq, callerRank: p.rank, collective: true, participants: parts,
+			simple: simple, callID: p.nextCallID, epoch: p.epochNow()}
 		for _, pp := range plans {
 			frag := parallelFrag{
 				name:        pp.arg.spec.Name,
@@ -627,22 +694,40 @@ func (p *CallerPort) recvReplyFrom(src int, seq uint64, timeout time.Duration) (
 		deadline = time.Now().Add(timeout)
 	}
 	for {
+		// With a liveness view installed, a wait on a callee marked down
+		// fails fast — its reply is never coming, and burning the full
+		// timeout per attempt would multiply the failure's latency by the
+		// retry budget.
+		if mb := p.members; mb != nil && !mb.IsAlive(src) {
+			mRankdownErrors.Inc()
+			return nil, &core.ErrRankDown{Rank: src, Epoch: mb.Epoch()}
+		}
 		var from int
 		var raw []byte
 		var err error
+		remain := time.Duration(0)
 		if timeout > 0 {
-			remain := time.Until(deadline)
+			remain = time.Until(deadline)
 			if remain <= 0 {
 				mTimeouts.Inc()
 				return nil, fmt.Errorf("%w: no reply from callee %d within %v", ErrTimeout, src, timeout)
 			}
-			from, raw, err = p.link.RecvTimeout(remain)
+		}
+		slice := remain
+		if p.members != nil && (slice <= 0 || slice > livenessPoll) {
+			slice = livenessPoll
+		}
+		if slice > 0 {
+			from, raw, err = p.link.RecvTimeout(slice)
 		} else {
 			from, raw, err = p.link.Recv()
 		}
 		if err != nil {
 			err = mapLinkErr(err)
 			if errors.Is(err, ErrTimeout) {
+				if slice != remain {
+					continue // a liveness poll slice expired, not the deadline
+				}
 				mTimeouts.Inc()
 			}
 			return nil, err

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"time"
 
+	"mxn/internal/core"
 	"mxn/internal/dad"
 	"mxn/internal/schedule"
 	"mxn/internal/sidl"
@@ -98,9 +99,37 @@ type Endpoint struct {
 	// blocking indefinitely (or until StallTimeout) exactly as the paper
 	// describes.
 	StrictMatching bool
+	// DedupCapacity bounds the per-caller exactly-once table (entries
+	// remembered per caller rank). Zero means defaultDedupCapacity.
+	// Evicting an entry advances that caller's watermark: a retry of an
+	// evicted callID is refused rather than silently re-executed.
+	DedupCapacity int
+	// PendingLimit caps each per-caller deferred message queue (messages
+	// held back while collecting a collective invocation, or one-way
+	// calls queued behind it). Oldest messages are dropped beyond the
+	// limit. Zero means defaultPendingLimit.
+	PendingLimit int
 
 	pendingRaw map[int][][]byte
 	closed     map[int]bool
+	dedup      map[int]*dedupTable // caller rank -> exactly-once state
+	members    *core.Membership    // caller-cohort view; nil disables fencing
+}
+
+// Queue and table bounds when the knobs are left zero.
+const (
+	defaultPendingLimit  = 1024
+	defaultDedupCapacity = 128
+)
+
+// dedupTable is one caller's exactly-once state: replies of completed
+// calls keyed by callID (nil for oneway methods, which have no reply),
+// FIFO eviction order, and the watermark below which callIDs have been
+// forgotten.
+type dedupTable struct {
+	entries   map[uint64]*replyMsg
+	order     []uint64
+	watermark uint64
 }
 
 // NewEndpoint builds a callee-rank server. rank is this callee's cohort
@@ -119,8 +148,17 @@ func NewEndpoint(iface *sidl.Interface, link Link, rank, nCallee, nCaller int) *
 		encs:       map[string][]byte{},
 		pendingRaw: map[int][][]byte{},
 		closed:     map[int]bool{},
+		dedup:      map[int]*dedupTable{},
 	}
 }
+
+// SetMembership installs a liveness view over the caller cohort. With a
+// membership set the endpoint fences invocations by epoch — a call stamped
+// with an epoch older than the current view is rejected with an error
+// reply instead of executing against survivors it no longer matches — and
+// collective collection fails fast with *core.ErrRankDown when a missing
+// participant is marked down, instead of stalling to the timeout.
+func (ep *Endpoint) SetMembership(m *core.Membership) { ep.members = m }
 
 // Handle registers the implementation of a method.
 func (ep *Endpoint) Handle(method string, h Handler) error {
@@ -205,6 +243,14 @@ func (ep *Endpoint) dispatch(src int, raw []byte) (done bool, err error) {
 		if err != nil {
 			return false, err
 		}
+		if ep.members != nil && hdr.epoch != 0 && hdr.epoch < ep.members.Epoch() {
+			// The caller planned this invocation against a membership view
+			// that has since changed; executing it could mix pre- and
+			// post-failure data. Refuse it and let the caller re-plan.
+			mStaleEpochCalls.Inc()
+			m, _ := ep.iface.Method(hdr.method)
+			return false, ep.replyError(hdr, fmt.Sprintf("stale epoch %d (view is at %d)", hdr.epoch, ep.members.Epoch()), m)
+		}
 		if !hdr.collective {
 			return false, ep.serveIndependent(hdr)
 		}
@@ -214,11 +260,66 @@ func (ep *Endpoint) dispatch(src int, raw []byte) (done bool, err error) {
 	}
 }
 
-// serveIndependent services a one-to-one invocation.
+// dedupFor returns (creating if needed) the exactly-once table for one
+// caller rank. Watermarks start at 1 because callIDs start at 1: nothing
+// has been forgotten yet.
+func (ep *Endpoint) dedupFor(caller int) *dedupTable {
+	t := ep.dedup[caller]
+	if t == nil {
+		t = &dedupTable{entries: map[uint64]*replyMsg{}, watermark: 1}
+		ep.dedup[caller] = t
+	}
+	return t
+}
+
+// dedupStore remembers the outcome of callID (nil for oneway methods),
+// evicting oldest entries beyond capacity and advancing the watermark past
+// everything forgotten.
+func (ep *Endpoint) dedupStore(t *dedupTable, callID uint64, rep *replyMsg) {
+	limit := ep.DedupCapacity
+	if limit <= 0 {
+		limit = defaultDedupCapacity
+	}
+	for len(t.entries) >= limit && len(t.order) > 0 {
+		old := t.order[0]
+		t.order = t.order[1:]
+		delete(t.entries, old)
+		if old+1 > t.watermark {
+			t.watermark = old + 1
+		}
+		mDedupEvictions.Inc()
+	}
+	t.entries[callID] = rep
+	t.order = append(t.order, callID)
+}
+
+// serveIndependent services a one-to-one invocation. Calls stamped with a
+// callID get exactly-once semantics: a duplicate attempt of a completed
+// call replays the cached reply (re-sequenced for the retry) instead of
+// re-running the handler, and an attempt whose callID fell below the
+// eviction watermark is refused because its original outcome is unknown.
 func (ep *Endpoint) serveIndependent(hdr *callMsg) error {
 	m, ok := ep.iface.Method(hdr.method)
 	if !ok {
 		return ep.replyError(hdr, fmt.Sprintf("no method %q", hdr.method), m)
+	}
+	var dt *dedupTable
+	if hdr.callID != 0 {
+		dt = ep.dedupFor(hdr.callerRank)
+		if hdr.callID < dt.watermark {
+			return ep.replyError(hdr, fmt.Sprintf("callID %d below eviction watermark %d; outcome unknown", hdr.callID, dt.watermark), m)
+		}
+		if rep, done := dt.entries[hdr.callID]; done {
+			mDedupHits.Inc()
+			if m.OneWay || rep == nil {
+				return nil
+			}
+			mDedupReplays.Inc()
+			cp := *rep
+			cp.seq = hdr.seq
+			cp.watermark = dt.watermark
+			return ep.link.Send(hdr.callerRank, encodeReply(&cp))
+		}
 	}
 	in := &Incoming{
 		Method:     hdr.method,
@@ -234,15 +335,24 @@ func (ep *Endpoint) serveIndependent(hdr *callMsg) error {
 		return ep.replyError(hdr, fmt.Sprintf("no handler for %q", hdr.method), m)
 	}
 	herr := h(in, out)
+	var rep *replyMsg
+	if !m.OneWay {
+		rep = &replyMsg{method: hdr.method, seq: hdr.seq, calleeRank: ep.rank}
+		if herr != nil {
+			rep.errText = herr.Error()
+		} else {
+			rep.ret = out.Return
+			rep.simpleOut = simpleOutList(m, out)
+		}
+	}
+	if dt != nil {
+		ep.dedupStore(dt, hdr.callID, rep)
+		if rep != nil {
+			rep.watermark = dt.watermark
+		}
+	}
 	if m.OneWay {
 		return nil
-	}
-	rep := &replyMsg{method: hdr.method, seq: hdr.seq, calleeRank: ep.rank}
-	if herr != nil {
-		rep.errText = herr.Error()
-	} else {
-		rep.ret = out.Return
-		rep.simpleOut = simpleOutList(m, out)
 	}
 	return ep.link.Send(hdr.callerRank, encodeReply(rep))
 }
@@ -269,6 +379,12 @@ func (ep *Endpoint) serveCollective(first *callMsg) error {
 		for {
 			raw, err := ep.nextFrom(p, ep.StallTimeout)
 			if err != nil {
+				var rd *core.ErrRankDown
+				if errors.As(err, &rd) {
+					// Not a stall: the missing participant is dead and its
+					// invocation is never coming. Surface the typed error.
+					return fmt.Errorf("prmi: collecting %q: %w", first.method, err)
+				}
 				return fmt.Errorf("%w: committed to %q, missing caller %d", ErrStalled, first.method, p)
 			}
 			if len(raw) == 0 || raw[0] != msgCall {
@@ -474,8 +590,31 @@ func (ep *Endpoint) nextAny(timeout time.Duration) (int, []byte, error) {
 	return ep.recvLink(timeout)
 }
 
+// enqueue defers a message from one caller, dropping the oldest beyond
+// PendingLimit. An unbounded queue here would let a single stalled
+// collective grow the heap without limit under a caller that keeps firing
+// one-way calls; bounded, the oldest deferred work is shed and counted.
+func (ep *Endpoint) enqueue(src int, raw []byte) {
+	limit := ep.PendingLimit
+	if limit <= 0 {
+		limit = defaultPendingLimit
+	}
+	q := append(ep.pendingRaw[src], raw)
+	for len(q) > limit {
+		q = q[1:]
+		mDeferredDropped.Inc()
+	}
+	ep.pendingRaw[src] = q
+}
+
+// livenessPoll is the receive slice used when a membership view is set, so
+// a blocked wait notices a participant being marked down promptly.
+const livenessPoll = 5 * time.Millisecond
+
 // nextFrom returns the next message from a specific caller, queueing
-// others. timeout <= 0 blocks forever.
+// others. timeout <= 0 blocks forever. With a membership view set, the
+// wait polls and fails fast with *core.ErrRankDown once src is marked
+// down — a crashed participant's collective message is never coming.
 func (ep *Endpoint) nextFrom(src int, timeout time.Duration) ([]byte, error) {
 	if q := ep.pendingRaw[src]; len(q) > 0 {
 		ep.pendingRaw[src] = q[1:]
@@ -486,6 +625,10 @@ func (ep *Endpoint) nextFrom(src int, timeout time.Duration) ([]byte, error) {
 		deadline = time.Now().Add(timeout)
 	}
 	for {
+		if mb := ep.members; mb != nil && !mb.IsAlive(src) {
+			mRankdownErrors.Inc()
+			return nil, &core.ErrRankDown{Rank: src, Epoch: mb.Epoch()}
+		}
 		remain := time.Duration(0)
 		if !deadline.IsZero() {
 			remain = time.Until(deadline)
@@ -494,14 +637,25 @@ func (ep *Endpoint) nextFrom(src int, timeout time.Duration) ([]byte, error) {
 				return nil, ErrStalled
 			}
 		}
-		from, raw, err := ep.recvLink(remain)
+		slice := remain
+		if ep.members != nil && (slice <= 0 || slice > livenessPoll) {
+			slice = livenessPoll
+		}
+		from, raw, err := ep.link.RecvTimeout(slice)
+		if errors.Is(err, ErrTimeout) {
+			if slice != remain {
+				continue // a liveness poll slice expired, not the deadline
+			}
+			mEndpointStalls.Inc()
+			return nil, ErrStalled
+		}
 		if err != nil {
 			return nil, err
 		}
 		if from == src {
 			return raw, nil
 		}
-		ep.pendingRaw[from] = append(ep.pendingRaw[from], raw)
+		ep.enqueue(from, raw)
 	}
 }
 

@@ -45,6 +45,15 @@ type callMsg struct {
 	participants []int // sorted caller cohort ranks; empty for independent
 	simple       []namedValue
 	parallel     []parallelFrag
+
+	// callID identifies the logical call across retry attempts: every
+	// attempt of one CallIndependent carries the same callID under fresh
+	// seq numbers, letting the callee deduplicate re-executions. Zero
+	// means "no exactly-once tracking" (legacy at-least-once semantics).
+	callID uint64
+	// epoch is the caller's membership epoch at send time; receivers
+	// behind a newer epoch reject the call. Zero means unstamped.
+	epoch uint64
 }
 
 // replyMsg carries return data from one callee rank to one caller rank.
@@ -56,6 +65,11 @@ type replyMsg struct {
 	ret         any
 	simpleOut   []namedValue
 	parallelOut []parallelFrag
+
+	// watermark is the callee's dedup-eviction watermark for this caller:
+	// every callID below it has been forgotten, so retrying one would
+	// risk re-execution. Callers refuse such retries with a typed error.
+	watermark uint64
 }
 
 func encodeCall(m *callMsg) []byte {
@@ -68,6 +82,9 @@ func encodeCall(m *callMsg) []byte {
 	e.PutInts(m.participants)
 	encodeNamedValues(e, m.simple)
 	encodeFrags(e, m.parallel)
+	// Appended last so fixed-prefix readers (method, seq) keep working.
+	e.PutUint64(m.callID)
+	e.PutUint64(m.epoch)
 	return e.Bytes()
 }
 
@@ -86,6 +103,8 @@ func decodeCall(d *wire.Decoder) (*callMsg, error) {
 	if m.parallel, err = decodeFrags(d); err != nil {
 		return nil, err
 	}
+	m.callID = d.Uint64()
+	m.epoch = d.Uint64()
 	if d.Err() != nil {
 		return nil, d.Err()
 	}
@@ -102,6 +121,7 @@ func encodeReply(m *replyMsg) []byte {
 	e.PutValue(m.ret)
 	encodeNamedValues(e, m.simpleOut)
 	encodeFrags(e, m.parallelOut)
+	e.PutUint64(m.watermark)
 	return e.Bytes()
 }
 
@@ -120,6 +140,7 @@ func decodeReply(d *wire.Decoder) (*replyMsg, error) {
 	if m.parallelOut, err = decodeFrags(d); err != nil {
 		return nil, err
 	}
+	m.watermark = d.Uint64()
 	if d.Err() != nil {
 		return nil, d.Err()
 	}

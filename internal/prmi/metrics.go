@@ -16,4 +16,12 @@ var (
 	mEndpointInvokes  = obs.Default().Counter("prmi.endpoint_invocations")
 	mEndpointStalls   = obs.Default().Counter("prmi.endpoint_stalls")
 	mCallNS           = obs.Default().Histogram("prmi.call_ns")
+
+	// Exactly-once / failure-awareness instruments.
+	mDedupHits       = obs.Default().Counter("prmi.dedup_hits")
+	mDedupReplays    = obs.Default().Counter("prmi.dedup_replays")
+	mDedupEvictions  = obs.Default().Counter("prmi.dedup_evictions")
+	mStaleEpochCalls = obs.Default().Counter("prmi.stale_epoch_rejected")
+	mDeferredDropped = obs.Default().Counter("prmi.deferred_dropped")
+	mRankdownErrors  = obs.Default().Counter("prmi.rankdown_errors")
 )

@@ -201,12 +201,14 @@ func Exchange(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal
 type linRequest struct {
 	dstRank int
 	need    linear.Set
+	epoch   uint64 // membership epoch stamp; 0 = unfenced transfer
 }
 
 // linReply carries the positions a source holds of a request, plus data.
 type linReply struct {
-	have linear.Set
-	data []float64
+	have  linear.Set
+	data  []float64
+	epoch uint64 // membership epoch stamp; 0 = unfenced transfer
 }
 
 // LinearExchange performs one transfer using linearization with

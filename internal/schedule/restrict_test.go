@@ -1,0 +1,151 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"mxn/internal/dad"
+)
+
+func TestRestrictDropsDeadPairs(t *testing.T) {
+	a := tpl(t, []int{24}, dad.BlockAxis(4))
+	b := tpl(t, []int{24}, dad.CyclicAxis(3))
+	s := mustBuild(t, a, b)
+
+	deadSrc := 1
+	r := Restrict(s, func(rank int) bool { return rank != deadSrc }, nil)
+	if r.Src != s.Src || r.Dst != s.Dst {
+		t.Fatal("Restrict changed templates")
+	}
+	for _, p := range r.Pairs {
+		if p.SrcRank == deadSrc {
+			t.Fatalf("pair %d→%d survived restriction", p.SrcRank, p.DstRank)
+		}
+	}
+	if len(r.OutgoingFor(deadSrc)) != 0 {
+		t.Fatal("index still lists dead source pairs")
+	}
+	// Surviving pairs are exactly the original minus the dead rank's.
+	want := 0
+	for _, p := range s.Pairs {
+		if p.SrcRank != deadSrc {
+			want++
+		}
+	}
+	if len(r.Pairs) != want {
+		t.Fatalf("restricted to %d pairs, want %d", len(r.Pairs), want)
+	}
+	// Nil predicates keep everything.
+	if full := Restrict(s, nil, nil); len(full.Pairs) != len(s.Pairs) {
+		t.Fatal("nil predicates dropped pairs")
+	}
+}
+
+// TestRestrictProperty checks, over random template pairs and random dead
+// sets, that (1) restricted pairs are a subset of the original pairs, (2)
+// no surviving pair touches a dead rank, and (3) the survivors' plans are
+// byte-identical to the originals — re-planning only *selects*, never
+// rewrites, so data that still has a live source lands exactly where the
+// full schedule would have put it.
+func TestRestrictProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	axes := []func(p int) dad.AxisDist{dad.BlockAxis, dad.CyclicAxis}
+	for trial := 0; trial < 50; trial++ {
+		elems := 8 + rng.Intn(60)
+		np1, np2 := 1+rng.Intn(5), 1+rng.Intn(5)
+		a := tpl(t, []int{elems}, axes[rng.Intn(2)](np1))
+		b := tpl(t, []int{elems}, axes[rng.Intn(2)](np2))
+		s := mustBuild(t, a, b)
+
+		deadSrc := map[int]bool{}
+		deadDst := map[int]bool{}
+		for r := 0; r < np1; r++ {
+			if rng.Intn(4) == 0 {
+				deadSrc[r] = true
+			}
+		}
+		for r := 0; r < np2; r++ {
+			if rng.Intn(4) == 0 {
+				deadDst[r] = true
+			}
+		}
+		res := Restrict(s,
+			func(r int) bool { return !deadSrc[r] },
+			func(r int) bool { return !deadDst[r] })
+
+		type key struct{ s, d int }
+		orig := map[key]*PairPlan{}
+		for i := range s.Pairs {
+			orig[key{s.Pairs[i].SrcRank, s.Pairs[i].DstRank}] = &s.Pairs[i]
+		}
+		for i := range res.Pairs {
+			p := &res.Pairs[i]
+			if deadSrc[p.SrcRank] || deadDst[p.DstRank] {
+				t.Fatalf("trial %d: dead pair %d→%d survived", trial, p.SrcRank, p.DstRank)
+			}
+			o, ok := orig[key{p.SrcRank, p.DstRank}]
+			if !ok {
+				t.Fatalf("trial %d: pair %d→%d invented", trial, p.SrcRank, p.DstRank)
+			}
+			if p.Elems != o.Elems || len(p.Runs) != len(o.Runs) {
+				t.Fatalf("trial %d: pair %d→%d plan rewritten", trial, p.SrcRank, p.DstRank)
+			}
+			for j := range p.Runs {
+				if p.Runs[j] != o.Runs[j] {
+					t.Fatalf("trial %d: pair %d→%d run %d changed", trial, p.SrcRank, p.DstRank, j)
+				}
+			}
+		}
+		// Every live original pair must survive.
+		for k := range orig {
+			if !deadSrc[k.s] && !deadDst[k.d] {
+				found := false
+				for i := range res.Pairs {
+					if res.Pairs[i].SrcRank == k.s && res.Pairs[i].DstRank == k.d {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: live pair %d→%d dropped", trial, k.s, k.d)
+				}
+			}
+		}
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	a := tpl(t, []int{16}, dad.BlockAxis(2))
+	b := tpl(t, []int{16}, dad.CyclicAxis(2))
+	c := NewCache()
+	s1, err := c.Get(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2, _ := c.Get(a, b); s2 != s1 {
+		t.Fatal("cache did not retain")
+	}
+	if !c.Invalidate(a, b) {
+		t.Fatal("Invalidate found nothing")
+	}
+	if c.Invalidate(a, b) {
+		t.Fatal("double Invalidate claimed an entry")
+	}
+	s3, err := c.Get(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Fatal("Get after Invalidate returned the stale schedule")
+	}
+
+	if _, err := c.Get(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.InvalidateAll(); n != 2 {
+		t.Fatalf("InvalidateAll dropped %d, want 2", n)
+	}
+	if n := c.InvalidateAll(); n != 0 {
+		t.Fatalf("second InvalidateAll dropped %d", n)
+	}
+}
