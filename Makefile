@@ -8,7 +8,7 @@ FUZZ_TARGETS := \
 	./internal/dad:FuzzDecodeTemplate \
 	./internal/dad:FuzzDecodeDescriptor
 
-.PHONY: all build test race chaos fuzz-short vet
+.PHONY: all build test race chaos fuzz-short vet bench bench-smoke staticcheck govulncheck
 
 all: build test
 
@@ -41,3 +41,29 @@ fuzz-short:
 
 vet:
 	$(GO) vet ./...
+
+# Transfer-engine benchmark report: elems/sec and allocs/op for float64 and
+# float32, cached vs uncached schedule. Fails if the cached (steady-state)
+# path allocates.
+bench:
+	$(GO) run ./cmd/redistbench -out BENCH_redist.json
+
+# CI-sized smoke run of the same report (fixed iteration count).
+bench-smoke:
+	$(GO) run ./cmd/redistbench -short -out BENCH_redist.json
+
+# Lint/vuln targets degrade to a notice when the tool isn't on PATH, so
+# offline checkouts aren't forced to install anything; CI installs both.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi

@@ -1,0 +1,231 @@
+// redistbench measures the transfer engine's steady-state throughput and
+// allocation behaviour and writes a machine-readable BENCH_redist.json.
+//
+// Each case drives a 2-source / 2-destination world (block → cyclic over a
+// fixed element count) through full transfer steps and reports elems/sec
+// and allocs/op, for float64 and float32 instantiations of the engine,
+// over a cached schedule (built once, the steady state) and an uncached
+// one (rebuilt every iteration, the cold baseline). The headline numbers
+// to watch: cached allocs/op must be 0, and the cached/uncached throughput
+// gap is the amortization argument for schedule caching.
+//
+//	go run ./cmd/redistbench                 # full run, writes BENCH_redist.json
+//	go run ./cmd/redistbench -short          # CI smoke run (fixed 30 iterations)
+//	go run ./cmd/redistbench -out -          # report to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mxn/internal/comm"
+	"mxn/internal/dad"
+	"mxn/internal/obs"
+	"mxn/internal/redist"
+	"mxn/internal/schedule"
+)
+
+// benchElems is the global element count of each transfer step.
+const benchElems = 1 << 14
+
+type caseResult struct {
+	Name        string  `json:"name"`
+	Elem        string  `json:"elem"`
+	Schedule    string  `json:"schedule"` // "cached" or "uncached"
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	ElemsPerSec float64 `json:"elems_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Timestamp string       `json:"timestamp"`
+	GoVersion string       `json:"go_version"`
+	Elems     int          `json:"elems_per_transfer"`
+	Cases     []caseResult `json:"cases"`
+	Metrics   obs.Snapshot `json:"metrics"`
+}
+
+// world is the benchmark harness: transfers run sequentially in one
+// goroutine (sources post without blocking, destinations then drain),
+// so iteration timing measures the engine, not scheduler noise.
+type world[T redist.Elem] struct {
+	cs        []*comm.Comm
+	src, dst  *dad.Template
+	s         *schedule.Schedule
+	lay       redist.Layout
+	srcLocals [][]T
+	dstLocals [][]T
+}
+
+func newWorld[T redist.Elem]() (*world[T], error) {
+	src, err := dad.NewTemplate([]int{benchElems}, []dad.AxisDist{dad.BlockAxis(2)})
+	if err != nil {
+		return nil, err
+	}
+	dst, err := dad.NewTemplate([]int{benchElems}, []dad.AxisDist{dad.CyclicAxis(2)})
+	if err != nil {
+		return nil, err
+	}
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	w := &world[T]{
+		cs:  comm.NewWorld(4).Comms(),
+		src: src, dst: dst, s: s,
+		lay: redist.Layout{SrcBase: 0, DstBase: 2},
+	}
+	for r := 0; r < 2; r++ {
+		w.srcLocals = append(w.srcLocals, make([]T, src.LocalCount(r)))
+		w.dstLocals = append(w.dstLocals, make([]T, dst.LocalCount(r)))
+	}
+	return w, nil
+}
+
+func (w *world[T]) step() error {
+	for r := 0; r < 2; r++ {
+		if err := redist.ExchangeT[T](w.cs[r], w.s, w.lay, w.srcLocals[r], nil, 0); err != nil {
+			return fmt.Errorf("source rank %d: %w", r, err)
+		}
+	}
+	for r := 0; r < 2; r++ {
+		if err := redist.ExchangeT[T](w.cs[2+r], w.s, w.lay, nil, w.dstLocals[r], 0); err != nil {
+			return fmt.Errorf("destination rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+func runCase[T redist.Elem](elemName string, esz int, cached bool) (caseResult, error) {
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		w, err := newWorld[T]()
+		if err != nil {
+			runErr = err
+			b.SkipNow()
+		}
+		if err := w.step(); err != nil { // warm the pools and mailbox queues
+			runErr = err
+			b.SkipNow()
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(benchElems * esz))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !cached {
+				s, err := schedule.Build(w.src, w.dst)
+				if err != nil {
+					runErr = err
+					b.SkipNow()
+				}
+				w.s = s
+			}
+			if err := w.step(); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return caseResult{}, runErr
+	}
+	sched := "cached"
+	if !cached {
+		sched = "uncached"
+	}
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	out := caseResult{
+		Name:        fmt.Sprintf("Exchange/%s/%s", elemName, sched),
+		Elem:        elemName,
+		Schedule:    sched,
+		Iterations:  res.N,
+		NsPerOp:     nsPerOp,
+		ElemsPerSec: float64(benchElems) * 1e9 / nsPerOp,
+		MBPerSec:    float64(benchElems*esz) * 1e3 / nsPerOp,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	return out, nil
+}
+
+func main() {
+	outFlag := flag.String("out", "BENCH_redist.json", "report path ('-' for stdout)")
+	shortFlag := flag.Bool("short", false, "smoke run: fixed small iteration count")
+	testing.Init()
+	flag.Parse()
+	if *shortFlag {
+		// testing.Benchmark honours -test.benchtime; a fixed iteration
+		// count keeps the CI smoke run fast and deterministic.
+		flag.Set("test.benchtime", "30x")
+	}
+	obs.DisableTracing()
+
+	type spec struct {
+		elem   string
+		esz    int
+		cached bool
+	}
+	specs := []spec{
+		{"float64", 8, true},
+		{"float64", 8, false},
+		{"float32", 4, true},
+		{"float32", 4, false},
+	}
+	rep := report{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Elems:     benchElems,
+	}
+	for _, sp := range specs {
+		var (
+			res caseResult
+			err error
+		)
+		if sp.elem == "float64" {
+			res, err = runCase[float64](sp.elem, sp.esz, sp.cached)
+		} else {
+			res, err = runCase[float32](sp.elem, sp.esz, sp.cached)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s/%v: %v\n", sp.elem, sp.cached, err)
+			os.Exit(1)
+		}
+		rep.Cases = append(rep.Cases, res)
+		fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8.1f MB/s  %6d B/op  %4d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.ElemsPerSec, res.MBPerSec, res.BytesPerOp, res.AllocsPerOp)
+	}
+	rep.Metrics = obs.Default().Snapshot()
+
+	// The engine's contract: steady-state transfers over a cached schedule
+	// are allocation-free. Fail loudly if a regression sneaks in.
+	for _, c := range rep.Cases {
+		if c.Schedule == "cached" && c.AllocsPerOp != 0 {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s allocates %d allocs/op (want 0)\n", c.Name, c.AllocsPerOp)
+			os.Exit(1)
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outFlag == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outFlag, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *outFlag)
+}

@@ -559,6 +559,29 @@ func TestElemKindBytes(t *testing.T) {
 	if Float64.Bytes() != 8 || Float32.Bytes() != 4 || Byte.Bytes() != 1 {
 		t.Error("element sizes wrong")
 	}
+	if Int64.Bytes() != 8 || Int32.Bytes() != 4 || Complex128.Bytes() != 16 {
+		t.Error("element sizes wrong")
+	}
+	if Complex128.String() != "complex128" {
+		t.Errorf("Complex128.String() = %q", Complex128.String())
+	}
+}
+
+func TestDescriptorComplex128RoundTrip(t *testing.T) {
+	tpl := mustTemplate(t, []int{8}, []AxisDist{BlockAxis(2)})
+	d, err := NewDescriptor("psi", Complex128, ReadWrite, tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e wire.Encoder
+	d.Encode(&e)
+	got, err := DecodeDescriptor(wire.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Elem != Complex128 || got.Name != "psi" {
+		t.Fatalf("round trip: got %v", got)
+	}
 }
 
 func TestAccessString(t *testing.T) {

@@ -45,6 +45,7 @@ const (
 	Int64
 	Int32
 	Byte
+	Complex128
 )
 
 // Bytes returns the element size in bytes.
@@ -56,6 +57,8 @@ func (k ElemKind) Bytes() int {
 		return 4
 	case Byte:
 		return 1
+	case Complex128:
+		return 16
 	}
 	panic(fmt.Sprintf("dad: unknown element kind %d", int(k)))
 }
@@ -73,6 +76,8 @@ func (k ElemKind) String() string {
 		return "int32"
 	case Byte:
 		return "byte"
+	case Complex128:
+		return "complex128"
 	}
 	return fmt.Sprintf("ElemKind(%d)", int(k))
 }

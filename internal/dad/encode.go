@@ -134,7 +134,7 @@ func DecodeDescriptor(d *wire.Decoder) (*Descriptor, error) {
 	// ElemKind.Bytes panics on unknown kinds, so a corrupt element tag must
 	// be rejected here rather than at first use.
 	switch elem {
-	case Float64, Float32, Int64, Int32, Byte:
+	case Float64, Float32, Int64, Int32, Byte, Complex128:
 	default:
 		return nil, fmt.Errorf("%w: unknown element kind %d", wire.ErrCorrupt, int(elem))
 	}

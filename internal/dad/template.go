@@ -80,6 +80,18 @@ func NewTemplate(dims []int, axes []AxisDist) (*Template, error) {
 		}
 		t.axisPos[a] = pos
 	}
+	// Precompute per-rank local element counts: LocalCount sits on the
+	// transfer hot path (buffer validation on every exchange) and must not
+	// allocate grid coordinates per call.
+	t.rankCounts = make([]int, t.nprocs)
+	for r := 0; r < t.nprocs; r++ {
+		n := 1
+		for a := range t.axes {
+			c := (r / t.gridStride[a]) % t.axes[a].Procs
+			n *= t.axes[a].localCount(t.dims[a], c)
+		}
+		t.rankCounts[r] = n
+	}
 	return t, nil
 }
 
@@ -264,15 +276,7 @@ func (t *Template) Patches(rank int) []Patch {
 
 // LocalCount returns the number of elements rank owns.
 func (t *Template) LocalCount(rank int) int {
-	if t.IsExplicit() {
-		return t.rankCounts[rank]
-	}
-	coords := t.Coords(rank)
-	n := 1
-	for a := range t.axes {
-		n *= t.axes[a].localCount(t.dims[a], coords[a])
-	}
-	return n
+	return t.rankCounts[rank]
 }
 
 // LocalShape returns the per-axis extent of rank's canonical local buffer

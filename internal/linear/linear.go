@@ -146,12 +146,13 @@ func (s Set) String() string {
 	return out + "}"
 }
 
-// Linearizer maps the elements of one side's distributed data structure to
+// LinearizerT maps the elements of one side's distributed data structure to
 // linear positions. Implementations must agree between sender and receiver
 // for the transfer to be meaningful — that agreement is application
 // knowledge, not middleware knowledge (the linearization caveat the paper
-// highlights).
-type Linearizer interface {
+// highlights). The element type is a parameter: the position algebra is
+// independent of what is stored at each position.
+type LinearizerT[T any] interface {
 	// TotalLen returns the length of the linear space.
 	TotalLen() int
 	// OwnedBy returns the linear positions rank owns, as a normalized Set.
@@ -159,22 +160,28 @@ type Linearizer interface {
 	// Pack copies the elements at the given linear positions (in set
 	// order) out of rank's canonical local buffer into out, which must
 	// have length set.Len().
-	Pack(rank int, local []float64, set Set, out []float64)
+	Pack(rank int, local []T, set Set, out []T)
 	// Unpack copies data (in set order) into rank's canonical local buffer
 	// at the given linear positions.
-	Unpack(rank int, local []float64, set Set, data []float64)
+	Unpack(rank int, local []T, set Set, data []T)
 }
 
-// RowMajor linearizes a distributed array template by the row-major order
+// Linearizer is the float64 linearizer, the historical default element type.
+type Linearizer = LinearizerT[float64]
+
+// RowMajorT linearizes a distributed array template by the row-major order
 // of its global index space — the natural linearization for dense arrays.
-type RowMajor struct {
+type RowMajorT[T any] struct {
 	T *dad.Template
 
 	strides []int
 }
 
-// NewRowMajor builds a row-major linearizer for a template.
-func NewRowMajor(t *dad.Template) *RowMajor {
+// RowMajor is the float64 instantiation of RowMajorT.
+type RowMajor = RowMajorT[float64]
+
+// NewRowMajorT builds a row-major linearizer for a template.
+func NewRowMajorT[T any](t *dad.Template) *RowMajorT[T] {
 	dims := t.Dims()
 	strides := make([]int, len(dims))
 	s := 1
@@ -182,14 +189,17 @@ func NewRowMajor(t *dad.Template) *RowMajor {
 		strides[a] = s
 		s *= dims[a]
 	}
-	return &RowMajor{T: t, strides: strides}
+	return &RowMajorT[T]{T: t, strides: strides}
 }
 
+// NewRowMajor builds a row-major float64 linearizer for a template.
+func NewRowMajor(t *dad.Template) *RowMajor { return NewRowMajorT[float64](t) }
+
 // TotalLen returns the template size.
-func (rm *RowMajor) TotalLen() int { return rm.T.Size() }
+func (rm *RowMajorT[T]) TotalLen() int { return rm.T.Size() }
 
 // position returns the linear position of a global index.
-func (rm *RowMajor) position(idx []int) int {
+func (rm *RowMajorT[T]) position(idx []int) int {
 	p := 0
 	for a, i := range idx {
 		p += i * rm.strides[a]
@@ -199,7 +209,7 @@ func (rm *RowMajor) position(idx []int) int {
 
 // OwnedBy returns rank's linear positions: each row of each owned patch is
 // one interval.
-func (rm *RowMajor) OwnedBy(rank int) Set {
+func (rm *RowMajorT[T]) OwnedBy(rank int) Set {
 	var ivs []Interval
 	for _, p := range rm.T.Patches(rank) {
 		rowLen := p.Hi[len(p.Hi)-1] - p.Lo[len(p.Lo)-1]
@@ -211,8 +221,8 @@ func (rm *RowMajor) OwnedBy(rank int) Set {
 	return NewSet(ivs...)
 }
 
-// Pack implements Linearizer.
-func (rm *RowMajor) Pack(rank int, local []float64, set Set, out []float64) {
+// Pack implements LinearizerT.
+func (rm *RowMajorT[T]) Pack(rank int, local []T, set Set, out []T) {
 	k := 0
 	idx := make([]int, rm.T.NumAxes())
 	for _, iv := range set {
@@ -224,8 +234,8 @@ func (rm *RowMajor) Pack(rank int, local []float64, set Set, out []float64) {
 	}
 }
 
-// Unpack implements Linearizer.
-func (rm *RowMajor) Unpack(rank int, local []float64, set Set, data []float64) {
+// Unpack implements LinearizerT.
+func (rm *RowMajorT[T]) Unpack(rank int, local []T, set Set, data []T) {
 	k := 0
 	idx := make([]int, rm.T.NumAxes())
 	for _, iv := range set {
@@ -238,7 +248,7 @@ func (rm *RowMajor) Unpack(rank int, local []float64, set Set, data []float64) {
 }
 
 // indexOf writes the global index of linear position p into idx.
-func (rm *RowMajor) indexOf(p int, idx []int) {
+func (rm *RowMajorT[T]) indexOf(p int, idx []int) {
 	for a := range rm.strides {
 		idx[a] = p / rm.strides[a]
 		p %= rm.strides[a]
@@ -268,37 +278,43 @@ func forEachRow(p dad.Patch, fn func(rowStart []int)) {
 	}
 }
 
-// LocalOrder linearizes a template by the concatenation of each rank's
+// LocalOrderT linearizes a template by the concatenation of each rank's
 // canonical local buffers in rank order. It demonstrates an
 // application-defined linearization where the sender's layout drives the
 // ordering: a receiver using LocalOrder of the *sender's* template can
 // reconstruct the data only with knowledge of that template — precisely
 // the implicit-knowledge coupling Section 2.2.1 warns about.
-type LocalOrder struct {
+type LocalOrderT[T any] struct {
 	T *dad.Template
 
 	rankBase []int // starting linear position of each rank's block
 }
 
-// NewLocalOrder builds a local-order linearizer for a template.
-func NewLocalOrder(t *dad.Template) *LocalOrder {
-	lo := &LocalOrder{T: t, rankBase: make([]int, t.NumProcs()+1)}
+// LocalOrder is the float64 instantiation of LocalOrderT.
+type LocalOrder = LocalOrderT[float64]
+
+// NewLocalOrderT builds a local-order linearizer for a template.
+func NewLocalOrderT[T any](t *dad.Template) *LocalOrderT[T] {
+	lo := &LocalOrderT[T]{T: t, rankBase: make([]int, t.NumProcs()+1)}
 	for r := 0; r < t.NumProcs(); r++ {
 		lo.rankBase[r+1] = lo.rankBase[r] + t.LocalCount(r)
 	}
 	return lo
 }
 
+// NewLocalOrder builds a local-order float64 linearizer for a template.
+func NewLocalOrder(t *dad.Template) *LocalOrder { return NewLocalOrderT[float64](t) }
+
 // TotalLen returns the template size.
-func (l *LocalOrder) TotalLen() int { return l.rankBase[len(l.rankBase)-1] }
+func (l *LocalOrderT[T]) TotalLen() int { return l.rankBase[len(l.rankBase)-1] }
 
 // OwnedBy returns rank's single contiguous interval.
-func (l *LocalOrder) OwnedBy(rank int) Set {
+func (l *LocalOrderT[T]) OwnedBy(rank int) Set {
 	return NewSet(Interval{l.rankBase[rank], l.rankBase[rank+1]})
 }
 
-// Pack implements Linearizer: local order means a straight copy.
-func (l *LocalOrder) Pack(rank int, local []float64, set Set, out []float64) {
+// Pack implements LinearizerT: local order means a straight copy.
+func (l *LocalOrderT[T]) Pack(rank int, local []T, set Set, out []T) {
 	base := l.rankBase[rank]
 	k := 0
 	for _, iv := range set {
@@ -307,8 +323,8 @@ func (l *LocalOrder) Pack(rank int, local []float64, set Set, out []float64) {
 	}
 }
 
-// Unpack implements Linearizer.
-func (l *LocalOrder) Unpack(rank int, local []float64, set Set, data []float64) {
+// Unpack implements LinearizerT.
+func (l *LocalOrderT[T]) Unpack(rank int, local []T, set Set, data []T) {
 	base := l.rankBase[rank]
 	k := 0
 	for _, iv := range set {

@@ -229,3 +229,60 @@ func TestRowMajorAgreesWithOwnership(t *testing.T) {
 		}
 	}
 }
+
+func TestGenericLinearizersMatchFloat64(t *testing.T) {
+	// The generic instantiations must place every element exactly where the
+	// float64 linearizers do: same ownership sets, same pack order.
+	tpl := block2D(t, []int{6, 8}, 2, 2)
+	rm64 := NewRowMajor(tpl)
+	rm32 := NewRowMajorT[float32](tpl)
+	rmC := NewRowMajorT[complex128](tpl)
+	for r := 0; r < tpl.NumProcs(); r++ {
+		own := rm64.OwnedBy(r)
+		if !rm32.OwnedBy(r).Equal(own) || !rmC.OwnedBy(r).Equal(own) {
+			t.Fatalf("rank %d: generic OwnedBy disagrees with float64", r)
+		}
+		n := tpl.LocalCount(r)
+		loc64 := make([]float64, n)
+		loc32 := make([]float32, n)
+		locC := make([]complex128, n)
+		for i := range loc64 {
+			loc64[i] = float64(r*1000 + i)
+			loc32[i] = float32(loc64[i])
+			locC[i] = complex(loc64[i], -loc64[i])
+		}
+		out64 := make([]float64, own.Len())
+		out32 := make([]float32, own.Len())
+		outC := make([]complex128, own.Len())
+		rm64.Pack(r, loc64, own, out64)
+		rm32.Pack(r, loc32, own, out32)
+		rmC.Pack(r, locC, own, outC)
+		for i := range out64 {
+			if out32[i] != float32(out64[i]) || outC[i] != complex(out64[i], -out64[i]) {
+				t.Fatalf("rank %d pos %d: generic pack diverges (%v %v vs %v)", r, i, out32[i], outC[i], out64[i])
+			}
+		}
+		// Round trip back through Unpack.
+		back32 := make([]float32, n)
+		rm32.Unpack(r, back32, own, out32)
+		for i := range back32 {
+			if back32[i] != loc32[i] {
+				t.Fatalf("rank %d elem %d: float32 unpack round trip got %v want %v", r, i, back32[i], loc32[i])
+			}
+		}
+	}
+
+	lo32 := NewLocalOrderT[float32](tpl)
+	lo64 := NewLocalOrder(tpl)
+	for r := 0; r < tpl.NumProcs(); r++ {
+		if !lo32.OwnedBy(r).Equal(lo64.OwnedBy(r)) {
+			t.Fatalf("rank %d: LocalOrderT ownership disagrees", r)
+		}
+	}
+
+	// Generic instances satisfy the generic interface; the float64 alias is
+	// the same type as the instantiation.
+	var _ LinearizerT[float32] = rm32
+	var _ LinearizerT[complex128] = rmC
+	var _ Linearizer = rm64
+}

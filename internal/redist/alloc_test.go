@@ -1,0 +1,147 @@
+package redist
+
+import (
+	"testing"
+
+	"mxn/internal/comm"
+	"mxn/internal/dad"
+	"mxn/internal/obs"
+	"mxn/internal/schedule"
+)
+
+// steadyWorld builds a 2-source / 2-destination world whose transfers can
+// run sequentially in one goroutine: sources post all their messages
+// without blocking (comm sends never block), then destinations find every
+// expected message already queued. That determinism is what lets
+// AllocsPerRun measure the engine rather than scheduler noise.
+type steadyWorld struct {
+	cs        []*comm.Comm
+	s         *schedule.Schedule
+	lay       Layout
+	srcLocals [][]float64
+	dstLocals [][]float64
+}
+
+func newSteadyWorld(t testing.TB) *steadyWorld {
+	src, err := dad.NewTemplate([]int{1 << 10}, []dad.AxisDist{dad.BlockAxis(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := dad.NewTemplate([]int{1 << 10}, []dad.AxisDist{dad.CyclicAxis(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &steadyWorld{
+		cs:  comm.NewWorld(4).Comms(),
+		s:   s,
+		lay: Layout{SrcBase: 0, DstBase: 2},
+	}
+	for r := 0; r < 2; r++ {
+		w.srcLocals = append(w.srcLocals, make([]float64, src.LocalCount(r)))
+		w.dstLocals = append(w.dstLocals, make([]float64, dst.LocalCount(r)))
+	}
+	return w
+}
+
+// step runs one full transfer: both sources send, both destinations
+// receive, all in the calling goroutine.
+func (w *steadyWorld) step(t testing.TB) {
+	for r := 0; r < 2; r++ {
+		if err := Exchange(w.cs[r], w.s, w.lay, w.srcLocals[r], nil, 0); err != nil {
+			t.Fatalf("source rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < 2; r++ {
+		if err := Exchange(w.cs[2+r], w.s, w.lay, nil, w.dstLocals[r], 0); err != nil {
+			t.Fatalf("destination rank %d: %v", r, err)
+		}
+	}
+}
+
+// The tentpole guarantee: steady-state Exchange over a cached schedule
+// allocates nothing. Message headers and data buffers cycle through free
+// lists, the schedule plan is a by-value struct, and the indexed schedule
+// accessors avoid the per-rank slice views. The first AllocsPerRun
+// invocation is a warm-up (pools fill, mailbox queues reach capacity);
+// the measured runs must then be allocation-free.
+func TestExchangeSteadyStateZeroAlloc(t *testing.T) {
+	obs.DisableTracing()
+	w := newSteadyWorld(t)
+	w.step(t) // warm the pools and mailbox queues
+	allocs := testing.AllocsPerRun(50, func() { w.step(t) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Exchange allocates: %v allocs per transfer step", allocs)
+	}
+}
+
+// Satellite guarantee: ExecuteLocal stages through the buffer pool instead
+// of allocating a fresh backing slice per call.
+func TestExecuteLocalZeroAlloc(t *testing.T) {
+	obs.DisableTracing()
+	src, err := dad.NewTemplate([]int{1 << 10}, []dad.AxisDist{dad.BlockAxis(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := dad.NewTemplate([]int{1 << 10}, []dad.AxisDist{dad.CyclicAxis(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcLocals := make([][]float64, 2)
+	dstLocals := make([][]float64, 2)
+	for r := 0; r < 2; r++ {
+		srcLocals[r] = make([]float64, src.LocalCount(r))
+		dstLocals[r] = make([]float64, dst.LocalCount(r))
+	}
+	ExecuteLocal(s, srcLocals, dstLocals) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() { ExecuteLocal(s, srcLocals, dstLocals) })
+	if allocs != 0 {
+		t.Fatalf("ExecuteLocal allocates: %v allocs/op", allocs)
+	}
+
+	// The float32 instantiation shares the same byte pool.
+	src32 := make([][]float32, 2)
+	dst32 := make([][]float32, 2)
+	for r := 0; r < 2; r++ {
+		src32[r] = make([]float32, src.LocalCount(r))
+		dst32[r] = make([]float32, dst.LocalCount(r))
+	}
+	ExecuteLocalT(s, src32, dst32)
+	allocs = testing.AllocsPerRun(50, func() { ExecuteLocalT(s, src32, dst32) })
+	if allocs != 0 {
+		t.Fatalf("ExecuteLocalT[float32] allocates: %v allocs/op", allocs)
+	}
+}
+
+// benchSteady drives full transfer steps for -benchmem reporting;
+// allocs/op must report 0 in steady state.
+func benchSteady(b *testing.B, cached bool) {
+	obs.DisableTracing()
+	w := newSteadyWorld(b)
+	w.step(b)
+	elems := int64(1 << 10)
+	b.ReportAllocs()
+	b.SetBytes(elems * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cached {
+			// Rebuild the schedule each iteration: the uncached baseline.
+			s, err := schedule.Build(w.s.Src, w.s.Dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.s = s
+		}
+		w.step(b)
+	}
+}
+
+func BenchmarkExchangeSteadyCached(b *testing.B)   { benchSteady(b, true) }
+func BenchmarkExchangeSteadyUncached(b *testing.B) { benchSteady(b, false) }

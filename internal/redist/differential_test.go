@@ -1,0 +1,180 @@
+package redist
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mxn/internal/comm"
+	"mxn/internal/core"
+	"mxn/internal/dad"
+	"mxn/internal/linear"
+	"mxn/internal/schedule"
+)
+
+// Differential guarantee: with every rank alive, the fenced engine must
+// produce destination buffers bit-identical to the unfenced engine — the
+// epoch stamps, liveness checks and polling receives are pure overhead,
+// never a semantic change. Ranks are launched in shuffled order so the
+// comparison also holds under arbitrary interleavings (run under -race by
+// `make race`).
+
+// launchShuffled runs fn for every rank of an n-rank world, starting the
+// goroutines in the given order.
+func launchShuffled(n int, order []int, fn func(c *comm.Comm)) {
+	cs := comm.NewWorld(n).Comms()
+	var wg sync.WaitGroup
+	for _, r := range order {
+		wg.Add(1)
+		go func(c *comm.Comm) {
+			defer wg.Done()
+			fn(c)
+		}(cs[r])
+	}
+	wg.Wait()
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFencedMatchesUnfencedExchange(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 8; trial++ {
+		dims := []int{1 + rng.Intn(9), 1 + rng.Intn(9)}
+		mk := func() *dad.Template {
+			axes := []dad.AxisDist{
+				dad.BlockAxis(1 + rng.Intn(3)),
+				dad.CyclicAxis(1 + rng.Intn(3)),
+			}
+			if rng.Intn(2) == 0 {
+				axes[0], axes[1] = axes[1], axes[0]
+			}
+			out, err := dad.NewTemplate(dims, axes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		src, dst := mk(), mk()
+		s, err := schedule.Build(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, n := src.NumProcs(), dst.NumProcs()
+		lay := Layout{SrcBase: 0, DstBase: m}
+		srcLocals := fillByGlobal(src)
+		order := rng.Perm(m + n)
+
+		run := func(fenced bool) [][]float64 {
+			got := make([][]float64, n)
+			var mu sync.Mutex
+			mem := core.NewMembership(m + n)
+			launchShuffled(m+n, order, func(c *comm.Comm) {
+				var sl, dl []float64
+				if c.Rank() < m {
+					sl = srcLocals[c.Rank()]
+				} else {
+					dl = make([]float64, dst.LocalCount(c.Rank()-m))
+				}
+				var err error
+				if fenced {
+					var out *Outcome
+					out, err = ExchangeFenced(c, s, lay, sl, dl, 0, FenceOpts{Membership: mem})
+					if err == nil && dl != nil && !out.Validity.AllValid() {
+						t.Errorf("trial %d: clean fenced transfer invalidated elements", trial)
+					}
+				} else {
+					err = Exchange(c, s, lay, sl, dl, 0)
+				}
+				if err != nil {
+					t.Errorf("trial %d rank %d (fenced=%v): %v", trial, c.Rank(), fenced, err)
+				}
+				if dl != nil {
+					mu.Lock()
+					got[c.Rank()-m] = dl
+					mu.Unlock()
+				}
+			})
+			return got
+		}
+
+		plain := run(false)
+		fenced := run(true)
+		for r := range plain {
+			if !bitsEqual(plain[r], fenced[r]) {
+				t.Fatalf("trial %d: dst rank %d differs between fenced and unfenced engines\nplain:  %v\nfenced: %v",
+					trial, r, plain[r], fenced[r])
+			}
+		}
+		verify(t, dst, fenced)
+	}
+}
+
+func TestFencedMatchesUnfencedLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		dims := []int{2 + rng.Intn(8), 2 + rng.Intn(8)}
+		src, err := dad.NewTemplate(dims, []dad.AxisDist{dad.BlockAxis(1 + rng.Intn(2)), dad.BlockAxis(1 + rng.Intn(3))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := dad.NewTemplate(dims, []dad.AxisDist{dad.CyclicAxis(1 + rng.Intn(3)), dad.CollapsedAxis()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcLin := linear.NewRowMajor(src)
+		dstLin := linear.NewRowMajor(dst)
+		m, n := src.NumProcs(), dst.NumProcs()
+		lay := Layout{SrcBase: 0, DstBase: m}
+		srcLocals := fillByGlobal(src)
+		order := rng.Perm(m + n)
+
+		run := func(fenced bool) [][]float64 {
+			got := make([][]float64, n)
+			var mu sync.Mutex
+			mem := core.NewMembership(m + n)
+			launchShuffled(m+n, order, func(c *comm.Comm) {
+				var sl, dl []float64
+				if c.Rank() < m {
+					sl = srcLocals[c.Rank()]
+				} else {
+					dl = make([]float64, dst.LocalCount(c.Rank()-m))
+				}
+				var err error
+				if fenced {
+					_, err = LinearExchangeFenced(c, srcLin, dstLin, lay, m, n, sl, dl, 0, FenceOpts{Membership: mem})
+				} else {
+					err = LinearExchange(c, srcLin, dstLin, lay, m, n, sl, dl, 0)
+				}
+				if err != nil {
+					t.Errorf("trial %d rank %d (fenced=%v): %v", trial, c.Rank(), fenced, err)
+				}
+				if dl != nil {
+					mu.Lock()
+					got[c.Rank()-m] = dl
+					mu.Unlock()
+				}
+			})
+			return got
+		}
+
+		plain := run(false)
+		fenced := run(true)
+		for r := range plain {
+			if !bitsEqual(plain[r], fenced[r]) {
+				t.Fatalf("trial %d: dst rank %d differs between fenced and unfenced linear engines", trial, r)
+			}
+		}
+		verify(t, dst, fenced)
+	}
+}

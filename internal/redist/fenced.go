@@ -2,13 +2,17 @@
 //
 // Exchange and LinearExchange assume both cohorts stay alive: a crashed
 // source rank leaves its destinations blocked in Recv forever. The fenced
-// variants below run the same protocols against a core.Membership view:
+// variants below run the same engine against a core.Membership view:
 // messages are stamped with the membership epoch in force when the
 // transfer began, receivers reject stale-epoch leftovers of pre-failure
 // attempts, and a rank death observed mid-transfer either aborts the
 // transfer with a typed *core.ErrRankDown (FailStrict) or re-plans it
 // against the surviving ranks (FailRedistribute), completing on the live
 // pairs and recording the lost elements in a dad.Validity bitmap.
+//
+// The fenced functions are wrappers: they build a fenceRun and call the
+// same exchangeT/linearExchangeT the unfenced functions use, which run
+// the single transfer loop in engine.go.
 package redist
 
 import (
@@ -102,155 +106,27 @@ type Outcome struct {
 	Replanned *schedule.Schedule
 }
 
-// fencedMsg is the epoch-stamped payload of a fenced schedule-driven
-// transfer. Epoch 0 would mean "unstamped"; fenced senders always stamp
-// the real epoch (≥ 1).
-type fencedMsg struct {
-	epoch uint64
-	data  []float64
-}
-
-// ExchangeFenced is Exchange under a liveness view: identical protocol and
-// tag usage, but sends are epoch-stamped and skip dead destinations, and a
-// destination that observes a source death applies opts.Policy instead of
-// blocking forever. See FenceOpts and Outcome for the knobs and the
-// report.
-func ExchangeFenced(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []float64,
+// ExchangeFencedT is ExchangeT under a liveness view: identical protocol
+// and tag usage, but sends are epoch-stamped and skip dead destinations,
+// and a destination that observes a source death applies opts.Policy
+// instead of blocking forever. See FenceOpts and Outcome for the knobs and
+// the report.
+func ExchangeFencedT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T,
 	baseTag int, opts FenceOpts) (*Outcome, error) {
 
-	opts = opts.withDefaults()
-	m := opts.Membership
-	entryEpoch := m.Epoch()
-	out := &Outcome{Epoch: entryEpoch}
-	defer func() { sort.Ints(out.Down) }()
-	me := c.Rank()
-	srcRank := me - lay.SrcBase
-	dstRank := me - lay.DstBase
-	isSrc := srcRank >= 0 && srcRank < s.Src.NumProcs()
-	isDst := dstRank >= 0 && dstRank < s.Dst.NumProcs()
+	// A schedule-driven sender aborts on a dead destination under
+	// FailStrict: the destination's missing message would wedge the
+	// collective protocol.
+	f := newFenceRun(opts, true)
+	err := exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, f)
+	sort.Ints(f.out.Down)
+	return f.out, err
+}
 
-	downSeen := map[int]bool{}
-	noteDown := func(group int) {
-		if !downSeen[group] {
-			downSeen[group] = true
-			out.Down = append(out.Down, group)
-		}
-	}
-
-	if isSrc {
-		for _, p := range s.OutgoingFor(srcRank) {
-			dg := lay.DstBase + p.DstRank
-			if !m.IsAlive(dg) {
-				noteDown(dg)
-				mSendsSkippedDead.Inc()
-				if opts.Policy == FailStrict {
-					mRankdownAborts.Inc()
-					return out, &core.ErrRankDown{Rank: dg, Epoch: m.Epoch()}
-				}
-				continue
-			}
-			buf := make([]float64, p.Elems)
-			start := time.Now()
-			schedule.Pack(p, srcLocal, buf)
-			mPackNS.ObserveSince(start)
-			c.Send(dg, baseTag, fencedMsg{epoch: entryEpoch, data: buf})
-			mMsgsSent.Inc()
-			mElemsPacked.Add(uint64(p.Elems))
-		}
-		mTransfers.Inc()
-	}
-
-	if isDst {
-		out.Validity = dad.NewValidity(len(dstLocal))
-		restricted := s // effective plan; narrowed on re-plan
-
-		// lose applies the policy to a dead source: under
-		// FailRedistribute it invalidates the elements that pair would
-		// have delivered and (once) re-plans; under FailStrict it
-		// returns the typed error to surface after the drain.
-		lose := func(p schedule.PairPlan, sg int) error {
-			noteDown(sg)
-			if opts.Policy == FailStrict {
-				mRankdownAborts.Inc()
-				return &core.ErrRankDown{Rank: sg, Epoch: m.Epoch()}
-			}
-			for _, run := range p.Runs {
-				out.Validity.InvalidateRange(run.DstOff, run.N)
-			}
-			mElemsInvalidated.Add(uint64(p.Elems))
-			if out.Replanned == nil || out.Replanned == s {
-				start := time.Now()
-				if opts.Cache != nil {
-					opts.Cache.Invalidate(s.Src, s.Dst)
-				}
-				restricted = schedule.Restrict(s,
-					func(r int) bool { return m.IsAlive(lay.SrcBase + r) },
-					func(r int) bool { return m.IsAlive(lay.DstBase + r) })
-				out.Replanned = restricted
-				mReplanNS.ObserveSince(start)
-				mReplans.Inc()
-			}
-			return nil
-		}
-
-		var strictErr error
-		for _, p := range s.IncomingFor(dstRank) {
-			sg := lay.SrcBase + p.SrcRank
-			waited := time.Duration(0)
-			for {
-				if strictErr == nil && !m.IsAlive(sg) {
-					if err := lose(p, sg); err != nil {
-						strictErr = err
-					}
-					break
-				}
-				payload, _, ok := c.RecvTimeout(sg, baseTag, opts.PollInterval)
-				if !ok {
-					waited += opts.PollInterval
-					if opts.SuspectAfter > 0 && waited >= opts.SuspectAfter {
-						m.MarkDown(sg)
-					}
-					if strictErr != nil && waited >= maxDur(opts.SuspectAfter, 10*opts.PollInterval) {
-						// Draining after a strict abort: give up on
-						// sources that stay silent.
-						break
-					}
-					continue
-				}
-				em, isFenced := payload.(fencedMsg)
-				if isFenced && em.epoch != 0 && em.epoch < entryEpoch {
-					// Leftover of a pre-failure attempt; discard and
-					// keep waiting for the current epoch's message.
-					mStaleEpoch.Inc()
-					continue
-				}
-				mMsgsRecv.Inc()
-				if strictErr != nil {
-					mDrained.Inc()
-					break
-				}
-				if !isFenced || len(em.data) != p.Elems {
-					mErrors.Inc()
-					return out, &ElemCountError{Transfer: "exchange", DstRank: dstRank, SrcRank: p.SrcRank,
-						Got: len(em.data), Want: p.Elems}
-				}
-				start := time.Now()
-				schedule.Unpack(p, dstLocal, em.data)
-				mUnpackNS.ObserveSince(start)
-				mElemsUnpack.Add(uint64(p.Elems))
-				break
-			}
-		}
-		if strictErr != nil {
-			mErrors.Inc()
-			return out, strictErr
-		}
-		if opts.Desc != nil && !out.Validity.AllValid() {
-			opts.Desc.SetValidity(dstRank, out.Validity)
-		}
-		mTransfers.Inc()
-	}
-	return out, nil
+// ExchangeFenced is ExchangeFencedT for float64, the historical default.
+func ExchangeFenced(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []float64,
+	baseTag int, opts FenceOpts) (*Outcome, error) {
+	return ExchangeFencedT[float64](c, s, lay, srcLocal, dstLocal, baseTag, opts)
 }
 
 func maxDur(a, b time.Duration) time.Duration {
@@ -260,7 +136,7 @@ func maxDur(a, b time.Duration) time.Duration {
 	return b
 }
 
-// LinearExchangeFenced is LinearExchange under a liveness view. The
+// LinearExchangeFencedT is LinearExchangeT under a liveness view. The
 // receiver-driven protocol is unchanged (requests on baseTag, replies on
 // baseTag+1), but requests and replies carry the sender's entry epoch,
 // stale-epoch traffic is discarded, sources poll for requests only from
@@ -268,204 +144,20 @@ func maxDur(a, b time.Duration) time.Duration {
 // applies opts.Policy — under FailRedistribute the positions that source
 // owned of this destination's needs are invalidated in the validity
 // bitmap and the transfer completes on the surviving sources.
+func LinearExchangeFencedT[T Elem](c *comm.Comm, srcLin, dstLin linear.LinearizerT[T], lay Layout, nSrc, nDst int,
+	srcLocal, dstLocal []T, baseTag int, opts FenceOpts) (*Outcome, error) {
+
+	// A receiver-driven source owes the destinations nothing it was not
+	// asked for: replies to dead requesters are skipped, never aborted on.
+	f := newFenceRun(opts, false)
+	err := linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, f)
+	sort.Ints(f.out.Down)
+	return f.out, err
+}
+
+// LinearExchangeFenced is LinearExchangeFencedT for float64, the
+// historical default.
 func LinearExchangeFenced(c *comm.Comm, srcLin, dstLin linear.Linearizer, lay Layout, nSrc, nDst int,
 	srcLocal, dstLocal []float64, baseTag int, opts FenceOpts) (*Outcome, error) {
-
-	opts = opts.withDefaults()
-	m := opts.Membership
-	entryEpoch := m.Epoch()
-	out := &Outcome{Epoch: entryEpoch}
-	defer func() { sort.Ints(out.Down) }()
-	me := c.Rank()
-	srcRank := me - lay.SrcBase
-	dstRank := me - lay.DstBase
-	isSrc := srcRank >= 0 && srcRank < nSrc
-	isDst := dstRank >= 0 && dstRank < nDst
-	reqTag, dataTag := baseTag, baseTag+1
-
-	downSeen := map[int]bool{}
-	noteDown := func(group int) {
-		if !downSeen[group] {
-			downSeen[group] = true
-			out.Down = append(out.Down, group)
-		}
-	}
-
-	// Destinations request from the sources alive at entry.
-	var need linear.Set
-	var requested []bool // source rank -> request sent
-	if isDst {
-		need = dstLin.OwnedBy(dstRank)
-		requested = make([]bool, nSrc)
-		for sr := 0; sr < nSrc; sr++ {
-			sg := lay.SrcBase + sr
-			if !m.IsAlive(sg) {
-				noteDown(sg)
-				mSendsSkippedDead.Inc()
-				continue
-			}
-			c.Send(sg, reqTag, linRequest{dstRank: dstRank, need: need, epoch: entryEpoch})
-			requested[sr] = true
-			mLinRequests.Inc()
-		}
-	}
-
-	// Sources collect one request per live destination, polling so a
-	// destination that dies before requesting does not hang the source.
-	if isSrc {
-		owned := srcLin.OwnedBy(srcRank)
-		pending := map[int]bool{}
-		for d := 0; d < nDst; d++ {
-			pending[lay.DstBase+d] = true
-		}
-		var reqs []linRequest
-		waited := time.Duration(0)
-		for len(pending) > 0 {
-			for dg := range pending {
-				if !m.IsAlive(dg) {
-					noteDown(dg)
-					delete(pending, dg)
-				}
-			}
-			if len(pending) == 0 {
-				break
-			}
-			payload, from, ok := c.RecvTimeout(comm.AnySource, reqTag, opts.PollInterval)
-			if !ok {
-				waited += opts.PollInterval
-				if opts.SuspectAfter > 0 && waited >= opts.SuspectAfter {
-					for dg := range pending {
-						m.MarkDown(dg)
-					}
-				}
-				continue
-			}
-			req, isReq := payload.(linRequest)
-			if isReq && req.epoch != 0 && req.epoch < entryEpoch {
-				mStaleEpoch.Inc()
-				continue
-			}
-			if !isReq {
-				mDrained.Inc()
-				continue
-			}
-			delete(pending, from)
-			reqs = append(reqs, req)
-		}
-		for _, req := range reqs {
-			dg := lay.DstBase + req.dstRank
-			if !m.IsAlive(dg) {
-				mSendsSkippedDead.Inc()
-				continue
-			}
-			have := owned.Intersect(req.need)
-			data := make([]float64, have.Len())
-			start := time.Now()
-			srcLin.Pack(srcRank, srcLocal, have, data)
-			mPackNS.ObserveSince(start)
-			mElemsPacked.Add(uint64(len(data)))
-			c.Send(dg, dataTag, linReply{have: have, data: data, epoch: entryEpoch})
-			mLinReplies.Inc()
-		}
-		mTransfers.Inc()
-	}
-
-	// Destinations unpack one reply per source they requested from,
-	// applying the policy when a source dies before replying.
-	if isDst {
-		out.Validity = dad.NewValidity(len(dstLocal))
-
-		// loseSource invalidates the destination elements whose
-		// positions the dead source owned: Unpack a tracking buffer of
-		// ones through the lost set, then invalidate everywhere a one
-		// landed — no new Linearizer surface needed.
-		loseSource := func(sr int) {
-			lost := srcLin.OwnedBy(sr).Intersect(need)
-			if lost.Len() == 0 {
-				return
-			}
-			track := make([]float64, len(dstLocal))
-			ones := make([]float64, lost.Len())
-			for i := range ones {
-				ones[i] = 1
-			}
-			dstLin.Unpack(dstRank, track, lost, ones)
-			for i, v := range track {
-				if v == 1 {
-					out.Validity.Invalidate(i)
-				}
-			}
-			mElemsInvalidated.Add(uint64(lost.Len()))
-			mReplans.Inc()
-		}
-
-		var strictErr error
-		for sr := 0; sr < nSrc; sr++ {
-			sg := lay.SrcBase + sr
-			if !requested[sr] {
-				// Dead at entry: its share is already lost.
-				if opts.Policy == FailStrict {
-					mRankdownAborts.Inc()
-					strictErr = &core.ErrRankDown{Rank: sg, Epoch: m.Epoch()}
-					continue
-				}
-				loseSource(sr)
-				continue
-			}
-			waited := time.Duration(0)
-			for {
-				if strictErr == nil && !m.IsAlive(sg) {
-					noteDown(sg)
-					if opts.Policy == FailStrict {
-						mRankdownAborts.Inc()
-						strictErr = &core.ErrRankDown{Rank: sg, Epoch: m.Epoch()}
-					} else {
-						loseSource(sr)
-					}
-					break
-				}
-				payload, _, ok := c.RecvTimeout(sg, dataTag, opts.PollInterval)
-				if !ok {
-					waited += opts.PollInterval
-					if opts.SuspectAfter > 0 && waited >= opts.SuspectAfter {
-						m.MarkDown(sg)
-					}
-					if strictErr != nil && waited >= maxDur(opts.SuspectAfter, 10*opts.PollInterval) {
-						break
-					}
-					continue
-				}
-				rep, isRep := payload.(linReply)
-				if isRep && rep.epoch != 0 && rep.epoch < entryEpoch {
-					mStaleEpoch.Inc()
-					continue
-				}
-				mMsgsRecv.Inc()
-				if strictErr != nil {
-					mDrained.Inc()
-					break
-				}
-				expect := srcLin.OwnedBy(sr).Intersect(need)
-				if !isRep || !rep.have.Equal(expect) || len(rep.data) != rep.have.Len() {
-					mErrors.Inc()
-					return out, &ElemCountError{Transfer: "linear", DstRank: dstRank, SrcRank: sr,
-						Got: len(rep.data), Want: expect.Len()}
-				}
-				start := time.Now()
-				dstLin.Unpack(dstRank, dstLocal, rep.have, rep.data)
-				mUnpackNS.ObserveSince(start)
-				mElemsUnpack.Add(uint64(len(rep.data)))
-				break
-			}
-		}
-		if strictErr != nil {
-			mErrors.Inc()
-			return out, strictErr
-		}
-		if opts.Desc != nil && !out.Validity.AllValid() {
-			opts.Desc.SetValidity(dstRank, out.Validity)
-		}
-		mTransfers.Inc()
-	}
-	return out, nil
+	return LinearExchangeFencedT[float64](c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, opts)
 }

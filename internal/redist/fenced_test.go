@@ -269,7 +269,9 @@ func TestExchangeFencedRejectsStaleEpoch(t *testing.T) {
 	mem.MarkDown(2) // bump epoch to 2 without touching the cohorts
 
 	// Inject a pre-failure leftover under the transfer's tag.
-	cs[0].Send(1, 0, fencedMsg{epoch: 1, data: []float64{-1, -1, -1, -1}})
+	stale := newMsg[float64](1, 4)
+	copy(elemsOf[float64](stale.data, 4), []float64{-1, -1, -1, -1})
+	cs[0].Send(1, 0, stale)
 
 	srcLocal := []float64{10, 11, 12, 13}
 	dstLocal := make([]float64, 4)

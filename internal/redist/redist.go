@@ -3,7 +3,11 @@
 // source local buffers to destination local buffers, in parallel, with no
 // global synchronization and no central data-management process.
 //
-// Three executors are provided:
+// All transfers run on one generic engine (runTransfer in engine.go): a
+// plan enumerates the pairwise messages, the engine packs each into a
+// pooled raw-byte buffer, sends, receives, validates and unpacks. The
+// element type is a type parameter (see Elem); the exported float64
+// functions are thin instantiations. Four paths share the engine:
 //
 //   - ExecuteLocal: a single-goroutine reference executor used by tests
 //     and as the baseline for benchmark comparisons.
@@ -15,17 +19,25 @@
 //     M×N device (Section 2.2.1): each receiver tells the senders which
 //     linear chunks it requires, and no communication schedule is ever
 //     computed. The per-transfer request traffic is the price.
+//   - The Fenced variants (fenced.go): the same two protocols under a
+//     liveness view, with epoch stamps and failure policies.
 //
 // Error hygiene: a destination that detects a malformed or mis-sized
 // message still consumes every message its transfer expects before
 // returning the (typed) error, so a failed transfer never leaves messages
 // queued under its tag to cross-match the next transfer reusing that tag.
+//
+// Steady-state transfers over a cached schedule allocate nothing: message
+// headers and data buffers come from free lists (see bufpool), and the
+// schedule plan is a by-value struct. TestExchangeSteadyStateZeroAlloc
+// guards this.
 package redist
 
 import (
 	"fmt"
 	"time"
 
+	"mxn/internal/bufpool"
 	"mxn/internal/comm"
 	"mxn/internal/linear"
 	"mxn/internal/obs"
@@ -74,7 +86,7 @@ func (e *ElemCountError) Error() string {
 		e.Transfer, e.DstRank, e.Got, e.SrcRank, e.Want)
 }
 
-// ExecuteLocal runs a whole schedule within one goroutine, packing from
+// ExecuteLocalT runs a whole schedule within one goroutine, packing from
 // srcLocals[i] and unpacking into dstLocals[j]. It is the reference
 // executor: the parallel paths must produce identical results.
 //
@@ -82,26 +94,34 @@ func (e *ElemCountError) Error() string {
 // dstLocals may alias (a self-redistribution such as an in-place
 // transpose, the Layout{SrcBase == DstBase} analogue), and an interleaved
 // pack/unpack would read elements an earlier pair's unpack had already
-// overwritten.
-func ExecuteLocal(s *schedule.Schedule, srcLocals, dstLocals [][]float64) {
+// overwritten. The staging buffer is drawn from the buffer pool, so
+// repeated local executions allocate nothing.
+func ExecuteLocalT[T Elem](s *schedule.Schedule, srcLocals, dstLocals [][]T) {
 	total := 0
 	for _, p := range s.Pairs {
 		total += p.Elems
 	}
-	backing := make([]float64, total)
+	raw := bufpool.Get(total * elemSize[T]())
+	backing := elemsOf[T](raw, total)
 	off := 0
 	for _, p := range s.Pairs {
-		schedule.Pack(p, srcLocals[p.SrcRank], backing[off:off+p.Elems])
+		schedule.PackSlice(p, srcLocals[p.SrcRank], backing[off:off+p.Elems])
 		off += p.Elems
 	}
 	off = 0
 	for _, p := range s.Pairs {
-		schedule.Unpack(p, dstLocals[p.DstRank], backing[off:off+p.Elems])
+		schedule.UnpackSlice(p, dstLocals[p.DstRank], backing[off:off+p.Elems])
 		off += p.Elems
 	}
+	bufpool.Put(raw)
 	mLocalExecs.Inc()
 	mElemsPacked.Add(uint64(total))
 	mElemsUnpack.Add(uint64(total))
+}
+
+// ExecuteLocal is ExecuteLocalT for float64, the historical default.
+func ExecuteLocal(s *schedule.Schedule, srcLocals, dstLocals [][]float64) {
+	ExecuteLocalT[float64](s, srcLocals, dstLocals)
 }
 
 // Layout places the two cohorts of a transfer within one communicator
@@ -112,13 +132,14 @@ type Layout struct {
 	SrcBase, DstBase int
 }
 
-// Exchange performs one schedule-driven transfer. Every member of the
-// communicator group hosting a source or destination rank must call it.
-// srcLocal may be nil on ranks that are not sources; dstLocal may be nil
-// on ranks that are not destinations. baseTag reserves a tag namespace so
-// concurrent transfers on one communicator cannot cross-match; callers
-// performing T concurrent transfers must space their base tags by at
-// least one.
+// ExchangeT performs one schedule-driven transfer of T elements. Every
+// member of the communicator group hosting a source or destination rank
+// must call it (with the same T: a kind mismatch surfaces as a typed
+// *ElemKindError on the destination). srcLocal may be nil on ranks that
+// are not sources; dstLocal may be nil on ranks that are not destinations.
+// baseTag reserves a tag namespace so concurrent transfers on one
+// communicator cannot cross-match; callers performing T concurrent
+// transfers must space their base tags by at least one.
 //
 // The transfer decomposes into independent pairwise messages: sources
 // pack and post all their sends without waiting, then each destination
@@ -126,7 +147,19 @@ type Layout struct {
 // on either side. A destination that detects a malformed message consumes
 // the rest of its expected messages before returning the error, keeping
 // the tag namespace clean for the next transfer.
+func ExchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int) error {
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil)
+}
+
+// Exchange is ExchangeT for float64, the historical default.
 func Exchange(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []float64, baseTag int) error {
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil)
+}
+
+// exchangeT validates cohort membership and buffer sizes, builds the
+// schedule plan and runs the engine. f selects fenced (non-nil) vs plain
+// operation; both Exchange and ExchangeFenced land here.
+func exchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int, f *fenceRun) error {
 	me := c.Rank()
 	srcRank := me - lay.SrcBase
 	dstRank := me - lay.DstBase
@@ -138,62 +171,24 @@ func Exchange(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal
 	if isDst && dstLocal == nil {
 		return fmt.Errorf("redist: group rank %d is destination rank %d but has no destination buffer", me, dstRank)
 	}
-	tr := obs.Trace()
 	if isSrc {
 		if want := s.Src.LocalCount(srcRank); len(srcLocal) != want {
 			return fmt.Errorf("redist: source rank %d buffer has %d elements, template says %d", srcRank, len(srcLocal), want)
 		}
-		for _, p := range s.OutgoingFor(srcRank) {
-			buf := make([]float64, p.Elems)
-			start := time.Now()
-			schedule.Pack(p, srcLocal, buf)
-			mPackNS.ObserveSince(start)
-			tr.Span(obs.EvPack, "", srcRank, p.DstRank, int64(p.Elems), start)
-			c.Send(lay.DstBase+p.DstRank, baseTag, buf)
-			mMsgsSent.Inc()
-			mElemsPacked.Add(uint64(p.Elems))
-			mMsgElems.Observe(int64(p.Elems))
-			tr.Span(obs.EvSend, "", srcRank, p.DstRank, int64(p.Elems), start)
-		}
-		mTransfers.Inc()
 	}
 	if isDst {
 		if want := s.Dst.LocalCount(dstRank); len(dstLocal) != want {
 			return fmt.Errorf("redist: destination rank %d buffer has %d elements, template says %d", dstRank, len(dstLocal), want)
 		}
-		// Consume every expected message even after a failure so nothing
-		// stays queued under baseTag for a later transfer to cross-match.
-		var firstErr error
-		for _, p := range s.IncomingFor(dstRank) {
-			start := time.Now()
-			payload, _ := c.Recv(lay.SrcBase+p.SrcRank, baseTag)
-			mMsgsRecv.Inc()
-			tr.Span(obs.EvRecv, "", dstRank, p.SrcRank, int64(p.Elems), start)
-			if firstErr != nil {
-				mDrained.Inc()
-				continue
-			}
-			buf, ok := payload.([]float64)
-			if !ok {
-				firstErr = fmt.Errorf("redist: destination rank %d received %T, want []float64", dstRank, payload)
-				continue
-			}
-			if len(buf) != p.Elems {
-				firstErr = &ElemCountError{Transfer: "exchange", DstRank: dstRank, SrcRank: p.SrcRank, Got: len(buf), Want: p.Elems}
-				continue
-			}
-			ustart := time.Now()
-			schedule.Unpack(p, dstLocal, buf)
-			mUnpackNS.ObserveSince(ustart)
-			mElemsUnpack.Add(uint64(p.Elems))
-			tr.Span(obs.EvUnpack, "", dstRank, p.SrcRank, int64(p.Elems), ustart)
-		}
-		if firstErr != nil {
-			mErrors.Inc()
-			return firstErr
-		}
 	}
-	return nil
+	pl := schedPlan[T]{s: s, lay: lay, src: -1, dst: -1, srcLocal: srcLocal, dstLocal: dstLocal}
+	if isSrc {
+		pl.src = srcRank
+	}
+	if isDst {
+		pl.dst = dstRank
+	}
+	return runTransfer[T](c, pl, baseTag, f)
 }
 
 // linRequest is a destination rank's chunk request in the receiver-driven
@@ -204,15 +199,8 @@ type linRequest struct {
 	epoch   uint64 // membership epoch stamp; 0 = unfenced transfer
 }
 
-// linReply carries the positions a source holds of a request, plus data.
-type linReply struct {
-	have  linear.Set
-	data  []float64
-	epoch uint64 // membership epoch stamp; 0 = unfenced transfer
-}
-
-// LinearExchange performs one transfer using linearization with
-// receiver-driven requests and no schedule. srcLin and dstLin must
+// LinearExchangeT performs one transfer of T elements using linearization
+// with receiver-driven requests and no schedule. srcLin and dstLin must
 // linearize their respective templates into the same abstract linear
 // space (same TotalLen); the correspondence of positions is the implicit
 // source-to-destination mapping.
@@ -223,13 +211,27 @@ type linReply struct {
 // reply. Tag usage: baseTag for requests, baseTag+1 for replies, so a
 // caller running concurrent linear exchanges must space base tags by two.
 //
-// Replies are attributed by their actual source rank (not arrival order),
-// deduplicated, and each is validated against the intersection of that
-// source's owned positions with this destination's needs; a mismatch
-// surfaces as an *ElemCountError after the remaining expected replies
-// have been drained.
+// Each reply is received from its specific source rank and validated
+// against the intersection of that source's owned positions with this
+// destination's needs; a mismatch surfaces as an *ElemCountError after
+// the remaining expected replies have been drained.
+func LinearExchangeT[T Elem](c *comm.Comm, srcLin, dstLin linear.LinearizerT[T], lay Layout, nSrc, nDst int,
+	srcLocal, dstLocal []T, baseTag int) error {
+	return linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, nil)
+}
+
+// LinearExchange is LinearExchangeT for float64, the historical default.
 func LinearExchange(c *comm.Comm, srcLin, dstLin linear.Linearizer, lay Layout, nSrc, nDst int,
 	srcLocal, dstLocal []float64, baseTag int) error {
+	return linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, nil)
+}
+
+// linearExchangeT runs the receiver-driven negotiation (requests on
+// baseTag), then hands the resulting plan to the engine for the data
+// transfer (replies on baseTag+1). f selects fenced vs plain operation;
+// both LinearExchange and LinearExchangeFenced land here.
+func linearExchangeT[T Elem](c *comm.Comm, srcLin, dstLin linear.LinearizerT[T], lay Layout, nSrc, nDst int,
+	srcLocal, dstLocal []T, baseTag int, f *fenceRun) error {
 
 	if srcLin.TotalLen() != dstLin.TotalLen() {
 		return fmt.Errorf("redist: linearizations disagree on length: %d vs %d", srcLin.TotalLen(), dstLin.TotalLen())
@@ -239,115 +241,111 @@ func LinearExchange(c *comm.Comm, srcLin, dstLin linear.Linearizer, lay Layout, 
 	dstRank := me - lay.DstBase
 	isSrc := srcRank >= 0 && srcRank < nSrc
 	isDst := dstRank >= 0 && dstRank < nDst
-	tr := obs.Trace()
-
 	reqTag, dataTag := baseTag, baseTag+1
 
-	// Destinations broadcast their needs to every source. (This is the
-	// "small communication overhead" the paper attributes to the Indiana
-	// approach.)
+	pl := &linPlan[T]{lay: lay, src: -1, dst: -1, srcLin: srcLin, dstLin: dstLin, srcLocal: srcLocal, dstLocal: dstLocal}
+	var epoch uint64
+	if f != nil {
+		epoch = f.entryEpoch
+	}
+
+	// Destinations broadcast their needs to every (live) source. This is
+	// the "small communication overhead" the paper attributes to the
+	// Indiana approach.
 	if isDst {
-		need := dstLin.OwnedBy(dstRank)
-		for s := 0; s < nSrc; s++ {
-			c.Send(lay.SrcBase+s, reqTag, linRequest{dstRank: dstRank, need: need})
+		pl.dst = dstRank
+		pl.need = dstLin.OwnedBy(dstRank)
+		for sr := 0; sr < nSrc; sr++ {
+			sg := lay.SrcBase + sr
+			if f != nil && !f.opts.Membership.IsAlive(sg) {
+				f.noteDown(sg)
+				mSendsSkippedDead.Inc()
+				continue
+			}
+			c.Send(sg, reqTag, linRequest{dstRank: dstRank, need: pl.need, epoch: epoch})
 			mLinRequests.Inc()
+		}
+		// Expect one reply per source. Sources that were dead at entry (or
+		// die later) stay in the plan: the engine's liveness check settles
+		// them — under FailStrict as a typed abort, under FailRedistribute
+		// as invalidated positions — without ever blocking on them.
+		pl.inSrc = make([]int, nSrc)
+		pl.inSets = make([]linear.Set, nSrc)
+		for sr := 0; sr < nSrc; sr++ {
+			pl.inSrc[sr] = sr
+			pl.inSets[sr] = srcLin.OwnedBy(sr).Intersect(pl.need)
 		}
 	}
 
-	// Sources answer every request with the chunks they hold. Requests are
+	// Sources collect one request per (live) destination. Requests are
 	// consumed first and validated second: a malformed request must not
 	// abandon the loop with later requests still queued under reqTag.
 	if isSrc {
+		pl.src = srcRank
 		owned := srcLin.OwnedBy(srcRank)
-		reqs := make([]linRequest, 0, nDst)
-		var firstErr error
-		for i := 0; i < nDst; i++ {
-			payload, _ := c.Recv(comm.AnySource, reqTag)
-			req, ok := payload.(linRequest)
-			if !ok {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("redist: source rank %d received %T, want request", srcRank, payload)
+		if f == nil {
+			var firstErr error
+			for i := 0; i < nDst; i++ {
+				payload, _ := c.Recv(comm.AnySource, reqTag)
+				req, ok := payload.(linRequest)
+				if !ok {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("redist: source rank %d received %T, want request", srcRank, payload)
+					}
+					mDrained.Inc()
+					continue
 				}
-				mDrained.Inc()
-				continue
+				pl.outDst = append(pl.outDst, req.dstRank)
+				pl.outSets = append(pl.outSets, owned.Intersect(req.need))
 			}
-			reqs = append(reqs, req)
+			if firstErr != nil {
+				mErrors.Inc()
+				return firstErr
+			}
+		} else {
+			// Poll so a destination that dies before requesting does not
+			// hang the source; discard stale-epoch leftovers.
+			m := f.opts.Membership
+			pending := map[int]bool{}
+			for d := 0; d < nDst; d++ {
+				pending[lay.DstBase+d] = true
+			}
+			waited := time.Duration(0)
+			for len(pending) > 0 {
+				for dg := range pending {
+					if !m.IsAlive(dg) {
+						f.noteDown(dg)
+						delete(pending, dg)
+					}
+				}
+				if len(pending) == 0 {
+					break
+				}
+				payload, from, ok := c.RecvTimeout(comm.AnySource, reqTag, f.opts.PollInterval)
+				if !ok {
+					waited += f.opts.PollInterval
+					if f.opts.SuspectAfter > 0 && waited >= f.opts.SuspectAfter {
+						for dg := range pending {
+							m.MarkDown(dg)
+						}
+					}
+					continue
+				}
+				req, isReq := payload.(linRequest)
+				if isReq && req.epoch != 0 && req.epoch < f.entryEpoch {
+					mStaleEpoch.Inc()
+					continue
+				}
+				if !isReq {
+					mDrained.Inc()
+					continue
+				}
+				delete(pending, from)
+				pl.outDst = append(pl.outDst, req.dstRank)
+				pl.outSets = append(pl.outSets, owned.Intersect(req.need))
+			}
 		}
-		for _, req := range reqs {
-			have := owned.Intersect(req.need)
-			data := make([]float64, have.Len())
-			start := time.Now()
-			srcLin.Pack(srcRank, srcLocal, have, data)
-			mPackNS.ObserveSince(start)
-			mElemsPacked.Add(uint64(len(data)))
-			mMsgElems.Observe(int64(len(data)))
-			c.Send(lay.DstBase+req.dstRank, dataTag, linReply{have: have, data: data})
-			mLinReplies.Inc()
-			tr.Span(obs.EvSend, "", srcRank, req.dstRank, int64(len(data)), start)
-		}
-		if firstErr != nil {
-			mErrors.Inc()
-			return firstErr
-		}
-		mTransfers.Inc()
 	}
 
-	// Destinations unpack one reply per source, attributing each reply to
-	// its actual sender and validating it against that sender's owned∩need
-	// intersection. All expected replies are consumed even after an error.
-	if isDst {
-		need := dstLin.OwnedBy(dstRank)
-		want := need.Len()
-		got := 0
-		seen := make([]bool, nSrc)
-		var firstErr error
-		for s := 0; s < nSrc; s++ {
-			payload, from := c.Recv(comm.AnySource, dataTag)
-			mMsgsRecv.Inc()
-			if firstErr != nil {
-				mDrained.Inc()
-				continue
-			}
-			rep, ok := payload.(linReply)
-			if !ok {
-				firstErr = fmt.Errorf("redist: destination rank %d received %T, want reply", dstRank, payload)
-				continue
-			}
-			sr := from - lay.SrcBase
-			if sr < 0 || sr >= nSrc {
-				firstErr = fmt.Errorf("redist: destination rank %d received reply from group rank %d, outside the source cohort", dstRank, from)
-				continue
-			}
-			if seen[sr] {
-				firstErr = fmt.Errorf("redist: destination rank %d received a duplicate reply from source rank %d", dstRank, sr)
-				continue
-			}
-			seen[sr] = true
-			expect := srcLin.OwnedBy(sr).Intersect(need)
-			if !rep.have.Equal(expect) {
-				firstErr = &ElemCountError{Transfer: "linear", DstRank: dstRank, SrcRank: sr, Got: rep.have.Len(), Want: expect.Len()}
-				continue
-			}
-			if len(rep.data) != rep.have.Len() {
-				firstErr = &ElemCountError{Transfer: "linear", DstRank: dstRank, SrcRank: sr, Got: len(rep.data), Want: rep.have.Len()}
-				continue
-			}
-			start := time.Now()
-			dstLin.Unpack(dstRank, dstLocal, rep.have, rep.data)
-			mUnpackNS.ObserveSince(start)
-			mElemsUnpack.Add(uint64(len(rep.data)))
-			tr.Span(obs.EvUnpack, "", dstRank, sr, int64(len(rep.data)), start)
-			got += rep.have.Len()
-		}
-		if firstErr != nil {
-			mErrors.Inc()
-			return firstErr
-		}
-		if got != want {
-			mErrors.Inc()
-			return &ElemCountError{Transfer: "linear", DstRank: dstRank, SrcRank: -1, Got: got, Want: want}
-		}
-		mTransfers.Inc()
-	}
-	return nil
+	return runTransfer[T](c, pl, dataTag, f)
 }

@@ -76,9 +76,10 @@ func TestExchangeDrainsAfterError(t *testing.T) {
 				if r == 0 && p.DstRank == 0 {
 					n++
 				}
-				bad := make([]float64, n)
-				for i := range bad {
-					bad[i] = -999
+				bad := newMsg[float64](0, n)
+				vals := elemsOf[float64](bad.data, n)
+				for i := range vals {
+					vals[i] = -999
 				}
 				c.Send(lay.DstBase+p.DstRank, tag, bad)
 			}
@@ -145,9 +146,10 @@ func TestLinearExchangeValidatesAndDrains(t *testing.T) {
 					short[len(short)-1].Hi--
 					have = short
 				}
-				data := make([]float64, have.Len())
-				srcLin.Pack(0, srcLocals[0], have, data)
-				c.Send(lay.DstBase+req.dstRank, dataTag, linReply{have: have, data: data})
+				rep := newMsg[float64](0, have.Len())
+				srcLin.Pack(0, srcLocals[0], have, elemsOf[float64](rep.data, have.Len()))
+				rep.have = have
+				c.Send(lay.DstBase+req.dstRank, dataTag, rep)
 			}
 			// Transfer 2: honest protocol on the same base tag.
 			if err := LinearExchange(c, srcLin, dstLin, lay, 2, 2, srcLocals[0], nil, tag); err != nil {

@@ -334,6 +334,22 @@ func (s *Schedule) IncomingFor(rank int) []PairPlan {
 	return out
 }
 
+// OutDegree returns the number of plans where rank is the source.
+// Together with OutgoingAt it is the allocation-free alternative to
+// OutgoingFor, used by the steady-state transfer engine.
+func (s *Schedule) OutDegree(rank int) int { return len(s.bySrc[rank]) }
+
+// OutgoingAt returns the i-th plan (0 ≤ i < OutDegree(rank)) where rank is
+// the source, without allocating.
+func (s *Schedule) OutgoingAt(rank, i int) PairPlan { return s.Pairs[s.bySrc[rank][i]] }
+
+// InDegree returns the number of plans where rank is the destination.
+func (s *Schedule) InDegree(rank int) int { return len(s.byDst[rank]) }
+
+// IncomingAt returns the i-th plan (0 ≤ i < InDegree(rank)) where rank is
+// the destination, without allocating.
+func (s *Schedule) IncomingAt(rank, i int) PairPlan { return s.Pairs[s.byDst[rank][i]] }
+
 // TotalElems returns the number of elements the schedule moves; for a
 // complete redistribution this equals the template size.
 func (s *Schedule) TotalElems() int {
@@ -355,7 +371,16 @@ func (s *Schedule) String() string {
 
 // Pack gathers a plan's elements from the source rank's local buffer into
 // out, which must have length plan.Elems.
-func Pack(plan PairPlan, local, out []float64) {
+func Pack(plan PairPlan, local, out []float64) { PackSlice(plan, local, out) }
+
+// Unpack scatters a packed buffer into the destination rank's local
+// buffer.
+func Unpack(plan PairPlan, local, data []float64) { UnpackSlice(plan, local, data) }
+
+// PackSlice is Pack for any element type: schedules are element-agnostic
+// (runs are element counts and offsets), so one plan moves float32 or
+// complex128 arrays exactly as it moves float64 ones.
+func PackSlice[T any](plan PairPlan, local, out []T) {
 	k := 0
 	for _, r := range plan.Runs {
 		copy(out[k:k+r.N], local[r.SrcOff:r.SrcOff+r.N])
@@ -363,9 +388,8 @@ func Pack(plan PairPlan, local, out []float64) {
 	}
 }
 
-// Unpack scatters a packed buffer into the destination rank's local
-// buffer.
-func Unpack(plan PairPlan, local, data []float64) {
+// UnpackSlice is Unpack for any element type.
+func UnpackSlice[T any](plan PairPlan, local, data []T) {
 	k := 0
 	for _, r := range plan.Runs {
 		copy(local[r.DstOff:r.DstOff+r.N], data[k:k+r.N])

@@ -361,3 +361,94 @@ func TestPackUnpackAdjointProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestIndexedViewsMatchSlices(t *testing.T) {
+	// OutDegree/OutgoingAt and InDegree/IncomingAt are the allocation-free
+	// views; they must agree with OutgoingFor/IncomingFor exactly.
+	src := tpl(t, []int{12, 6}, dad.BlockAxis(3), dad.CyclicAxis(2))
+	dst := tpl(t, []int{12, 6}, dad.CyclicAxis(2), dad.BlockAxis(3))
+	s := mustBuild(t, src, dst)
+	for r := 0; r < src.NumProcs(); r++ {
+		want := s.OutgoingFor(r)
+		if s.OutDegree(r) != len(want) {
+			t.Fatalf("src rank %d: OutDegree %d, OutgoingFor %d", r, s.OutDegree(r), len(want))
+		}
+		for i := range want {
+			got := s.OutgoingAt(r, i)
+			if got.SrcRank != want[i].SrcRank || got.DstRank != want[i].DstRank || got.Elems != want[i].Elems {
+				t.Fatalf("src rank %d plan %d: %+v vs %+v", r, i, got, want[i])
+			}
+		}
+	}
+	for r := 0; r < dst.NumProcs(); r++ {
+		want := s.IncomingFor(r)
+		if s.InDegree(r) != len(want) {
+			t.Fatalf("dst rank %d: InDegree %d, IncomingFor %d", r, s.InDegree(r), len(want))
+		}
+		for i := range want {
+			got := s.IncomingAt(r, i)
+			if got.SrcRank != want[i].SrcRank || got.DstRank != want[i].DstRank || got.Elems != want[i].Elems {
+				t.Fatalf("dst rank %d plan %d: %+v vs %+v", r, i, got, want[i])
+			}
+		}
+	}
+	// The indexed accessors must not allocate: the zero-alloc transfer
+	// loop iterates plans through them on every exchange.
+	allocs := testing.AllocsPerRun(100, func() {
+		for r := 0; r < src.NumProcs(); r++ {
+			for i := 0; i < s.OutDegree(r); i++ {
+				_ = s.OutgoingAt(r, i)
+			}
+		}
+		for r := 0; r < dst.NumProcs(); r++ {
+			for i := 0; i < s.InDegree(r); i++ {
+				_ = s.IncomingAt(r, i)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("indexed schedule views allocate: %v allocs/op", allocs)
+	}
+}
+
+func TestPackSliceGenericMatchesFloat64(t *testing.T) {
+	// The generic pack/unpack moves any element type through the same
+	// plan; float32 and complex128 must land exactly where float64 does.
+	src := tpl(t, []int{9}, dad.BlockCyclicAxis(3, 2))
+	dst := tpl(t, []int{9}, dad.BlockAxis(3))
+	s := mustBuild(t, src, dst)
+	srcLocals := fillByGlobal(src)
+	for _, p := range s.Pairs {
+		ref := make([]float64, p.Elems)
+		Pack(p, srcLocals[p.SrcRank], ref)
+
+		src32 := make([]float32, len(srcLocals[p.SrcRank]))
+		for i, v := range srcLocals[p.SrcRank] {
+			src32[i] = float32(v)
+		}
+		got32 := make([]float32, p.Elems)
+		PackSlice(p, src32, got32)
+		for i := range ref {
+			if got32[i] != float32(ref[i]) {
+				t.Fatalf("pair %d→%d float32 elem %d: got %v want %v", p.SrcRank, p.DstRank, i, got32[i], ref[i])
+			}
+		}
+
+		// Unpack round-trips through a generic complex buffer too.
+		dstLocal := make([]complex128, dst.LocalCount(p.DstRank))
+		data := make([]complex128, p.Elems)
+		for i, v := range ref {
+			data[i] = complex(v, -v)
+		}
+		UnpackSlice(p, dstLocal, data)
+		k := 0
+		for _, r := range p.Runs {
+			for j := 0; j < r.N; j++ {
+				if dstLocal[r.DstOff+j] != data[k] {
+					t.Fatalf("pair %d→%d complex unpack misplaced element", p.SrcRank, p.DstRank)
+				}
+				k++
+			}
+		}
+	}
+}

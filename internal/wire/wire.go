@@ -102,6 +102,46 @@ func (e *Encoder) PutFloat64s(v []float64) {
 	}
 }
 
+// PutFloat32 appends an IEEE-754 single.
+func (e *Encoder) PutFloat32(v float32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+	e.buf = append(e.buf, b[:]...)
+}
+
+// PutComplex128 appends a complex128 as two IEEE-754 doubles (real,
+// imaginary).
+func (e *Encoder) PutComplex128(v complex128) {
+	e.PutFloat64(real(v))
+	e.PutFloat64(imag(v))
+}
+
+// PutFloat32s appends a length-prefixed []float32.
+func (e *Encoder) PutFloat32s(v []float32) {
+	e.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		e.PutFloat32(x)
+	}
+}
+
+// PutInt32s appends a length-prefixed []int32.
+func (e *Encoder) PutInt32s(v []int32) {
+	e.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(x))
+		e.buf = append(e.buf, b[:]...)
+	}
+}
+
+// PutComplex128s appends a length-prefixed []complex128.
+func (e *Encoder) PutComplex128s(v []complex128) {
+	e.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		e.PutComplex128(x)
+	}
+}
+
 // PutInt64s appends a length-prefixed []int64.
 func (e *Encoder) PutInt64s(v []int64) {
 	e.PutUvarint(uint64(len(v)))
@@ -250,6 +290,68 @@ func (d *Decoder) Float64s() []float64 {
 	return out
 }
 
+// Float32 reads an IEEE-754 single.
+func (d *Decoder) Float32() float32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}
+
+// Complex128 reads a complex128 written by PutComplex128.
+func (d *Decoder) Complex128() complex128 {
+	re := d.Float64()
+	im := d.Float64()
+	return complex(re, im)
+}
+
+// Float32s reads a length-prefixed []float32.
+func (d *Decoder) Float32s() []float32 {
+	n := d.Uvarint()
+	if d.err != nil || n > uint64(d.Remaining()/4) {
+		d.fail()
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = d.Float32()
+	}
+	return out
+}
+
+// Int32s reads a length-prefixed []int32.
+func (d *Decoder) Int32s() []int32 {
+	n := d.Uvarint()
+	if d.err != nil || n > uint64(d.Remaining()/4) {
+		d.fail()
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		b := d.take(4)
+		if b == nil {
+			return nil
+		}
+		out[i] = int32(binary.LittleEndian.Uint32(b))
+	}
+	return out
+}
+
+// Complex128s reads a length-prefixed []complex128.
+func (d *Decoder) Complex128s() []complex128 {
+	n := d.Uvarint()
+	if d.err != nil || n > uint64(d.Remaining()/16) {
+		d.fail()
+		return nil
+	}
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = d.Complex128()
+	}
+	return out
+}
+
 // Int64s reads a length-prefixed []int64.
 func (d *Decoder) Int64s() []int64 {
 	n := d.Uvarint()
@@ -290,13 +392,20 @@ const (
 	tagInt64s
 	tagInts
 	tagList
+	// Typed element arrays for non-float64 workloads; appended after the
+	// original tags so historical encodings stay decodable.
+	tagFloat32s
+	tagInt32s
+	tagComplex128s
+	tagComplex128
 )
 
 // PutValue appends a self-describing encoding of v. Supported dynamic
-// types: nil, bool, int, int64, float64, string, []byte, []float64,
-// []int64, []int and []any (recursively). Other types panic: the caller is
-// middleware code that controls what crosses the wire, so an unsupported
-// type is a programming error, not input.
+// types: nil, bool, int, int64, float64, complex128, string, []byte,
+// []float64, []float32, []int64, []int32, []int, []complex128 and []any
+// (recursively). Other types panic: the caller is middleware code that
+// controls what crosses the wire, so an unsupported type is a programming
+// error, not input.
 func (e *Encoder) PutValue(v any) {
 	switch x := v.(type) {
 	case nil:
@@ -319,12 +428,24 @@ func (e *Encoder) PutValue(v any) {
 	case []byte:
 		e.PutByte(tagBytes)
 		e.PutBytes(x)
+	case complex128:
+		e.PutByte(tagComplex128)
+		e.PutComplex128(x)
 	case []float64:
 		e.PutByte(tagFloat64s)
 		e.PutFloat64s(x)
+	case []float32:
+		e.PutByte(tagFloat32s)
+		e.PutFloat32s(x)
 	case []int64:
 		e.PutByte(tagInt64s)
 		e.PutInt64s(x)
+	case []int32:
+		e.PutByte(tagInt32s)
+		e.PutInt32s(x)
+	case []complex128:
+		e.PutByte(tagComplex128s)
+		e.PutComplex128s(x)
 	case []int:
 		e.PutByte(tagInts)
 		e.PutInts(x)
@@ -360,8 +481,16 @@ func (d *Decoder) Value() any {
 		return d.Bytes()
 	case tagFloat64s:
 		return d.Float64s()
+	case tagFloat32s:
+		return d.Float32s()
 	case tagInt64s:
 		return d.Int64s()
+	case tagInt32s:
+		return d.Int32s()
+	case tagComplex128s:
+		return d.Complex128s()
+	case tagComplex128:
+		return d.Complex128()
 	case tagInts:
 		return d.Ints()
 	case tagList:

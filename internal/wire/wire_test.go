@@ -78,8 +78,12 @@ func TestValueRoundTrip(t *testing.T) {
 		"s",
 		[]byte{0xFF},
 		[]float64{1, 2, 3},
+		[]float32{1.5, -2.25},
 		[]int64{5},
+		[]int32{-7, 1 << 30},
 		[]int{1, 2},
+		complex(1.5, -2.5),
+		[]complex128{complex(0, 1), complex(-3.5, 7)},
 		[]any{int64(1), "two", []float64{3}},
 	}
 	for _, want := range cases {

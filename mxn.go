@@ -105,11 +105,12 @@ type ElemKind = dad.ElemKind
 
 // Element kinds.
 const (
-	Float64 = dad.Float64
-	Float32 = dad.Float32
-	Int64   = dad.Int64
-	Int32   = dad.Int32
-	Byte    = dad.Byte
+	Float64    = dad.Float64
+	Float32    = dad.Float32
+	Int64      = dad.Int64
+	Int32      = dad.Int32
+	Byte       = dad.Byte
+	Complex128 = dad.Complex128
 )
 
 // NewTemplate builds a regular template from per-axis distributions.
@@ -181,6 +182,47 @@ func Redistribute(src, dst *Template, srcLocals, dstLocals [][]float64) error {
 	}
 	redist.ExecuteLocal(s, srcLocals, dstLocals)
 	return nil
+}
+
+// ---- Generic transfers ----
+
+// Elem constrains the element types the transfer engine moves natively:
+// float64, float32, int64, int32 and complex128. All transfer variants are
+// instantiations of one engine; the element size flows from the type
+// parameter through packing to the raw-byte message payloads.
+type Elem = redist.Elem
+
+// ExchangeT is Exchange for any supported element type.
+func ExchangeT[T Elem](c *Comm, s *Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int) error {
+	return redist.ExchangeT(c, s, lay, srcLocal, dstLocal, baseTag)
+}
+
+// ExecuteLocalT is ExecuteLocal for any supported element type.
+func ExecuteLocalT[T Elem](s *Schedule, srcLocals, dstLocals [][]T) {
+	redist.ExecuteLocalT(s, srcLocals, dstLocals)
+}
+
+// RedistributeT is Redistribute for any supported element type.
+func RedistributeT[T Elem](src, dst *Template, srcLocals, dstLocals [][]T) error {
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		return err
+	}
+	redist.ExecuteLocalT(s, srcLocals, dstLocals)
+	return nil
+}
+
+// LinearExchangeT is LinearExchange for any supported element type; build
+// the linearizers with RowMajorLinearizationT.
+func LinearExchangeT[T Elem](c *Comm, srcLin, dstLin linear.LinearizerT[T], lay Layout, nSrc, nDst int,
+	srcLocal, dstLocal []T, baseTag int) error {
+	return redist.LinearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag)
+}
+
+// RowMajorLinearizationT linearizes a template by global row-major order
+// for any supported element type.
+func RowMajorLinearizationT[T Elem](t *Template) linear.LinearizerT[T] {
+	return linear.NewRowMajorT[T](t)
 }
 
 // ---- Linearization ----
