@@ -6,7 +6,8 @@ FUZZ_TARGETS := \
 	./internal/wire:FuzzDecoder \
 	./internal/wire:FuzzReadFrame \
 	./internal/dad:FuzzDecodeTemplate \
-	./internal/dad:FuzzDecodeDescriptor
+	./internal/dad:FuzzDecodeDescriptor \
+	./internal/schedule:FuzzPlanEquivalence
 
 .PHONY: all build test race chaos fuzz-short vet bench bench-smoke staticcheck govulncheck
 

@@ -5,9 +5,12 @@
 // fixed element count) through full transfer steps and reports elems/sec
 // and allocs/op, for float64 and float32 instantiations of the engine,
 // over a cached schedule (built once, the steady state) and an uncached
-// one (rebuilt every iteration, the cold baseline). The headline numbers
-// to watch: cached allocs/op must be 0, and the cached/uncached throughput
-// gap is the amortization argument for schedule caching.
+// one (rebuilt every iteration, the cold baseline). Planning itself is
+// reported as a separate phase: the closed-form fast path (arena-recycled)
+// against the patch-enumeration baseline. The headline numbers to watch:
+// cached allocs/op must be 0, the fast planner must beat the enumerator,
+// and the cached/uncached throughput gap bounds what a first contact or a
+// post-failure re-plan costs on top of a steady-state transfer.
 //
 //	go run ./cmd/redistbench                 # full run, writes BENCH_redist.json
 //	go run ./cmd/redistbench -short          # CI smoke run (fixed 30 iterations)
@@ -35,12 +38,13 @@ const benchElems = 1 << 14
 
 type caseResult struct {
 	Name        string  `json:"name"`
-	Elem        string  `json:"elem"`
-	Schedule    string  `json:"schedule"` // "cached" or "uncached"
+	Phase       string  `json:"phase"` // "transfer" or "plan"
+	Elem        string  `json:"elem,omitempty"`
+	Schedule    string  `json:"schedule"` // transfer: "cached"/"uncached"; plan: "fast"/"enumerator"
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	ElemsPerSec float64 `json:"elems_per_sec"`
-	MBPerSec    float64 `json:"mb_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
@@ -132,6 +136,11 @@ func runCase[T redist.Elem](elemName string, esz int, cached bool) (caseResult, 
 				runErr = err
 				b.SkipNow()
 			}
+			if !cached {
+				// The transfer is complete; returning the plan's arena is
+				// part of the uncached steady state being measured.
+				w.s.Recycle()
+			}
 		}
 	})
 	if runErr != nil {
@@ -144,6 +153,7 @@ func runCase[T redist.Elem](elemName string, esz int, cached bool) (caseResult, 
 	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
 	out := caseResult{
 		Name:        fmt.Sprintf("Exchange/%s/%s", elemName, sched),
+		Phase:       "transfer",
 		Elem:        elemName,
 		Schedule:    sched,
 		Iterations:  res.N,
@@ -154,6 +164,62 @@ func runCase[T redist.Elem](elemName string, esz int, cached bool) (caseResult, 
 		BytesPerOp:  res.AllocedBytesPerOp(),
 	}
 	return out, nil
+}
+
+// runPlanCase isolates the planning phase: repeated schedule construction
+// for the benchmark's template pair, with the closed-form fast path either
+// active (arena-recycled, the first-contact cost a cache miss now pays) or
+// disabled (the patch-enumeration baseline it replaced).
+func runPlanCase(fast bool) (caseResult, error) {
+	src, err := dad.NewTemplate([]int{benchElems}, []dad.AxisDist{dad.BlockAxis(2)})
+	if err != nil {
+		return caseResult{}, err
+	}
+	dst, err := dad.NewTemplate([]int{benchElems}, []dad.AxisDist{dad.CyclicAxis(2)})
+	if err != nil {
+		return caseResult{}, err
+	}
+	opts := schedule.BuildOpts{DisableFastPath: !fast}
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		// Warm the arena free list so the fast rows measure steady state.
+		for i := 0; i < 2; i++ {
+			s, err := schedule.BuildWith(src, dst, opts)
+			if err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+			s.Recycle()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := schedule.BuildWith(src, dst, opts)
+			if err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+			s.Recycle()
+		}
+	})
+	if runErr != nil {
+		return caseResult{}, runErr
+	}
+	planner := "fast"
+	if !fast {
+		planner = "enumerator"
+	}
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	return caseResult{
+		Name:        "Plan/" + planner,
+		Phase:       "plan",
+		Schedule:    planner,
+		Iterations:  res.N,
+		NsPerOp:     nsPerOp,
+		ElemsPerSec: float64(benchElems) * 1e9 / nsPerOp,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
 }
 
 func main() {
@@ -202,6 +268,16 @@ func main() {
 		fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8.1f MB/s  %6d B/op  %4d allocs/op\n",
 			res.Name, res.Iterations, res.NsPerOp, res.ElemsPerSec, res.MBPerSec, res.BytesPerOp, res.AllocsPerOp)
 	}
+	for _, fast := range []bool{true, false} {
+		res, err := runPlanCase(fast)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plan/%v: %v\n", fast, err)
+			os.Exit(1)
+		}
+		rep.Cases = append(rep.Cases, res)
+		fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8s  %6d B/op  %4d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.ElemsPerSec, "", res.BytesPerOp, res.AllocsPerOp)
+	}
 	rep.Metrics = obs.Default().Snapshot()
 
 	// The engine's contract: steady-state transfers over a cached schedule
@@ -211,6 +287,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "REGRESSION: %s allocates %d allocs/op (want 0)\n", c.Name, c.AllocsPerOp)
 			os.Exit(1)
 		}
+	}
+	// The planner's contract: the closed-form fast path must beat the
+	// patch enumerator on the pair it exists to accelerate.
+	var planNs = map[string]float64{}
+	for _, c := range rep.Cases {
+		if c.Phase == "plan" {
+			planNs[c.Schedule] = c.NsPerOp
+		}
+	}
+	if f, e := planNs["fast"], planNs["enumerator"]; f > 0 && e > 0 && f >= e {
+		fmt.Fprintf(os.Stderr, "REGRESSION: fast-path planning (%.0f ns/op) is no faster than the enumerator (%.0f ns/op)\n", f, e)
+		os.Exit(1)
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")

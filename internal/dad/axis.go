@@ -98,6 +98,63 @@ func ImplicitAxis(p int, owner []int) AxisDist {
 	return AxisDist{Kind: Implicit, Procs: p, Owner: append([]int(nil), owner...)}
 }
 
+// AxisClass is the structural shape of a per-axis distribution, used by
+// the schedule planner to decide whether rank-pair intersections can be
+// computed in closed form instead of by patch enumeration.
+type AxisClass int
+
+const (
+	// ClassInterval: every coordinate owns a single contiguous interval
+	// of global indices, computable in O(1) (with a per-axis prefix-sum
+	// precomputation for GenBlock). Collapsed, Block and GenBlock.
+	ClassInterval AxisClass = iota
+	// ClassStrided: every coordinate owns equal fixed-size blocks dealt
+	// round-robin: coordinate c owns blocks {m : m ≡ c (mod Procs)} of
+	// size StrideBlock(), the last block clipped to the axis length.
+	// Cyclic (block size 1) and BlockCyclic.
+	ClassStrided
+	// ClassIrregular: ownership is a per-index table with no closed
+	// form (Implicit). The planner falls back to enumeration.
+	ClassIrregular
+)
+
+// String returns the class's conventional name.
+func (c AxisClass) String() string {
+	switch c {
+	case ClassInterval:
+		return "interval"
+	case ClassStrided:
+		return "strided"
+	case ClassIrregular:
+		return "irregular"
+	}
+	return fmt.Sprintf("AxisClass(%d)", int(c))
+}
+
+// Class reports the structural shape of the distribution.
+func (a AxisDist) Class() AxisClass {
+	switch a.Kind {
+	case Collapsed, Block, GenBlock:
+		return ClassInterval
+	case Cyclic, BlockCyclic:
+		return ClassStrided
+	default:
+		return ClassIrregular
+	}
+}
+
+// StrideBlock returns the dealt block size of a ClassStrided axis (1 for
+// Cyclic, BlockSize for BlockCyclic) and 0 for every other class.
+func (a AxisDist) StrideBlock() int {
+	switch a.Kind {
+	case Cyclic:
+		return 1
+	case BlockCyclic:
+		return a.BlockSize
+	}
+	return 0
+}
+
 // validate checks the axis against the axis length n.
 func (a AxisDist) validate(n int) error {
 	if a.Procs < 1 {

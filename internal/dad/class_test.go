@@ -1,0 +1,100 @@
+package dad
+
+import "testing"
+
+// Classification drives the schedule planner's fast-path decision; the
+// mapping from distribution kind to class is part of the planning
+// contract.
+func TestAxisClass(t *testing.T) {
+	cases := []struct {
+		ax    AxisDist
+		class AxisClass
+		sb    int
+	}{
+		{CollapsedAxis(), ClassInterval, 0},
+		{BlockAxis(3), ClassInterval, 0},
+		{GenBlockAxis([]int{2, 5, 1}), ClassInterval, 0},
+		{CyclicAxis(4), ClassStrided, 1},
+		{BlockCyclicAxis(3, 5), ClassStrided, 5},
+		{ImplicitAxis(2, []int{0, 1, 0}), ClassIrregular, 0},
+	}
+	for _, c := range cases {
+		if got := c.ax.Class(); got != c.class {
+			t.Errorf("%s: Class() = %v, want %v", c.ax.Kind, got, c.class)
+		}
+		if got := c.ax.StrideBlock(); got != c.sb {
+			t.Errorf("%s: StrideBlock() = %d, want %d", c.ax.Kind, got, c.sb)
+		}
+	}
+}
+
+func TestTemplateRegular(t *testing.T) {
+	mk := func(axes ...AxisDist) *Template {
+		dims := make([]int, len(axes))
+		for i := range dims {
+			dims[i] = 12
+		}
+		out, err := NewTemplate(dims, axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !mk(BlockAxis(3), CyclicAxis(2)).Regular() {
+		t.Error("block×cyclic template not Regular")
+	}
+	owner := make([]int, 12)
+	if mk(BlockAxis(3), ImplicitAxis(1, owner)).Regular() {
+		t.Error("template with an Implicit axis reported Regular")
+	}
+	ex, err := NewExplicitTemplate([]int{4}, 1, []Patch{NewPatch([]int{0}, []int{4}, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Regular() {
+		t.Error("explicit template reported Regular")
+	}
+}
+
+func TestClosedFormPair(t *testing.T) {
+	mk := func(dims []int, axes ...AxisDist) *Template {
+		out, err := NewTemplate(dims, axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	d := []int{24}
+	block := mk(d, BlockAxis(3))
+	cyclic := mk(d, CyclicAxis(4))
+	bc2a := mk(d, BlockCyclicAxis(3, 2))
+	bc2b := mk(d, BlockCyclicAxis(5, 2))
+	bc3 := mk(d, BlockCyclicAxis(3, 3))
+
+	if !block.ClosedFormPair(cyclic) || !cyclic.ClosedFormPair(block) {
+		t.Error("block↔cyclic pair not closed-form")
+	}
+	if !block.ClosedFormPair(block) {
+		t.Error("block↔block pair not closed-form")
+	}
+	if !bc2a.ClosedFormPair(bc2b) {
+		t.Error("equal-block-size block-cyclic pair not closed-form")
+	}
+	if bc2a.ClosedFormPair(bc3) {
+		t.Error("mismatched block-cyclic block sizes accepted as closed-form")
+	}
+	// Cyclic is block size 1: compatible with itself but not with b=2.
+	if cyclic.ClosedFormPair(bc2a) {
+		t.Error("cyclic (b=1) vs block-cyclic b=2 accepted as closed-form")
+	}
+	// Strided×interval mismatched block sizes are fine: only
+	// strided×strided needs agreement.
+	if !bc2a.ClosedFormPair(block) {
+		t.Error("block-cyclic↔block pair not closed-form")
+	}
+	// Non-conforming pairs never plan.
+	other := mk([]int{25}, BlockAxis(3))
+	if block.ClosedFormPair(other) {
+		t.Error("non-conforming pair accepted")
+	}
+}

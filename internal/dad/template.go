@@ -159,6 +159,10 @@ func (t *Template) IsExplicit() bool { return t.explicit != nil }
 // Dims returns a copy of the global extents.
 func (t *Template) Dims() []int { return append([]int(nil), t.dims...) }
 
+// Dim returns the global extent of axis a without copying (the
+// allocation-free alternative to Dims for per-axis hot paths).
+func (t *Template) Dim(a int) int { return t.dims[a] }
+
 // NumAxes returns the template dimensionality.
 func (t *Template) NumAxes() int { return len(t.dims) }
 
@@ -322,6 +326,43 @@ func (t *Template) LocalOffset(rank int, idx []int) int {
 		off = off*t.axes[a].localCount(t.dims[a], coords[a]) + li
 	}
 	return off
+}
+
+// Regular reports whether the template's per-rank ownership has a closed
+// form on every axis: it is not explicit and carries no Implicit axis.
+// Regular templates admit arithmetic (patch-enumeration-free) schedule
+// planning against a compatible peer; see ClosedFormPair.
+func (t *Template) Regular() bool {
+	if t.IsExplicit() {
+		return false
+	}
+	for _, ax := range t.axes {
+		if ax.Class() == ClassIrregular {
+			return false
+		}
+	}
+	return true
+}
+
+// ClosedFormPair reports whether a redistribution between t and other can
+// be planned entirely in closed form: both templates are Regular, they
+// conform, and on every axis where both sides are ClassStrided the dealt
+// block sizes agree (so the two sides partition the axis into the same
+// aligned blocks and the intersection of two coordinates' ownership is an
+// arithmetic progression of whole blocks). Interval×interval and
+// interval×strided axis pairs always have closed forms; strided pairs
+// with differing block sizes fall back to interval enumeration.
+func (t *Template) ClosedFormPair(other *Template) bool {
+	if !t.Regular() || !other.Regular() || !t.Conforms(other) {
+		return false
+	}
+	for a := range t.axes {
+		sa, da := t.axes[a], other.axes[a]
+		if sa.Class() == ClassStrided && da.Class() == ClassStrided && sa.StrideBlock() != da.StrideBlock() {
+			return false
+		}
+	}
+	return true
 }
 
 // Conforms reports whether two templates describe the same global index

@@ -178,3 +178,78 @@ func TestFencedMatchesUnfencedLinear(t *testing.T) {
 		verify(t, dst, fenced)
 	}
 }
+
+// Differential guarantee for the planning fast path, end to end: a
+// transfer driven by a closed-form schedule must fill destination buffers
+// bit-identical to one driven by the patch-enumeration schedule for the
+// same template pair. The schedule-level differential tests prove the
+// plans equivalent; this proves the engine treats them identically.
+func TestFastPathMatchesEnumeratorExchange(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 8; trial++ {
+		dims := []int{1 + rng.Intn(9), 1 + rng.Intn(9)}
+		mk := func() *dad.Template {
+			axes := []dad.AxisDist{
+				dad.BlockAxis(1 + rng.Intn(3)),
+				dad.CyclicAxis(1 + rng.Intn(3)),
+			}
+			if rng.Intn(2) == 0 {
+				axes[0], axes[1] = axes[1], axes[0]
+			}
+			out, err := dad.NewTemplate(dims, axes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		src, dst := mk(), mk()
+		fast, err := schedule.Build(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fast.FastPath() {
+			t.Fatalf("trial %d: closed-form pair %s → %s missed the fast path", trial, src.Key(), dst.Key())
+		}
+		enum, err := schedule.BuildWith(src, dst, schedule.BuildOpts{DisableFastPath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, n := src.NumProcs(), dst.NumProcs()
+		lay := Layout{SrcBase: 0, DstBase: m}
+		srcLocals := fillByGlobal(src)
+		order := rng.Perm(m + n)
+
+		run := func(s *schedule.Schedule) [][]float64 {
+			got := make([][]float64, n)
+			var mu sync.Mutex
+			launchShuffled(m+n, order, func(c *comm.Comm) {
+				var sl, dl []float64
+				if c.Rank() < m {
+					sl = srcLocals[c.Rank()]
+				} else {
+					dl = make([]float64, dst.LocalCount(c.Rank()-m))
+				}
+				if err := Exchange(c, s, lay, sl, dl, 0); err != nil {
+					t.Errorf("trial %d rank %d: %v", trial, c.Rank(), err)
+				}
+				if dl != nil {
+					mu.Lock()
+					got[c.Rank()-m] = dl
+					mu.Unlock()
+				}
+			})
+			return got
+		}
+
+		viaFast := run(fast)
+		viaEnum := run(enum)
+		for r := range viaEnum {
+			if !bitsEqual(viaFast[r], viaEnum[r]) {
+				t.Fatalf("trial %d: dst rank %d differs between fast-path and enumerator schedules\nfast: %v\nenum: %v",
+					trial, r, viaFast[r], viaEnum[r])
+			}
+		}
+		verify(t, dst, viaFast)
+		fast.Recycle()
+	}
+}

@@ -73,7 +73,11 @@ type FenceOpts struct {
 	SuspectAfter time.Duration
 	// Cache, when set, has its (Src, Dst) entry invalidated whenever a
 	// death forces a re-plan, so later transfers rebuild from current
-	// templates.
+	// templates. The cache deduplicates in-flight builds, so when every
+	// survivor hits the invalidated entry in the same epoch the planner
+	// runs once, not once per rank — and for regular template pairs the
+	// rebuild takes the closed-form fast path, keeping the re-plan cost
+	// of the same order as a single transfer step.
 	Cache *schedule.Cache
 	// Desc, when set, receives the destination validity bitmap via
 	// SetValidity(dstRank, ...) whenever a re-planned transfer loses

@@ -1,0 +1,119 @@
+package schedule
+
+import "sync"
+
+// planArena stages every allocation of a closed-form schedule build: the
+// Schedule struct itself, the run slab, the pair plans, the per-rank index
+// tables and the planner's scratch tables all live in slabs owned by one
+// arena. Arenas cycle through a bounded free list (the bufpool idiom:
+// a mutex-guarded stack rather than sync.Pool, whose GC-dropped victim
+// cache would make the alloc guarantees flaky), so in steady state —
+// repeatedly planning pairs of similar size — an uncached Build performs
+// no heap allocation beyond first-use slab growth.
+//
+// Carved slices are exact-size and fully overwritten by the planner; they
+// are never appended to (each take uses a full slice expression, so an
+// accidental append cannot bleed into a neighbouring carve).
+type planArena struct {
+	sched    Schedule
+	runs     slab[Run]
+	pairs    slab[PairPlan]
+	ints     slab[int]
+	slices   slab[[]int]
+	descs    slab[ixDesc]
+	descRows slab[[]ixDesc]
+	descPtrs slab[*ixDesc]
+	sides    slab[axSide]
+}
+
+// slab is a bump allocator over one backing slice. A take that does not
+// fit falls back to a plain allocation and records the demand; the next
+// prepare grows the backing to the previous build's high-water mark, so a
+// steady-state workload stops allocating after one build.
+type slab[T any] struct {
+	buf  []T
+	used int
+	want int
+}
+
+// take carves an exact-size slice. Contents are unspecified (stale data
+// from earlier builds); the caller must fully overwrite.
+func (s *slab[T]) take(n int) []T {
+	s.want += n
+	if s.used+n <= len(s.buf) {
+		out := s.buf[s.used : s.used+n : s.used+n]
+		s.used += n
+		return out
+	}
+	return make([]T, n)
+}
+
+// prepare resets the cursor for a new build, growing the backing to the
+// previous build's total demand.
+func (s *slab[T]) prepare() {
+	if s.want > len(s.buf) {
+		s.buf = make([]T, s.want)
+	}
+	s.used, s.want = 0, 0
+}
+
+func (a *planArena) prepare() {
+	a.runs.prepare()
+	a.pairs.prepare()
+	a.ints.prepare()
+	a.slices.prepare()
+	a.descs.prepare()
+	a.descRows.prepare()
+	a.descPtrs.prepare()
+	a.sides.prepare()
+}
+
+// maxArenas bounds the free list; surplus recycles go to the GC.
+const maxArenas = 8
+
+var arenaPool = struct {
+	mu   sync.Mutex
+	free []*planArena
+}{free: make([]*planArena, 0, maxArenas)}
+
+func getArena() *planArena {
+	arenaPool.mu.Lock()
+	if n := len(arenaPool.free); n > 0 {
+		a := arenaPool.free[n-1]
+		arenaPool.free[n-1] = nil
+		arenaPool.free = arenaPool.free[:n-1]
+		arenaPool.mu.Unlock()
+		a.prepare()
+		return a
+	}
+	arenaPool.mu.Unlock()
+	return new(planArena)
+}
+
+func putArena(a *planArena) {
+	a.sched = Schedule{}
+	arenaPool.mu.Lock()
+	if len(arenaPool.free) < maxArenas {
+		arenaPool.free = append(arenaPool.free, a)
+	}
+	arenaPool.mu.Unlock()
+}
+
+// Recycle returns a fast-path schedule's arena (run slab, pair plans,
+// index tables) to the planner's free list, so rebuilding schedules of
+// similar shape stops allocating. It is a no-op for schedules built by
+// the enumerators or produced by Restrict/Compose.
+//
+// The caller must own the schedule exclusively: after Recycle the
+// schedule and everything reachable from it (including Restrict views,
+// which share its pair plans) is invalid, and the memory will back a
+// future Build. Never recycle a schedule that sits in a Cache.
+func (s *Schedule) Recycle() {
+	ar := s.ar
+	if ar == nil {
+		return
+	}
+	s.ar = nil
+	s.Pairs, s.bySrc, s.byDst = nil, nil, nil
+	putArena(ar)
+}

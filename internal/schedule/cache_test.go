@@ -83,6 +83,74 @@ func TestCacheConcurrentMiss(t *testing.T) {
 	}
 }
 
+// Regression test for the first-contact planning stampede: before the
+// cache deduplicated in-flight builds, N concurrent misses for one pair
+// ran the planner N times and discarded N−1 results. With singleflight
+// dedup exactly one build runs; the joiners wait and share it.
+func TestCacheStampedeSingleBuild(t *testing.T) {
+	src, err := dad.NewTemplate([]int{240}, []dad.AxisDist{dad.BlockAxis(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := dad.NewTemplate([]int{240}, []dad.AxisDist{dad.CyclicAxis(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache()
+	const workers = 32
+	var wg sync.WaitGroup
+	var release sync.WaitGroup
+	release.Add(1)
+	got := make([]*Schedule, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			release.Wait() // maximize overlap: all workers Get at once
+			s, err := c.Get(src, dst)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			got[w] = s
+		}(w)
+	}
+	release.Done()
+	wg.Wait()
+
+	if b := c.Builds(); b != 1 {
+		t.Errorf("concurrent first contact ran the planner %d times, want 1", b)
+	}
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Errorf("worker %d received a different schedule instance than worker 0", w)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits+misses != workers {
+		t.Errorf("hits %d + misses %d != %d workers", hits, misses, workers)
+	}
+
+	// Invalidation forces exactly one more build, not one per caller.
+	if !c.Invalidate(src, dst) {
+		t.Fatal("Invalidate found no entry")
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Get(src, dst); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if b := c.Builds(); b != 2 {
+		t.Errorf("post-invalidation sweep brought total builds to %d, want 2", b)
+	}
+}
+
 // Distinct pairs populated concurrently must each be cached independently.
 func TestCacheConcurrentDistinctPairs(t *testing.T) {
 	mk := func(np int) *dad.Template {

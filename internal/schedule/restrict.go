@@ -62,7 +62,7 @@ func (c *Cache) InvalidateAll() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := len(c.m)
-	c.m = map[string]*Schedule{}
+	c.m = map[string]*cacheEntry{}
 	mInvalidations.Add(uint64(n))
 	return n
 }

@@ -18,7 +18,9 @@ package schedule
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mxn/internal/dad"
@@ -31,10 +33,12 @@ import (
 // reuse argument amortizes away.
 var (
 	mBuilds      = obs.Default().Counter("schedule.builds")
+	mFastBuilds  = obs.Default().Counter("schedule.fast_builds")
 	mBuildNS     = obs.Default().Histogram("schedule.build_ns")
 	mBuildElems  = obs.Default().Histogram("schedule.build_elems")
 	mCacheHits   = obs.Default().Counter("schedule.cache_hits")
 	mCacheMisses = obs.Default().Counter("schedule.cache_misses")
+	mCacheJoins  = obs.Default().Counter("schedule.cache_joined_flights")
 )
 
 // Run is a contiguous span of elements moving between local buffers:
@@ -62,28 +66,65 @@ type Schedule struct {
 
 	bySrc [][]int // source rank -> indices into Pairs
 	byDst [][]int // destination rank -> indices into Pairs
+
+	ar   *planArena // non-nil for arena-staged (fast path) schedules
+	fast bool       // built by the closed-form planner
+}
+
+// BuildOpts tunes schedule construction. The zero value is the default:
+// use the closed-form fast path whenever the template pair admits it.
+type BuildOpts struct {
+	// DisableFastPath forces the enumerating builders even for
+	// closed-form pairs. Used by the differential test harness and the
+	// planning benchmark to compare the two planners; production callers
+	// have no reason to set it.
+	DisableFastPath bool
 }
 
 // Build computes the schedule for redistributing data from src to dst.
 // The templates must conform (describe the same global index space).
+//
+// Regular template pairs whose per-axis intersections have closed forms
+// (see dad.Template.ClosedFormPair) are planned arithmetically through a
+// pooled arena — the fast path that makes first contact between cohorts
+// cheap; everything else falls back to interval/patch enumeration.
 func Build(src, dst *dad.Template) (*Schedule, error) {
+	return BuildWith(src, dst, BuildOpts{})
+}
+
+// BuildWith is Build with explicit options.
+func BuildWith(src, dst *dad.Template, opts BuildOpts) (*Schedule, error) {
 	if !src.Conforms(dst) {
 		return nil, fmt.Errorf("schedule: templates do not conform: %v vs %v", src.Dims(), dst.Dims())
 	}
 	start := time.Now()
-	s := &Schedule{Src: src, Dst: dst}
-	if !src.IsExplicit() && !dst.IsExplicit() {
-		s.buildAxiswise()
+	var s *Schedule
+	if !opts.DisableFastPath && src.ClosedFormPair(dst) {
+		ar := getArena()
+		s = &ar.sched
+		*s = Schedule{Src: src, Dst: dst, ar: ar, fast: true}
+		s.buildFast()
+		s.indexArena()
+		mFastBuilds.Inc()
 	} else {
-		s.buildGeneric()
+		s = &Schedule{Src: src, Dst: dst}
+		if !src.IsExplicit() && !dst.IsExplicit() {
+			s.buildAxiswise()
+		} else {
+			s.buildGeneric()
+		}
+		s.index()
 	}
-	s.index()
 	mBuilds.Inc()
 	mBuildNS.ObserveSince(start)
 	mBuildElems.Observe(int64(s.TotalElems()))
 	obs.Trace().Span(obs.EvScheduleBuild, "", -1, -1, int64(s.TotalElems()), start)
 	return s, nil
 }
+
+// FastPath reports whether the schedule was built by the closed-form
+// planner (as opposed to the interval/patch enumerators).
+func (s *Schedule) FastPath() bool { return s.fast }
 
 // index builds the per-rank lookup tables.
 func (s *Schedule) index() {
@@ -215,37 +256,84 @@ func (s *Schedule) buildPairFromIntervalProduct(srcRank, dstRank int, ivLists []
 }
 
 // buildGeneric handles template pairs involving explicit distributions by
-// direct patch-list intersection.
+// direct patch-list intersection. Destination ranks are planned
+// concurrently by a bounded worker pool — templates are read-only during
+// planning and each destination's plans are independent — then merged in
+// deterministic (src, dst) order, so the parallel build produces exactly
+// the schedule the sequential loop did.
 func (s *Schedule) buildGeneric() {
-	na := s.Src.NumAxes()
-	for srcRank := 0; srcRank < s.Src.NumProcs(); srcRank++ {
-		srcPatches := s.Src.Patches(srcRank)
-		if len(srcPatches) == 0 {
-			continue
+	ns := s.Src.NumProcs()
+	nd := s.Dst.NumProcs()
+
+	// plansByDst[dstRank][srcRank] is filled by exactly one worker.
+	plansByDst := make([][]*PairPlan, nd)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nd {
+		workers = nd
+	}
+	if workers <= 1 {
+		for d := 0; d < nd; d++ {
+			plansByDst[d] = s.planDstRank(d, ns)
 		}
-		plans := map[int]*PairPlan{}
-		for dstRank := 0; dstRank < s.Dst.NumProcs(); dstRank++ {
-			for _, dp := range s.Dst.Patches(dstRank) {
-				for _, sp := range srcPatches {
-					region, ok := sp.Intersect(dp)
-					if !ok {
-						continue
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					d := int(next.Add(1)) - 1
+					if d >= nd {
+						return
 					}
-					plan := plans[dstRank]
-					if plan == nil {
-						plan = &PairPlan{SrcRank: srcRank, DstRank: dstRank}
-						plans[dstRank] = plan
-					}
-					appendRegionRuns(plan, s.Src, s.Dst, srcRank, dstRank, region, na)
+					plansByDst[d] = s.planDstRank(d, ns)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for srcRank := 0; srcRank < ns; srcRank++ {
+		for dstRank := 0; dstRank < nd; dstRank++ {
+			if row := plansByDst[dstRank]; row != nil {
+				if plan := row[srcRank]; plan != nil && plan.Elems > 0 {
+					s.Pairs = append(s.Pairs, *plan)
 				}
 			}
 		}
-		for dstRank := 0; dstRank < s.Dst.NumProcs(); dstRank++ {
-			if plan := plans[dstRank]; plan != nil && plan.Elems > 0 {
-				s.Pairs = append(s.Pairs, *plan)
+	}
+}
+
+// planDstRank intersects one destination rank's patches against every
+// source rank, returning per-source plans (nil entries for pairs that do
+// not communicate). Patch nesting matches the sequential enumerator:
+// destination patch outer, source patch inner.
+func (s *Schedule) planDstRank(dstRank, ns int) []*PairPlan {
+	dstPatches := s.Dst.Patches(dstRank)
+	if len(dstPatches) == 0 {
+		return nil
+	}
+	na := s.Src.NumAxes()
+	row := make([]*PairPlan, ns)
+	for srcRank := 0; srcRank < ns; srcRank++ {
+		srcPatches := s.Src.Patches(srcRank)
+		for _, dp := range dstPatches {
+			for _, sp := range srcPatches {
+				region, ok := sp.Intersect(dp)
+				if !ok {
+					continue
+				}
+				plan := row[srcRank]
+				if plan == nil {
+					plan = &PairPlan{SrcRank: srcRank, DstRank: dstRank}
+					row[srcRank] = plan
+				}
+				appendRegionRuns(plan, s.Src, s.Dst, srcRank, dstRank, region, na)
 			}
 		}
 	}
+	return row
 }
 
 // appendRegionRuns emits one run per last-axis row of the region.
@@ -398,51 +486,87 @@ func UnpackSlice[T any](plan PairPlan, local, data []T) {
 }
 
 // Cache memoizes schedules by template pair. The cache is safe for
-// concurrent use; concurrent misses for the same pair may build the
-// schedule more than once, but all callers receive an equivalent plan and
-// one winner is retained.
+// concurrent use, and concurrent misses for one pair are deduplicated
+// singleflight-style: the first caller builds, later callers wait on the
+// in-flight build and share its result, so a planning stampede (every
+// rank of a cohort hitting first contact — or a post-failure re-plan —
+// at the same instant) runs the planner exactly once per pair.
 type Cache struct {
 	mu sync.Mutex
-	m  map[string]*Schedule
+	m  map[string]*cacheEntry
 
-	hits, misses int
+	hits, misses, builds int
+}
+
+// cacheEntry is one resident or in-flight schedule. ready is closed when
+// the build completes; done mirrors it under the cache mutex so Get can
+// classify hit-vs-join without receiving.
+type cacheEntry struct {
+	ready chan struct{}
+	done  bool
+	s     *Schedule
+	err   error
 }
 
 // NewCache returns an empty schedule cache.
-func NewCache() *Cache { return &Cache{m: map[string]*Schedule{}} }
+func NewCache() *Cache { return &Cache{m: map[string]*cacheEntry{}} }
 
 // Get returns the schedule for (src, dst), building and retaining it on
-// first use.
+// first use. Callers that arrive while another goroutine is building the
+// same pair block until that build completes and receive its schedule
+// (counted as misses — the plan was not resident when they asked).
 func (c *Cache) Get(src, dst *dad.Template) (*Schedule, error) {
 	key := src.Key() + "\x00" + dst.Key()
 	c.mu.Lock()
-	if s, ok := c.m[key]; ok {
-		c.hits++
+	if e, ok := c.m[key]; ok {
+		if e.done {
+			c.hits++
+			c.mu.Unlock()
+			mCacheHits.Inc()
+			return e.s, e.err
+		}
+		c.misses++
 		c.mu.Unlock()
-		mCacheHits.Inc()
-		return s, nil
+		mCacheMisses.Inc()
+		mCacheJoins.Inc()
+		<-e.ready
+		return e.s, e.err
 	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.m[key] = e
 	c.misses++
+	c.builds++
 	c.mu.Unlock()
 	mCacheMisses.Inc()
 
-	s, err := Build(src, dst)
-	if err != nil {
-		return nil, err
-	}
+	e.s, e.err = Build(src, dst)
 	c.mu.Lock()
-	if prev, ok := c.m[key]; ok {
-		s = prev
-	} else {
-		c.m[key] = s
+	e.done = true
+	if e.err != nil {
+		// Failed builds are not retained: a later Get retries. (Joined
+		// waiters of this flight still observe the error.)
+		if cur, ok := c.m[key]; ok && cur == e {
+			delete(c.m, key)
+		}
 	}
 	c.mu.Unlock()
-	return s, nil
+	close(e.ready)
+	return e.s, e.err
 }
 
-// Stats returns cache hit and miss counts.
+// Stats returns cache hit and miss counts. A Get that joined an
+// in-flight build counts as a miss.
 func (c *Cache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Builds returns how many planner invocations the cache has performed —
+// with singleflight dedup, at most one per distinct resident pair plus
+// one per invalidation or failed build.
+func (c *Cache) Builds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds
 }
