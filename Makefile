@@ -44,8 +44,10 @@ vet:
 	$(GO) vet ./...
 
 # Transfer-engine benchmark report: elems/sec and allocs/op for float64 and
-# float32, cached vs uncached schedule. Fails if the cached (steady-state)
-# path allocates.
+# float32, cached vs uncached schedule, plus the budgeted (MaxBytesInFlight)
+# steady state and a HighWater peak-packed-bytes phase. Fails if any cached
+# steady-state path (budgeted included) allocates, or if the budgeted high
+# water exceeds its bound.
 bench:
 	$(GO) run ./cmd/redistbench -out BENCH_redist.json
 

@@ -7,10 +7,15 @@
 // over a cached schedule (built once, the steady state) and an uncached
 // one (rebuilt every iteration, the cold baseline). Planning itself is
 // reported as a separate phase: the closed-form fast path (arena-recycled)
-// against the patch-enumeration baseline. The headline numbers to watch:
-// cached allocs/op must be 0, the fast planner must beat the enumerator,
-// and the cached/uncached throughput gap bounds what a first contact or a
-// post-failure re-plan costs on top of a steady-state transfer.
+// against the patch-enumeration baseline. A HighWater phase measures peak
+// resident packed bytes — unbudgeted against a MaxBytesInFlight-budgeted
+// run over the same world — via the engine's packed-bytes watermark, with
+// runtime.MemStats deltas as corroboration. The headline numbers to watch:
+// cached allocs/op must be 0 (budgeted included), the fast planner must
+// beat the enumerator, the cached/uncached throughput gap bounds what a
+// first contact or a post-failure re-plan costs on top of a steady-state
+// transfer, and the budgeted high water must stay within budget per
+// sending rank and under the unbudgeted baseline.
 //
 //	go run ./cmd/redistbench                 # full run, writes BENCH_redist.json
 //	go run ./cmd/redistbench -short          # CI smoke run (fixed 30 iterations)
@@ -38,15 +43,21 @@ const benchElems = 1 << 14
 
 type caseResult struct {
 	Name        string  `json:"name"`
-	Phase       string  `json:"phase"` // "transfer" or "plan"
+	Phase       string  `json:"phase"` // "transfer", "plan" or "highwater"
 	Elem        string  `json:"elem,omitempty"`
-	Schedule    string  `json:"schedule"` // transfer: "cached"/"uncached"; plan: "fast"/"enumerator"
+	Schedule    string  `json:"schedule"` // transfer: "cached"/"uncached"; plan: "fast"/"enumerator"; highwater: "unbudgeted"/"budgeted"
 	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	ElemsPerSec float64 `json:"elems_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	ElemsPerSec float64 `json:"elems_per_sec,omitempty"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// HighWater phase: the transfer budget in force (0 = unbounded), the
+	// engine's packed-bytes watermark over the measured steps, and the
+	// runtime.MemStats TotalAlloc delta as corroboration.
+	BudgetBytes     int    `json:"budget_bytes,omitempty"`
+	PeakPackedBytes int64  `json:"peak_packed_bytes,omitempty"`
+	TotalAllocDelta uint64 `json:"total_alloc_delta_bytes,omitempty"`
 }
 
 type report struct {
@@ -166,6 +177,171 @@ func runCase[T redist.Elem](elemName string, esz int, cached bool) (caseResult, 
 	return out, nil
 }
 
+// budgetWorld drives the same world through memory-bounded transfers.
+// Budgeted ranks cannot run sequentially (senders block on chunk acks),
+// so the four ranks are persistent worker goroutines signalled over
+// pre-allocated channels; one step is signal-all/collect-all. Keeping the
+// workers alive across iterations keeps the steady state allocation-free.
+type budgetWorld[T redist.Elem] struct {
+	w      *world[T]
+	budget int
+	start  []chan struct{}
+	done   chan error
+}
+
+func newBudgetWorld[T redist.Elem](budget int) (*budgetWorld[T], error) {
+	w, err := newWorld[T]()
+	if err != nil {
+		return nil, err
+	}
+	bw := &budgetWorld[T]{w: w, budget: budget, done: make(chan error, 4)}
+	for r := 0; r < 4; r++ {
+		ch := make(chan struct{}, 1)
+		bw.start = append(bw.start, ch)
+		go func(r int, ch chan struct{}) {
+			opts := redist.TransferOpts{MaxBytesInFlight: budget}
+			var sl, dl []T
+			if r < 2 {
+				sl = w.srcLocals[r]
+			} else {
+				dl = w.dstLocals[r-2]
+			}
+			for range ch {
+				bw.done <- redist.ExchangeWithT[T](w.cs[r], w.s, w.lay, sl, dl, 0, opts)
+			}
+		}(r, ch)
+	}
+	return bw, nil
+}
+
+func (bw *budgetWorld[T]) step() error {
+	for r := 0; r < 4; r++ {
+		bw.start[r] <- struct{}{}
+	}
+	var firstErr error
+	for r := 0; r < 4; r++ {
+		if err := <-bw.done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (bw *budgetWorld[T]) close() {
+	for _, ch := range bw.start {
+		close(ch)
+	}
+}
+
+// runBudgetCase measures steady-state budgeted transfer throughput over a
+// cached schedule. It reports Schedule "cached" so the zero-allocs gate
+// below covers the budgeted path too.
+func runBudgetCase[T redist.Elem](elemName string, esz, budget int) (caseResult, error) {
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		bw, err := newBudgetWorld[T](budget)
+		if err != nil {
+			runErr = err
+			b.SkipNow()
+		}
+		defer bw.close()
+		// Warm pools, mailbox rings and worker stacks across several
+		// concurrent interleavings before counting.
+		for i := 0; i < 8; i++ {
+			if err := bw.step(); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(benchElems * esz))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := bw.step(); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return caseResult{}, runErr
+	}
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	return caseResult{
+		Name:        fmt.Sprintf("ExchangeBudgeted/%s/cached", elemName),
+		Phase:       "transfer",
+		Elem:        elemName,
+		Schedule:    "cached",
+		Iterations:  res.N,
+		NsPerOp:     nsPerOp,
+		ElemsPerSec: float64(benchElems) * 1e9 / nsPerOp,
+		MBPerSec:    float64(benchElems*esz) * 1e3 / nsPerOp,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		BudgetBytes: budget,
+	}, nil
+}
+
+// highWaterSteps is how many transfer steps each HighWater measurement
+// aggregates over.
+const highWaterSteps = 5
+
+// runHighWater measures peak resident packed bytes — the quantity
+// MaxBytesInFlight exists to bound — via the engine's own watermark,
+// with a MemStats TotalAlloc delta recorded as corroboration. The
+// unbudgeted row is the baseline (every pairwise message resident at
+// once); the budgeted row must stay near the budget.
+func runHighWater(budget int) (unb, bud caseResult, err error) {
+	measure := func(step func() error) (int64, uint64, error) {
+		if err := step(); err != nil { // warm
+			return 0, 0, err
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		redist.ResetPackedBytesHighWater()
+		base := redist.PackedBytesHighWater()
+		for i := 0; i < highWaterSteps; i++ {
+			if err := step(); err != nil {
+				return 0, 0, err
+			}
+		}
+		peak := redist.PackedBytesHighWater() - base
+		runtime.ReadMemStats(&ms1)
+		return peak, ms1.TotalAlloc - ms0.TotalAlloc, nil
+	}
+
+	w, err := newWorld[float64]()
+	if err != nil {
+		return unb, bud, err
+	}
+	peak, alloc, err := measure(w.step)
+	if err != nil {
+		return unb, bud, fmt.Errorf("highwater unbudgeted: %w", err)
+	}
+	unb = caseResult{
+		Name: "HighWater/float64/unbudgeted", Phase: "highwater", Elem: "float64",
+		Schedule: "unbudgeted", Iterations: highWaterSteps,
+		PeakPackedBytes: peak, TotalAllocDelta: alloc,
+	}
+
+	bw, err := newBudgetWorld[float64](budget)
+	if err != nil {
+		return unb, bud, err
+	}
+	defer bw.close()
+	peak, alloc, err = measure(bw.step)
+	if err != nil {
+		return unb, bud, fmt.Errorf("highwater budgeted: %w", err)
+	}
+	bud = caseResult{
+		Name: "HighWater/float64/budgeted", Phase: "highwater", Elem: "float64",
+		Schedule: "budgeted", Iterations: highWaterSteps,
+		BudgetBytes: budget, PeakPackedBytes: peak, TotalAllocDelta: alloc,
+	}
+	return unb, bud, nil
+}
+
 // runPlanCase isolates the planning phase: repeated schedule construction
 // for the benchmark's template pair, with the closed-form fast path either
 // active (arena-recycled, the first-contact cost a cache miss now pays) or
@@ -268,6 +444,18 @@ func main() {
 		fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8.1f MB/s  %6d B/op  %4d allocs/op\n",
 			res.Name, res.Iterations, res.NsPerOp, res.ElemsPerSec, res.MBPerSec, res.BytesPerOp, res.AllocsPerOp)
 	}
+	// Budgeted steady state: same world, transfers bounded to budgetBytes
+	// of resident packed data per rank.
+	const budgetBytes = 8 << 10
+	bres, err := runBudgetCase[float64]("float64", 8, budgetBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "budgeted: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Cases = append(rep.Cases, bres)
+	fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8.1f MB/s  %6d B/op  %4d allocs/op\n",
+		bres.Name, bres.Iterations, bres.NsPerOp, bres.ElemsPerSec, bres.MBPerSec, bres.BytesPerOp, bres.AllocsPerOp)
+
 	for _, fast := range []bool{true, false} {
 		res, err := runPlanCase(fast)
 		if err != nil {
@@ -277,6 +465,17 @@ func main() {
 		rep.Cases = append(rep.Cases, res)
 		fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8s  %6d B/op  %4d allocs/op\n",
 			res.Name, res.Iterations, res.NsPerOp, res.ElemsPerSec, "", res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	hwUnb, hwBud, err := runHighWater(budgetBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "highwater: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Cases = append(rep.Cases, hwUnb, hwBud)
+	for _, hw := range []caseResult{hwUnb, hwBud} {
+		fmt.Printf("%-28s %10d steps %12d peak packed bytes  (budget %d)\n",
+			hw.Name, hw.Iterations, hw.PeakPackedBytes, hw.BudgetBytes)
 	}
 	rep.Metrics = obs.Default().Snapshot()
 
@@ -298,6 +497,19 @@ func main() {
 	}
 	if f, e := planNs["fast"], planNs["enumerator"]; f > 0 && e > 0 && f >= e {
 		fmt.Fprintf(os.Stderr, "REGRESSION: fast-path planning (%.0f ns/op) is no faster than the enumerator (%.0f ns/op)\n", f, e)
+		os.Exit(1)
+	}
+	// The budget's contract: peak resident packed bytes stay within
+	// budget per sending rank (two sources here), and well under the
+	// unbudgeted baseline.
+	if hwBud.PeakPackedBytes > int64(2*budgetBytes) {
+		fmt.Fprintf(os.Stderr, "REGRESSION: budgeted high water %d bytes exceeds 2x budget (%d)\n",
+			hwBud.PeakPackedBytes, 2*budgetBytes)
+		os.Exit(1)
+	}
+	if hwBud.PeakPackedBytes >= hwUnb.PeakPackedBytes {
+		fmt.Fprintf(os.Stderr, "REGRESSION: budgeted high water %d bytes is no lower than unbudgeted %d\n",
+			hwBud.PeakPackedBytes, hwUnb.PeakPackedBytes)
 		os.Exit(1)
 	}
 

@@ -134,6 +134,38 @@ func (s Set) PositionRank(p int) int {
 	panic(fmt.Sprintf("linear: position %d not in set", p))
 }
 
+// Slice returns the sub-set covering the positions at packed ranks
+// [off, off+n): the window of the set a chunk of its packed buffer
+// holds when a reply is split at an element boundary (the
+// memory-bounded transfer engine's round decomposition). dst is reused
+// as backing storage, so a caller slicing repeatedly allocates only
+// while its scratch set grows.
+func (s Set) Slice(off, n int, dst Set) Set {
+	dst = dst[:0]
+	if n <= 0 {
+		return dst
+	}
+	for _, iv := range s {
+		l := iv.Len()
+		if off >= l {
+			off -= l
+			continue
+		}
+		lo := iv.Lo + off
+		take := l - off
+		if take > n {
+			take = n
+		}
+		dst = append(dst, Interval{lo, lo + take})
+		n -= take
+		off = 0
+		if n == 0 {
+			break
+		}
+	}
+	return dst
+}
+
 // String renders the set compactly.
 func (s Set) String() string {
 	out := "{"

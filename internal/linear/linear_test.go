@@ -286,3 +286,42 @@ func TestGenericLinearizersMatchFloat64(t *testing.T) {
 	var _ LinearizerT[complex128] = rmC
 	var _ Linearizer = rm64
 }
+
+// Slice must pick exactly the positions [off, off+n) in the set's own
+// position order, splitting intervals mid-way when the window demands it.
+func TestSetSlice(t *testing.T) {
+	s := NewSet(Interval{2, 5}, Interval{8, 10}, Interval{20, 26})
+	cases := []struct {
+		off, n int
+		want   Set
+	}{
+		{0, s.Len(), s},
+		{0, 2, Set{{2, 4}}},
+		{1, 3, Set{{3, 5}, {8, 9}}},
+		{3, 2, Set{{8, 10}}},
+		{4, 5, Set{{9, 10}, {20, 24}}},
+		{5, 100, Set{{20, 26}}},
+		{s.Len(), 4, nil},
+		{0, 0, nil},
+		{3, 0, nil},
+	}
+	for _, c := range cases {
+		got := s.Slice(c.off, c.n, nil)
+		if !got.Equal(c.want) {
+			t.Errorf("Slice(%d, %d) = %v, want %v", c.off, c.n, got, c.want)
+		}
+	}
+
+	// Tiling property: consecutive windows of any size reassemble the set.
+	for win := 1; win <= s.Len(); win++ {
+		var scratch Set
+		var parts []Interval
+		for off := 0; off < s.Len(); off += win {
+			scratch = s.Slice(off, win, scratch)
+			parts = append(parts, scratch...)
+		}
+		if got := NewSet(parts...); !got.Equal(s) {
+			t.Errorf("window %d: reassembled %v, want %v", win, got, s)
+		}
+	}
+}

@@ -1,0 +1,491 @@
+// The memory-bounded transfer path: runTransfer with a MaxBytesInFlight
+// budget B dispatches here instead of materializing every pairwise
+// message at once.
+//
+// Decomposition. Each pairwise message is split at element boundaries
+// into chunks of at most B/2 bytes, and consecutive chunks are grouped
+// greedily into rounds of at most B/2 total bytes (a chunk larger than
+// the cap — possible only under degenerate budgets smaller than two
+// elements — forms a round of its own, so rounds are never empty).
+// Zero-element messages still travel, as a single zero-byte chunk, so
+// every expected pairwise message stays matched one-to-one with
+// arrivals.
+//
+// Flow control. Every data chunk is acknowledged by its receiver after
+// disposal (unpack, drain or discard — credit is flow control, not
+// correctness), and round N+1 is sent only once every chunk of round N
+// has been acknowledged. The next round is packed while the previous
+// one is in flight — the pipelining overlap — so a rank holds at most
+// two rounds of packed buffers at once and its resident packed bytes
+// stay bounded by B. Acks are pooled marker messages on the same data
+// tag, so the tag-spacing contract of the unbudgeted paths is
+// unchanged.
+//
+// Symmetry. Both sides derive the identical chunk decomposition from
+// (budget, element size, message element count), so no negotiation
+// traffic is needed — which is also why every rank of one transfer must
+// pass the SAME MaxBytesInFlight and element type: a receiver that
+// derives a different chunk count cannot re-synchronize with its
+// sender.
+//
+// Liveness. Sending and receiving interleave in one event loop per rank
+// (a rank blocked waiting for acks must keep consuming its own incoming
+// chunks, or two mutually-sending ranks deadlock). Receives use
+// AnySource and are attributed by sender: the comm layer preserves
+// per-pair FIFO order and a plan never expects more than one pairwise
+// message from the same peer, so an arriving chunk is always the next
+// unconsumed chunk of that peer's message.
+package redist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mxn/internal/comm"
+	"mxn/internal/core"
+	"mxn/internal/dad"
+	"mxn/internal/obs"
+)
+
+var (
+	mRoundsSent = obs.Default().Counter("redist.rounds_sent")
+	mChunksSent = obs.Default().Counter("redist.chunks_sent")
+	mAcksSent   = obs.Default().Counter("redist.acks_sent")
+	mAcksRecv   = obs.Default().Counter("redist.acks_recv")
+)
+
+// chunkElemCap returns the element capacity of one chunk under a byte
+// budget: half the budget, so the staged round plus the in-flight round
+// together stay within it. Budgets smaller than two elements degrade to
+// element-at-a-time chunks — the bound becomes best-effort.
+func chunkElemCap(budget, esz int) int {
+	n := budget / 2 / esz
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// chunkCount returns how many chunks a pairwise message of elems
+// elements splits into. Empty messages travel as one zero-byte chunk.
+func chunkCount(elems, capElems int) int {
+	if elems == 0 {
+		return 1
+	}
+	return (elems + capElems - 1) / capElems
+}
+
+// nextChunkElems returns the element count of the chunk starting at
+// element offset done within a message of elems elements.
+func nextChunkElems(elems, done, capElems int) int {
+	if n := elems - done; n < capElems {
+		return n
+	}
+	return capElems
+}
+
+// stagedChunk is one packed, not-yet-sent chunk of the staged round.
+type stagedChunk struct {
+	m     *xferMsg
+	op    int // send-op index, for ack accounting
+	group int
+	rank  int
+}
+
+// recvProgress tracks one expected pairwise message's chunked arrival.
+type recvProgress struct {
+	group      int
+	rank       int
+	elems      int
+	elemsDone  int
+	chunksLeft int
+}
+
+// budgetRun is the pooled per-call state of a budgeted transfer. The
+// slices keep their backing arrays across recycles, so a steady-state
+// budgeted transfer allocates nothing (guarded by
+// TestExchangeBudgetedSteadyStateZeroAlloc).
+type budgetRun struct {
+	staged  []stagedChunk
+	pendAck []int // per send op: chunks sent but not yet acknowledged
+	recv    []recvProgress
+}
+
+const maxFreeBudgetRuns = 64
+
+var budgetPool = struct {
+	mu   sync.Mutex
+	free []*budgetRun
+}{free: make([]*budgetRun, 0, maxFreeBudgetRuns)}
+
+func getBudgetRun() *budgetRun {
+	budgetPool.mu.Lock()
+	if n := len(budgetPool.free); n > 0 {
+		st := budgetPool.free[n-1]
+		budgetPool.free[n-1] = nil
+		budgetPool.free = budgetPool.free[:n-1]
+		budgetPool.mu.Unlock()
+		return st
+	}
+	budgetPool.mu.Unlock()
+	return new(budgetRun)
+}
+
+func putBudgetRun(st *budgetRun) {
+	for i := range st.staged {
+		st.staged[i] = stagedChunk{}
+	}
+	st.staged = st.staged[:0]
+	st.pendAck = st.pendAck[:0]
+	for i := range st.recv {
+		st.recv[i] = recvProgress{}
+	}
+	st.recv = st.recv[:0]
+	budgetPool.mu.Lock()
+	if len(budgetPool.free) < maxFreeBudgetRuns {
+		budgetPool.free = append(budgetPool.free, st)
+	}
+	budgetPool.mu.Unlock()
+}
+
+// sendAck returns one chunk's transfer credit to its sender.
+func sendAck(c *comm.Comm, to, tag int, epoch uint64) {
+	a := getMsg()
+	a.epoch = epoch
+	a.ack = true
+	c.Send(to, tag, a)
+	mAcksSent.Inc()
+}
+
+// runBudgeted is the budgeted counterpart of runTransfer's loop. One
+// event loop interleaves three duties: shipping the staged round when
+// all in-flight chunks are acknowledged (then immediately packing the
+// next round), consuming incoming data chunks (acknowledging each), and
+// consuming acks. On error the same drain discipline as the unbudgeted
+// path applies — remaining expected chunks and acks are consumed (with
+// a give-up timeout when fenced), and drained chunks are still
+// acknowledged so live peers are never wedged waiting for credit.
+func runBudgeted[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun, budget int) error {
+	tr := obs.Trace()
+	wantKind := kindOf[T]()
+	esz := elemSize[T]()
+	capElems := chunkElemCap(budget, esz)
+	roundBytes := capElems * esz
+	if half := budget / 2; half > roundBytes {
+		roundBytes = half
+	}
+	var epoch uint64
+	if f != nil {
+		epoch = f.entryEpoch
+	}
+
+	st := getBudgetRun()
+	defer putBudgetRun(st)
+
+	nSend := pl.sends()
+	for i := 0; i < nSend; i++ {
+		st.pendAck = append(st.pendAck, 0)
+	}
+	nRecv := pl.recvs()
+	recvChunks := 0
+	for i := 0; i < nRecv; i++ {
+		op := pl.recvOp(i)
+		n := chunkCount(op.elems, capElems)
+		st.recv = append(st.recv, recvProgress{group: op.group, rank: op.rank, elems: op.elems, chunksLeft: n})
+		recvChunks += n
+	}
+	if f != nil && pl.dstRank() >= 0 {
+		f.out.Validity = dad.NewValidity(pl.dstLen())
+	}
+
+	var (
+		curOp, curOff int // chunking cursor over the send ops
+		pendingAcks   int
+		firstErr      error
+		lost          bool
+		discarded     bool
+		waited        time.Duration
+	)
+	for {
+		if f != nil {
+			// Liveness sweep. Destinations that died owing acks are
+			// forgiven (their chunks were dropped in transit); sources
+			// that died owing chunks get the failure policy applied.
+			for i := 0; i < nSend; i++ {
+				if st.pendAck[i] == 0 {
+					continue
+				}
+				g := pl.sendOp(i).group
+				if f.opts.Membership.IsAlive(g) {
+					continue
+				}
+				f.noteDown(g)
+				pendingAcks -= st.pendAck[i]
+				st.pendAck[i] = 0
+				if f.abortOnDeadSend && f.opts.Policy == FailStrict && firstErr == nil {
+					mRankdownAborts.Inc()
+					firstErr = &core.ErrRankDown{Rank: g, Epoch: f.opts.Membership.Epoch()}
+				}
+			}
+			for i := range st.recv {
+				rp := &st.recv[i]
+				if rp.chunksLeft == 0 || f.opts.Membership.IsAlive(rp.group) {
+					continue
+				}
+				f.noteDown(rp.group)
+				if f.opts.Policy == FailStrict {
+					if firstErr == nil {
+						mRankdownAborts.Inc()
+						firstErr = &core.ErrRankDown{Rank: rp.group, Epoch: f.opts.Membership.Epoch()}
+					}
+				} else {
+					// Invalidate the whole pairwise message, chunks already
+					// delivered included: validity stays a safe lower bound.
+					pl.lose(i, f)
+					lost = true
+				}
+				recvChunks -= rp.chunksLeft
+				rp.chunksLeft = 0
+			}
+			if firstErr != nil && !discarded {
+				// Fenced abort semantics: unsent rounds are dropped, the
+				// cursor is retired, and the loop degrades to draining.
+				for i := range st.staged {
+					recycle(st.staged[i].m)
+					st.staged[i] = stagedChunk{}
+				}
+				st.staged = st.staged[:0]
+				curOp, curOff = nSend, 0
+				discarded = true
+			}
+		}
+
+		// Send progress: with no chunk unacknowledged, ship the staged
+		// round and immediately pack the next one while it is in flight —
+		// the pipelining overlap. Two rounds of at most budget/2 bytes
+		// each bound this rank's resident packed bytes by the budget.
+		// An unfenced rank keeps sending even after an error: its peers
+		// block for exactly the chunks the decomposition promised them.
+		if (f == nil || firstErr == nil) && pendingAcks == 0 && (len(st.staged) > 0 || curOp < nSend) {
+			for i := range st.staged {
+				sc := &st.staged[i]
+				c.Send(sc.group, dataTag, sc.m)
+				st.pendAck[sc.op]++
+				pendingAcks++
+				mMsgsSent.Inc()
+				mChunksSent.Inc()
+				*sc = stagedChunk{}
+			}
+			if len(st.staged) > 0 {
+				st.staged = st.staged[:0]
+				mRoundsSent.Inc()
+			}
+			bytes := 0
+			for curOp < nSend {
+				op := pl.sendOp(curOp)
+				if f != nil && !f.opts.Membership.IsAlive(op.group) {
+					f.noteDown(op.group)
+					mSendsSkippedDead.Inc()
+					if f.abortOnDeadSend && f.opts.Policy == FailStrict && firstErr == nil {
+						mRankdownAborts.Inc()
+						firstErr = &core.ErrRankDown{Rank: op.group, Epoch: f.opts.Membership.Epoch()}
+						break
+					}
+					curOp, curOff = curOp+1, 0
+					continue
+				}
+				n := nextChunkElems(op.elems, curOff, capElems)
+				if len(st.staged) > 0 && bytes+n*esz > roundBytes {
+					break
+				}
+				m := newMsg[T](epoch, n)
+				if curOff == 0 {
+					// Only the opening chunk carries position metadata
+					// (the plan-owned full reply set on linear messages).
+					m.have = pl.sendSet(curOp)
+				}
+				start := time.Now()
+				pl.packRange(curOp, curOff, elemsOf[T](m.data, n))
+				mPackNS.ObserveSince(start)
+				mElemsPacked.Add(uint64(n))
+				mMsgElems.Observe(int64(n))
+				tr.Span(obs.EvPack, "", pl.srcRank(), op.rank, int64(n), start)
+				st.staged = append(st.staged, stagedChunk{m: m, op: curOp, group: op.group, rank: op.rank})
+				bytes += n * esz
+				curOff += n
+				if curOff >= op.elems {
+					curOp, curOff = curOp+1, 0
+				}
+			}
+			continue
+		}
+
+		if recvChunks == 0 && pendingAcks == 0 && len(st.staged) == 0 && curOp >= nSend {
+			break
+		}
+
+		var (
+			payload any
+			from    int
+		)
+		if f == nil {
+			payload, from = c.Recv(comm.AnySource, dataTag)
+		} else {
+			p, fr, ok := c.RecvTimeout(comm.AnySource, dataTag, f.opts.PollInterval)
+			if !ok {
+				waited += f.opts.PollInterval
+				if f.opts.SuspectAfter > 0 && waited >= f.opts.SuspectAfter {
+					// Cumulative silence long enough: suspect every peer
+					// still owing this rank chunks or acks. The sweep at
+					// the top of the loop applies the policy.
+					for i := range st.recv {
+						if st.recv[i].chunksLeft > 0 {
+							f.opts.Membership.MarkDown(st.recv[i].group)
+						}
+					}
+					for i := 0; i < nSend; i++ {
+						if st.pendAck[i] > 0 {
+							f.opts.Membership.MarkDown(pl.sendOp(i).group)
+						}
+					}
+				}
+				if firstErr != nil && waited >= maxDur(f.opts.SuspectAfter, 10*f.opts.PollInterval) {
+					// Draining after an error: give up on silent peers.
+					break
+				}
+				continue
+			}
+			payload = p
+			from = fr
+		}
+
+		m, isMsg := payload.(*xferMsg)
+		if isMsg && m.ack {
+			mAcksRecv.Inc()
+			recycle(m)
+			credited := false
+			for i := 0; i < nSend; i++ {
+				if st.pendAck[i] > 0 && pl.sendOp(i).group == from {
+					st.pendAck[i]--
+					pendingAcks--
+					credited = true
+					break
+				}
+			}
+			if !credited {
+				mDrained.Inc() // leftover credit of an earlier aborted transfer
+			}
+			continue
+		}
+		mMsgsRecv.Inc()
+		if isMsg && f != nil && m.epoch != 0 && m.epoch < f.entryEpoch {
+			// Leftover chunk of a pre-failure attempt. Discard, but still
+			// return its credit: a stale sender may be draining on flow
+			// control, and credit is never a correctness input.
+			mStaleEpoch.Inc()
+			recycle(m)
+			sendAck(c, from, dataTag, epoch)
+			continue
+		}
+
+		// Attribute to the sender's pairwise message: per-pair FIFO order
+		// plus one expected message per peer make this the next chunk.
+		ri := -1
+		for i := range st.recv {
+			if st.recv[i].group == from && st.recv[i].chunksLeft > 0 {
+				ri = i
+				break
+			}
+		}
+		if ri < 0 {
+			if isMsg {
+				recycle(m)
+				sendAck(c, from, dataTag, epoch)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("redist: destination rank %d received unexpected %T from group rank %d", pl.dstRank(), payload, from)
+			} else {
+				mDrained.Inc()
+			}
+			continue
+		}
+		rp := &st.recv[ri]
+		rp.chunksLeft--
+		recvChunks--
+		if !isMsg {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("redist: destination rank %d received %T, want transfer message", pl.dstRank(), payload)
+			} else {
+				mDrained.Inc()
+			}
+			continue
+		}
+		if firstErr != nil {
+			mDrained.Inc()
+			recycle(m)
+			sendAck(c, from, dataTag, epoch)
+			continue
+		}
+		if f != nil && m.epoch > f.entryEpoch {
+			// The peer already re-planned into a newer epoch; consuming
+			// its chunks against this rank's stale plan would corrupt
+			// data silently. Typed error so the caller re-enters at the
+			// current epoch.
+			mStaleLocal.Inc()
+			remote := m.epoch
+			recycle(m)
+			sendAck(c, from, dataTag, epoch)
+			firstErr = &StaleLocalEpochError{Transfer: pl.proto(), Rank: pl.dstRank(), Peer: rp.rank, Local: f.entryEpoch, Remote: remote}
+			continue
+		}
+		if m.kind != wantKind {
+			firstErr = &ElemKindError{Transfer: pl.proto(), DstRank: pl.dstRank(), SrcRank: rp.rank, Got: m.kind, Want: wantKind}
+			recycle(m)
+			sendAck(c, from, dataTag, epoch)
+			continue
+		}
+		expect := nextChunkElems(rp.elems, rp.elemsDone, capElems)
+		if m.elems != expect || len(m.data) != m.elems*esz {
+			firstErr = &ElemCountError{Transfer: pl.proto(), DstRank: pl.dstRank(), SrcRank: rp.rank, Got: m.elems, Want: expect}
+			recycle(m)
+			sendAck(c, from, dataTag, epoch)
+			continue
+		}
+		if rp.elemsDone == 0 {
+			if err := pl.checkHave(ri, m); err != nil {
+				firstErr = err
+				recycle(m)
+				sendAck(c, from, dataTag, epoch)
+				continue
+			}
+		}
+		start := time.Now()
+		pl.unpackRange(ri, rp.elemsDone, elemsOf[T](m.data, m.elems))
+		mUnpackNS.ObserveSince(start)
+		mElemsUnpack.Add(uint64(m.elems))
+		tr.Span(obs.EvUnpack, "", pl.dstRank(), rp.rank, int64(m.elems), start)
+		rp.elemsDone += m.elems
+		recycle(m)
+		sendAck(c, from, dataTag, epoch)
+	}
+
+	if firstErr != nil {
+		mErrors.Inc()
+		return firstErr
+	}
+	if err := pl.finish(lost); err != nil {
+		mErrors.Inc()
+		return err
+	}
+	if f != nil && pl.dstRank() >= 0 && f.opts.Desc != nil && !f.out.Validity.AllValid() {
+		f.opts.Desc.SetValidity(pl.dstRank(), f.out.Validity)
+	}
+	if pl.srcRank() >= 0 {
+		mTransfers.Inc()
+	}
+	if pl.dstRank() >= 0 {
+		mTransfers.Inc()
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package redist
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mxn/internal/comm"
+	"mxn/internal/core"
+	"mxn/internal/dad"
+	"mxn/internal/linear"
+	"mxn/internal/obs"
+	"mxn/internal/schedule"
+)
+
+// Unit coverage of the round decomposition arithmetic: both sides of a
+// budgeted transfer derive chunk counts independently from these, so
+// their edge cases are protocol invariants.
+func TestChunkMath(t *testing.T) {
+	cases := []struct {
+		budget, esz, wantCap int
+	}{
+		{1024, 8, 64},
+		{1024, 4, 128},
+		{16, 8, 1},
+		{1, 8, 1},  // degenerate budget: element-at-a-time
+		{15, 8, 1}, // budget under two elements: still one element per chunk
+		{64, 16, 2},
+	}
+	for _, c := range cases {
+		if got := chunkElemCap(c.budget, c.esz); got != c.wantCap {
+			t.Errorf("chunkElemCap(%d, %d) = %d, want %d", c.budget, c.esz, got, c.wantCap)
+		}
+	}
+	if got := chunkCount(0, 64); got != 1 {
+		t.Errorf("a zero-element message must travel as exactly one chunk, got %d", got)
+	}
+	if got := chunkCount(65, 64); got != 2 {
+		t.Errorf("chunkCount(65, 64) = %d, want 2", got)
+	}
+	if got := chunkCount(64, 64); got != 1 {
+		t.Errorf("chunkCount(64, 64) = %d, want 1", got)
+	}
+	if got := nextChunkElems(0, 0, 64); got != 0 {
+		t.Errorf("nextChunkElems on an empty message = %d, want 0", got)
+	}
+	if got := nextChunkElems(65, 64, 64); got != 1 {
+		t.Errorf("nextChunkElems tail = %d, want 1", got)
+	}
+}
+
+func bitsEqualT[T Elem](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		switch x := any(a[i]).(type) {
+		case float64:
+			if math.Float64bits(x) != math.Float64bits(any(b[i]).(float64)) {
+				return false
+			}
+		case float32:
+			if math.Float32bits(x) != math.Float32bits(any(b[i]).(float32)) {
+				return false
+			}
+		default:
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runBudgetExchangeT runs one schedule-driven transfer with the given
+// budget (0 = unbudgeted) across shuffled concurrent ranks and returns
+// the destination buffers.
+func runBudgetExchangeT[T Elem](t *testing.T, src, dst *dad.Template, conv func(float64) T,
+	budget int, fenced bool, order []int) [][]T {
+	t.Helper()
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n := src.NumProcs(), dst.NumProcs()
+	srcLocals := fillByGlobalT(src, conv)
+	dstLocals := make([][]T, n)
+	var mu sync.Mutex
+	mem := core.NewMembership(m + n)
+	launchShuffled(m+n, order, func(c *comm.Comm) {
+		lay := Layout{SrcBase: 0, DstBase: m}
+		var sl, dl []T
+		if c.Rank() < m {
+			sl = srcLocals[c.Rank()]
+		} else {
+			dl = make([]T, dst.LocalCount(c.Rank()-m))
+		}
+		var err error
+		if fenced {
+			fo := FenceOpts{Membership: mem, PollInterval: time.Millisecond, MaxBytesInFlight: budget}
+			var out *Outcome
+			out, err = ExchangeFencedT[T](c, s, lay, sl, dl, 0, fo)
+			if err == nil && dl != nil && !out.Validity.AllValid() {
+				t.Errorf("clean budgeted fenced transfer invalidated elements")
+			}
+		} else {
+			err = ExchangeWithT[T](c, s, lay, sl, dl, 0, TransferOpts{MaxBytesInFlight: budget})
+		}
+		if err != nil {
+			t.Errorf("rank %d (budget=%d fenced=%v): %v", c.Rank(), budget, fenced, err)
+		}
+		if dl != nil {
+			mu.Lock()
+			dstLocals[c.Rank()-m] = dl
+			mu.Unlock()
+		}
+	})
+	return dstLocals
+}
+
+// The tentpole differential guarantee: a budgeted transfer fills
+// destination buffers bit-identical to the unbudgeted engine, for every
+// element kind, fenced and unfenced, across budgets from degenerate
+// (one element per chunk) through multi-round to larger-than-transfer.
+// Run under -race by `make race`.
+func testBudgetDifferential[T Elem](t *testing.T, name string, conv func(float64) T) {
+	t.Run(name, func(t *testing.T) {
+		src := tpl(t, []int{256}, dad.BlockAxis(2))
+		dst := tpl(t, []int{256}, dad.CyclicAxis(2))
+		rng := rand.New(rand.NewSource(91))
+		ref := runBudgetExchangeT(t, src, dst, conv, 0, false, rng.Perm(4))
+		verifyT(t, dst, ref, conv)
+		esz := elemSize[T]()
+		// 64*esz forces 4 rounds per source rank here: each source has
+		// two 64-element ops, the chunk cap is 32 elements and a round
+		// holds one chunk.
+		budgets := []int{1, 8 * esz, 64 * esz, 1 << 20}
+		for _, budget := range budgets {
+			for _, fenced := range []bool{false, true} {
+				rounds0 := mRoundsSent.Value()
+				got := runBudgetExchangeT(t, src, dst, conv, budget, fenced, rng.Perm(4))
+				for r := range ref {
+					if !bitsEqualT(ref[r], got[r]) {
+						t.Fatalf("budget %d fenced=%v: dst rank %d differs from unbudgeted\nwant: %v\ngot:  %v",
+							budget, fenced, r, ref[r], got[r])
+					}
+				}
+				if budget == 64*esz {
+					if dr := mRoundsSent.Value() - rounds0; dr < 8 {
+						t.Fatalf("budget %d: %d rounds across 2 sources, want >= 8 (>= 4 per source)", budget, dr)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestBudgetedMatchesUnbudgetedExchange(t *testing.T) {
+	testBudgetDifferential[float64](t, "float64", func(v float64) float64 { return v })
+	testBudgetDifferential[float32](t, "float32", func(v float64) float32 { return float32(v) })
+	testBudgetDifferential[int64](t, "int64", func(v float64) int64 { return int64(v) })
+	testBudgetDifferential[int32](t, "int32", func(v float64) int32 { return int32(v) })
+	testBudgetDifferential[complex128](t, "complex128", func(v float64) complex128 { return complex(v, -v) })
+}
+
+// Linear-path differential: the receiver-driven protocol's replies move
+// through the same budgeted rounds, including zero-element replies from
+// sources whose owned set misses the destination's needs entirely.
+func TestBudgetedMatchesUnbudgetedLinear(t *testing.T) {
+	cases := []struct {
+		name     string
+		src, dst *dad.Template
+	}{
+		{"overlap", tpl(t, []int{96}, dad.BlockAxis(2)), tpl(t, []int{96}, dad.CyclicAxis(2))},
+		// Block→Block aligned: every cross intersection is empty, so
+		// half the replies are zero-element chunks through the splitter.
+		{"empty-intersections", tpl(t, []int{64}, dad.BlockAxis(2)), tpl(t, []int{64}, dad.BlockAxis(2))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srcLin := linear.NewRowMajor(tc.src)
+			dstLin := linear.NewRowMajor(tc.dst)
+			m, n := tc.src.NumProcs(), tc.dst.NumProcs()
+			srcLocals := fillByGlobal(tc.src)
+			rng := rand.New(rand.NewSource(17))
+
+			run := func(budget int, fenced bool) [][]float64 {
+				got := make([][]float64, n)
+				var mu sync.Mutex
+				mem := core.NewMembership(m + n)
+				launchShuffled(m+n, rng.Perm(m+n), func(c *comm.Comm) {
+					lay := Layout{SrcBase: 0, DstBase: m}
+					var sl, dl []float64
+					if c.Rank() < m {
+						sl = srcLocals[c.Rank()]
+					} else {
+						dl = make([]float64, tc.dst.LocalCount(c.Rank()-m))
+					}
+					var err error
+					if fenced {
+						fo := FenceOpts{Membership: mem, PollInterval: time.Millisecond, MaxBytesInFlight: budget}
+						_, err = LinearExchangeFencedT[float64](c, srcLin, dstLin, lay, m, n, sl, dl, 0, fo)
+					} else {
+						err = LinearExchangeWithT[float64](c, srcLin, dstLin, lay, m, n, sl, dl, 0, TransferOpts{MaxBytesInFlight: budget})
+					}
+					if err != nil {
+						t.Errorf("rank %d (budget=%d fenced=%v): %v", c.Rank(), budget, fenced, err)
+					}
+					if dl != nil {
+						mu.Lock()
+						got[c.Rank()-m] = dl
+						mu.Unlock()
+					}
+				})
+				return got
+			}
+
+			ref := run(0, false)
+			verify(t, tc.dst, ref)
+			for _, budget := range []int{1, 16 * 8, 1 << 20} {
+				for _, fenced := range []bool{false, true} {
+					got := run(budget, fenced)
+					for r := range ref {
+						if !bitsEqual(ref[r], got[r]) {
+							t.Fatalf("budget %d fenced=%v: dst rank %d differs from unbudgeted", budget, fenced, r)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// The budget's reason to exist: resident packed bytes stay bounded by
+// MaxBytesInFlight per sending rank, measured by the engine's own
+// packed-bytes watermark (counted from newMsg until recycle, wherever
+// the chunk sits — staged, queued or being unpacked).
+func TestBudgetedPeakBytesBounded(t *testing.T) {
+	src := tpl(t, []int{1 << 12}, dad.BlockAxis(2))
+	dst := tpl(t, []int{1 << 12}, dad.CyclicAxis(2))
+	const budget = 1 << 10
+	ResetPackedBytesHighWater()
+	base := PackedBytesHighWater()
+	conv := func(v float64) float64 { return v }
+	got := runBudgetExchangeT(t, src, dst, conv, budget, false, []int{0, 1, 2, 3})
+	verify(t, dst, got)
+	peak := PackedBytesHighWater() - base
+	if limit := int64(2 * budget); peak > limit { // two sending ranks
+		t.Fatalf("budgeted transfer peaked at %d packed bytes, budget bounds it by %d", peak, limit)
+	}
+	if peak <= 0 {
+		t.Fatalf("watermark did not move (peak %d); accounting broken", peak)
+	}
+}
+
+// The steady-state budgeted path allocates nothing: chunk buffers and
+// headers cycle through the same pools as whole messages, acks are
+// pooled markers, and the per-call round state is recycled. Unlike the
+// unbudgeted steady-state harness, ranks must run concurrently (senders
+// block on acks), so the workers are persistent goroutines signalled
+// over pre-allocated channels and AllocsPerRun measures the whole
+// process.
+func TestExchangeBudgetedSteadyStateZeroAlloc(t *testing.T) {
+	obs.DisableTracing()
+	src := tpl(t, []int{1 << 10}, dad.BlockAxis(2))
+	dst := tpl(t, []int{1 << 10}, dad.CyclicAxis(2))
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := comm.NewWorld(4).Comms()
+	lay := Layout{SrcBase: 0, DstBase: 2}
+	const budget = 1 << 10 // 8 chunks per source: several rounds per step
+	srcLocals := make([][]float64, 2)
+	dstLocals := make([][]float64, 2)
+	for r := 0; r < 2; r++ {
+		srcLocals[r] = make([]float64, src.LocalCount(r))
+		dstLocals[r] = make([]float64, dst.LocalCount(r))
+	}
+	start := make([]chan struct{}, 4)
+	done := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		start[r] = make(chan struct{}, 1)
+		go func(r int) {
+			var sl, dl []float64
+			if r < 2 {
+				sl = srcLocals[r]
+			} else {
+				dl = dstLocals[r-2]
+			}
+			for range start[r] {
+				done <- ExchangeWith(cs[r], s, lay, sl, dl, 0, TransferOpts{MaxBytesInFlight: budget})
+			}
+		}(r)
+	}
+	defer func() {
+		for r := range start {
+			close(start[r])
+		}
+	}()
+	step := func() {
+		for r := 0; r < 4; r++ {
+			start[r] <- struct{}{}
+		}
+		for r := 0; r < 4; r++ {
+			if err := <-done; err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	// Warm until pools, mailbox rings and goroutine stacks reach their
+	// steady capacity under concurrent interleavings.
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(20, step)
+	if allocs != 0 {
+		t.Fatalf("steady-state budgeted Exchange allocates: %v allocs per transfer step", allocs)
+	}
+}

@@ -17,6 +17,7 @@ package redist
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mxn/internal/bufpool"
@@ -42,6 +43,10 @@ type xferMsg struct {
 	elems int
 	data  []byte
 	have  linear.Set
+	// ack marks a credit message of the memory-bounded protocol: no
+	// data, sent back to a chunk's sender on the same data tag after the
+	// chunk is unpacked (see budget.go).
+	ack bool
 }
 
 // maxFreeMsgs bounds the message free list; surplus puts go to the GC.
@@ -86,11 +91,50 @@ func newMsg[T Elem](epoch uint64, elems int) *xferMsg {
 	m.elems = elems
 	m.data = bufpool.Get(elems * elemSize[T]())
 	m.have = nil
+	addInFlight(len(m.data))
 	return m
 }
 
+// Packed-bytes accounting: every data buffer drawn for a transfer
+// message counts toward the process-wide in-flight total from newMsg
+// until recycle. The high-water mark is the headline of redistbench's
+// HighWater phase: the peak transfer-payload memory the engine had
+// resident at once, the quantity MaxBytesInFlight exists to bound.
+var (
+	bytesInFlight  atomic.Int64
+	bytesHighWater atomic.Int64
+)
+
+func init() {
+	obs.Default().RegisterFunc("redist.packed_bytes_in_flight", bytesInFlight.Load)
+	obs.Default().RegisterFunc("redist.packed_bytes_high_water", bytesHighWater.Load)
+}
+
+func addInFlight(n int) {
+	if n == 0 {
+		return
+	}
+	cur := bytesInFlight.Add(int64(n))
+	for {
+		hw := bytesHighWater.Load()
+		if cur <= hw || bytesHighWater.CompareAndSwap(hw, cur) {
+			return
+		}
+	}
+}
+
+// PackedBytesHighWater returns the peak packed transfer-payload bytes
+// resident at once since the last reset (process-wide, across every
+// concurrent transfer).
+func PackedBytesHighWater() int64 { return bytesHighWater.Load() }
+
+// ResetPackedBytesHighWater rebases the high-water mark to the bytes
+// currently in flight, so a measurement phase sees only its own peak.
+func ResetPackedBytesHighWater() { bytesHighWater.Store(bytesInFlight.Load()) }
+
 // recycle returns a message and its buffer to their pools.
 func recycle(m *xferMsg) {
+	bytesInFlight.Add(-int64(len(m.data)))
 	bufpool.Put(m.data)
 	*m = xferMsg{}
 	msgPool.mu.Lock()
@@ -127,6 +171,11 @@ type plan[T Elem] interface {
 	// message (linear replies); nil for schedule-driven messages.
 	sendSet(i int) linear.Set
 	pack(i int, out []T)
+	// packRange packs the window [elemOff, elemOff+len(out)) of the
+	// i'th outgoing message's packed element order: the chunk primitive
+	// of the memory-bounded path. Consecutive windows tiling the message
+	// must equal one pack of the whole message.
+	packRange(i, elemOff int, out []T)
 
 	recvs() int
 	recvOp(i int) pairOp
@@ -134,7 +183,14 @@ type plan[T Elem] interface {
 	// (element counts, position sets); kind and byte-length checks are
 	// the engine's.
 	check(i int, m *xferMsg) error
+	// checkHave validates only the position metadata of a message
+	// opening the i'th expectation (the first chunk of a budgeted
+	// message, whose element count covers just its own window).
+	checkHave(i int, m *xferMsg) error
 	unpack(i int, data []T)
+	// unpackRange unpacks a chunk holding the window
+	// [elemOff, elemOff+len(data)) of the i'th incoming message.
+	unpackRange(i, elemOff int, data []T)
 
 	// lose applies FailRedistribute to the i'th incoming message whose
 	// source is dead: invalidate what it would have delivered, replan if
@@ -182,8 +238,12 @@ func (f *fenceRun) noteDown(group int) {
 // message without waiting; destinations consume exactly the messages their
 // plan expects. On error the destination keeps draining its remaining
 // expected messages (with a give-up timeout when fenced) so nothing stays
-// queued under dataTag to cross-match a later transfer.
-func runTransfer[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun) error {
+// queued under dataTag to cross-match a later transfer. A positive budget
+// selects the memory-bounded chunked protocol instead (budget.go).
+func runTransfer[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun, budget int) error {
+	if budget > 0 {
+		return runBudgeted[T](c, pl, dataTag, f, budget)
+	}
 	tr := obs.Trace()
 	wantKind := kindOf[T]()
 	esz := elemSize[T]()
@@ -192,7 +252,13 @@ func runTransfer[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun
 		epoch = f.entryEpoch
 	}
 
-	// Send phase.
+	// Send phase. A FailStrict abort on a dead destination does not
+	// return yet: the error is held so the receive phase below still
+	// drains whatever peers already posted to this rank — returning
+	// early would leave their messages queued under dataTag to
+	// cross-match the next transfer on the same tag (the same
+	// tag-pollution class the receive path already guards against).
+	var sendAbort error
 	for i, n := 0, pl.sends(); i < n; i++ {
 		op := pl.sendOp(i)
 		if f != nil && !f.opts.Membership.IsAlive(op.group) {
@@ -200,7 +266,8 @@ func runTransfer[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun
 			mSendsSkippedDead.Inc()
 			if f.abortOnDeadSend && f.opts.Policy == FailStrict {
 				mRankdownAborts.Inc()
-				return &core.ErrRankDown{Rank: op.group, Epoch: f.opts.Membership.Epoch()}
+				sendAbort = &core.ErrRankDown{Rank: op.group, Epoch: f.opts.Membership.Epoch()}
+				break
 			}
 			continue
 		}
@@ -216,19 +283,22 @@ func runTransfer[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun
 		mMsgElems.Observe(int64(op.elems))
 		tr.Span(obs.EvSend, "", pl.srcRank(), op.rank, int64(op.elems), start)
 	}
-	if pl.srcRank() >= 0 {
+	if pl.srcRank() >= 0 && sendAbort == nil {
 		mTransfers.Inc()
 	}
 
 	// Receive phase.
 	nRecv := pl.recvs()
 	if nRecv == 0 && pl.dstRank() < 0 {
-		return nil
+		if sendAbort != nil {
+			mErrors.Inc()
+		}
+		return sendAbort
 	}
 	if f != nil && pl.dstRank() >= 0 {
 		f.out.Validity = dad.NewValidity(pl.dstLen())
 	}
-	var firstErr error
+	firstErr := sendAbort
 	lost := false
 	for i := 0; i < nRecv; i++ {
 		op := pl.recvOp(i)
@@ -276,6 +346,9 @@ func runTransfer[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun
 				}
 				continue
 			}
+			// Every consumed message counts, including discards: mMsgsRecv
+			// is "messages taken off the wire", matching the unfenced path.
+			mMsgsRecv.Inc()
 			m, isMsg := payload.(*xferMsg)
 			if isMsg && m.epoch != 0 && m.epoch < f.entryEpoch {
 				// Leftover of a pre-failure attempt; discard and keep
@@ -284,12 +357,23 @@ func runTransfer[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun
 				recycle(m)
 				continue
 			}
-			mMsgsRecv.Inc()
 			if firstErr != nil {
 				mDrained.Inc()
 				if isMsg {
 					recycle(m)
 				}
+				break
+			}
+			if isMsg && m.epoch > f.entryEpoch {
+				// The peer already re-planned into a NEWER epoch than this
+				// rank entered at. Consuming its message against our stale
+				// plan would corrupt data silently whenever the element
+				// counts happen to match; reject with a typed error so the
+				// caller re-enters at the current epoch.
+				mStaleLocal.Inc()
+				remote := m.epoch
+				recycle(m)
+				firstErr = &StaleLocalEpochError{Transfer: pl.proto(), Rank: pl.dstRank(), Peer: op.rank, Local: f.entryEpoch, Remote: remote}
 				break
 			}
 			if !isMsg {
@@ -371,6 +455,10 @@ func (p schedPlan[T]) pack(i int, out []T) {
 	schedule.PackSlice(p.s.OutgoingAt(p.src, i), p.srcLocal, out)
 }
 
+func (p schedPlan[T]) packRange(i, elemOff int, out []T) {
+	schedule.PackSliceRange(p.s.OutgoingAt(p.src, i), p.srcLocal, out, elemOff)
+}
+
 func (p schedPlan[T]) recvs() int {
 	if p.dst < 0 {
 		return 0
@@ -391,8 +479,16 @@ func (p schedPlan[T]) check(i int, m *xferMsg) error {
 	return nil
 }
 
+// checkHave is a no-op: schedule-driven messages carry no position
+// metadata, and a budgeted chunk's element count is the engine's check.
+func (p schedPlan[T]) checkHave(i int, m *xferMsg) error { return nil }
+
 func (p schedPlan[T]) unpack(i int, data []T) {
 	schedule.UnpackSlice(p.s.IncomingAt(p.dst, i), p.dstLocal, data)
+}
+
+func (p schedPlan[T]) unpackRange(i, elemOff int, data []T) {
+	schedule.UnpackSliceRange(p.s.IncomingAt(p.dst, i), p.dstLocal, data, elemOff)
 }
 
 // lose invalidates the elements the dead pair would have delivered and
@@ -443,6 +539,12 @@ type linPlan[T Elem] struct {
 	need    linear.Set // this destination's full position set
 	got     int        // positions successfully unpacked
 	lostAny bool
+
+	// Scratch sub-sets reused across packRange/unpackRange calls of the
+	// memory-bounded path (each call's result is consumed synchronously
+	// before the next, so one scratch set per direction suffices).
+	packSub   linear.Set
+	unpackSub linear.Set
 }
 
 func (p *linPlan[T]) proto() string { return "linear" }
@@ -463,6 +565,14 @@ func (p *linPlan[T]) pack(i int, out []T) {
 	mLinReplies.Inc()
 }
 
+func (p *linPlan[T]) packRange(i, elemOff int, out []T) {
+	p.packSub = p.outSets[i].Slice(elemOff, len(out), p.packSub)
+	p.srcLin.Pack(p.src, p.srcLocal, p.packSub, out)
+	if elemOff == 0 {
+		mLinReplies.Inc()
+	}
+}
+
 func (p *linPlan[T]) recvs() int { return len(p.inSrc) }
 
 func (p *linPlan[T]) recvOp(i int) pairOp {
@@ -477,8 +587,26 @@ func (p *linPlan[T]) check(i int, m *xferMsg) error {
 	return nil
 }
 
+// checkHave validates the position metadata the first chunk of a
+// budgeted message carries: the sender's full reply set, which must
+// equal this destination's expected intersection. Chunk element counts
+// are the engine's concern.
+func (p *linPlan[T]) checkHave(i int, m *xferMsg) error {
+	expect := p.inSets[i]
+	if !m.have.Equal(expect) {
+		return &ElemCountError{Transfer: "linear", DstRank: p.dst, SrcRank: p.inSrc[i], Got: m.have.Len(), Want: expect.Len()}
+	}
+	return nil
+}
+
 func (p *linPlan[T]) unpack(i int, data []T) {
 	p.dstLin.Unpack(p.dst, p.dstLocal, p.inSets[i], data)
+	p.got += len(data)
+}
+
+func (p *linPlan[T]) unpackRange(i, elemOff int, data []T) {
+	p.unpackSub = p.inSets[i].Slice(elemOff, len(data), p.unpackSub)
+	p.dstLin.Unpack(p.dst, p.dstLocal, p.unpackSub, data)
 	p.got += len(data)
 }
 

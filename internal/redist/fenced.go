@@ -16,6 +16,7 @@
 package redist
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -31,10 +32,31 @@ var (
 	mReplans          = obs.Default().Counter("redist.replans")
 	mReplanNS         = obs.Default().Histogram("redist.replan_ns")
 	mStaleEpoch       = obs.Default().Counter("redist.stale_epoch_rejected")
+	mStaleLocal       = obs.Default().Counter("redist.stale_local_epoch")
 	mRankdownAborts   = obs.Default().Counter("redist.rankdown_aborts")
 	mSendsSkippedDead = obs.Default().Counter("redist.sends_skipped_dead")
 	mElemsInvalidated = obs.Default().Counter("redist.elems_invalidated")
 )
+
+// StaleLocalEpochError reports the inverse of a stale-epoch discard:
+// a peer's message carried a NEWER membership epoch than this rank
+// entered the transfer at, meaning this rank's plan is the stale one.
+// Consuming such a message would corrupt data silently whenever element
+// counts happen to match, so the transfer aborts (after draining) and
+// the caller should re-enter it at the current epoch — as should the
+// peer cohort, which will see this rank's own traffic as stale.
+type StaleLocalEpochError struct {
+	Transfer string // "exchange" or "linear"
+	Rank     int    // local cohort rank that found itself stale
+	Peer     int    // peer cohort rank whose message carried the newer epoch
+	Local    uint64 // this rank's entry epoch
+	Remote   uint64 // the epoch stamped on the peer's message
+}
+
+func (e *StaleLocalEpochError) Error() string {
+	return fmt.Sprintf("redist: %s transfer: rank %d entered at epoch %d but peer rank %d is at epoch %d; re-enter at the current epoch",
+		e.Transfer, e.Rank, e.Local, e.Peer, e.Remote)
+}
 
 // FailPolicy selects what a fenced transfer does when a rank it depends on
 // is (or becomes) dead.
@@ -83,6 +105,11 @@ type FenceOpts struct {
 	// SetValidity(dstRank, ...) whenever a re-planned transfer loses
 	// elements — the "partial data marked on the destination DAD" hook.
 	Desc *dad.Descriptor
+	// MaxBytesInFlight, when positive, runs the transfer through the
+	// memory-bounded chunked protocol (see TransferOpts and budget.go).
+	// Rounds carry the entry epoch on every chunk, and the failure
+	// policies apply per chunk exactly as they apply per message.
+	MaxBytesInFlight int
 }
 
 func (o FenceOpts) withDefaults() FenceOpts {
@@ -122,7 +149,7 @@ func ExchangeFencedT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, src
 	// FailStrict: the destination's missing message would wedge the
 	// collective protocol.
 	f := newFenceRun(opts, true)
-	err := exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, f)
+	err := exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, f, opts.MaxBytesInFlight)
 	sort.Ints(f.out.Down)
 	return f.out, err
 }
@@ -154,7 +181,7 @@ func LinearExchangeFencedT[T Elem](c *comm.Comm, srcLin, dstLin linear.Linearize
 	// A receiver-driven source owes the destinations nothing it was not
 	// asked for: replies to dead requesters are skipped, never aborted on.
 	f := newFenceRun(opts, false)
-	err := linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, f)
+	err := linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, f, opts.MaxBytesInFlight)
 	sort.Ints(f.out.Down)
 	return f.out, err
 }

@@ -148,27 +148,59 @@ type Layout struct {
 // the rest of its expected messages before returning the error, keeping
 // the tag namespace clean for the next transfer.
 func ExchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int) error {
-	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil)
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, 0)
 }
 
 // Exchange is ExchangeT for float64, the historical default.
 func Exchange(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []float64, baseTag int) error {
-	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil)
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, 0)
+}
+
+// TransferOpts tunes a transfer's resource envelope.
+type TransferOpts struct {
+	// MaxBytesInFlight, when positive, bounds the packed transfer
+	// payload bytes this rank holds resident at once: pairwise messages
+	// are split into chunks and moved in acknowledged rounds of at most
+	// half the budget each, the next round packing while the previous
+	// one is in flight (see budget.go). Every rank of one transfer must
+	// pass the same value — both sides derive the identical chunk
+	// decomposition from it instead of negotiating. Zero or negative
+	// selects the unbounded path: every message materialized at once.
+	//
+	// Budgets smaller than two elements degrade to element-at-a-time
+	// chunks, making the bound best-effort rather than hard.
+	MaxBytesInFlight int
+}
+
+// ExchangeWithT is ExchangeT with explicit transfer options; identical
+// destination contents, different peak-memory profile.
+func ExchangeWithT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T,
+	baseTag int, opts TransferOpts) error {
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, opts.MaxBytesInFlight)
+}
+
+// ExchangeWith is ExchangeWithT for float64, the historical default.
+func ExchangeWith(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []float64,
+	baseTag int, opts TransferOpts) error {
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, opts.MaxBytesInFlight)
 }
 
 // exchangeT validates cohort membership and buffer sizes, builds the
 // schedule plan and runs the engine. f selects fenced (non-nil) vs plain
 // operation; both Exchange and ExchangeFenced land here.
-func exchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int, f *fenceRun) error {
+func exchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int, f *fenceRun, budget int) error {
 	me := c.Rank()
 	srcRank := me - lay.SrcBase
 	dstRank := me - lay.DstBase
 	isSrc := srcRank >= 0 && srcRank < s.Src.NumProcs()
 	isDst := dstRank >= 0 && dstRank < s.Dst.NumProcs()
-	if isSrc && srcLocal == nil {
+	// A nil buffer is an error only on ranks the template actually
+	// assigns elements: ranks whose local count is zero (irregular
+	// distributions with empty blocks) legitimately pass nil.
+	if isSrc && srcLocal == nil && s.Src.LocalCount(srcRank) > 0 {
 		return fmt.Errorf("redist: group rank %d is source rank %d but has no source buffer", me, srcRank)
 	}
-	if isDst && dstLocal == nil {
+	if isDst && dstLocal == nil && s.Dst.LocalCount(dstRank) > 0 {
 		return fmt.Errorf("redist: group rank %d is destination rank %d but has no destination buffer", me, dstRank)
 	}
 	if isSrc {
@@ -188,7 +220,7 @@ func exchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal,
 	if isDst {
 		pl.dst = dstRank
 	}
-	return runTransfer[T](c, pl, baseTag, f)
+	return runTransfer[T](c, pl, baseTag, f, budget)
 }
 
 // linRequest is a destination rank's chunk request in the receiver-driven
@@ -217,13 +249,21 @@ type linRequest struct {
 // the remaining expected replies have been drained.
 func LinearExchangeT[T Elem](c *comm.Comm, srcLin, dstLin linear.LinearizerT[T], lay Layout, nSrc, nDst int,
 	srcLocal, dstLocal []T, baseTag int) error {
-	return linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, nil)
+	return linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, nil, 0)
 }
 
 // LinearExchange is LinearExchangeT for float64, the historical default.
 func LinearExchange(c *comm.Comm, srcLin, dstLin linear.Linearizer, lay Layout, nSrc, nDst int,
 	srcLocal, dstLocal []float64, baseTag int) error {
-	return linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, nil)
+	return linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, nil, 0)
+}
+
+// LinearExchangeWithT is LinearExchangeT with explicit transfer options:
+// the request phase is unchanged (request traffic is tiny), but replies
+// move through the memory-bounded chunked protocol when a budget is set.
+func LinearExchangeWithT[T Elem](c *comm.Comm, srcLin, dstLin linear.LinearizerT[T], lay Layout, nSrc, nDst int,
+	srcLocal, dstLocal []T, baseTag int, opts TransferOpts) error {
+	return linearExchangeT(c, srcLin, dstLin, lay, nSrc, nDst, srcLocal, dstLocal, baseTag, nil, opts.MaxBytesInFlight)
 }
 
 // linearExchangeT runs the receiver-driven negotiation (requests on
@@ -231,7 +271,7 @@ func LinearExchange(c *comm.Comm, srcLin, dstLin linear.Linearizer, lay Layout, 
 // transfer (replies on baseTag+1). f selects fenced vs plain operation;
 // both LinearExchange and LinearExchangeFenced land here.
 func linearExchangeT[T Elem](c *comm.Comm, srcLin, dstLin linear.LinearizerT[T], lay Layout, nSrc, nDst int,
-	srcLocal, dstLocal []T, baseTag int, f *fenceRun) error {
+	srcLocal, dstLocal []T, baseTag int, f *fenceRun, budget int) error {
 
 	if srcLin.TotalLen() != dstLin.TotalLen() {
 		return fmt.Errorf("redist: linearizations disagree on length: %d vs %d", srcLin.TotalLen(), dstLin.TotalLen())
@@ -311,6 +351,7 @@ func linearExchangeT[T Elem](c *comm.Comm, srcLin, dstLin linear.LinearizerT[T],
 				pending[lay.DstBase+d] = true
 			}
 			waited := time.Duration(0)
+			var staleLocal error
 			for len(pending) > 0 {
 				for dg := range pending {
 					if !m.IsAlive(dg) {
@@ -341,11 +382,32 @@ func linearExchangeT[T Elem](c *comm.Comm, srcLin, dstLin linear.LinearizerT[T],
 					continue
 				}
 				delete(pending, from)
+				if req.epoch > f.entryEpoch {
+					// The requester already re-planned into a newer epoch:
+					// any reply this source packs against its stale view
+					// would be rejected over there as stale anyway. Keep
+					// consuming the remaining requests (tag hygiene), then
+					// surface a typed error so the caller re-enters the
+					// transfer at the current epoch.
+					if staleLocal == nil {
+						mStaleLocal.Inc()
+						staleLocal = &StaleLocalEpochError{Transfer: "linear", Rank: srcRank, Peer: req.dstRank, Local: f.entryEpoch, Remote: req.epoch}
+					}
+					continue
+				}
+				if staleLocal != nil {
+					mDrained.Inc()
+					continue
+				}
 				pl.outDst = append(pl.outDst, req.dstRank)
 				pl.outSets = append(pl.outSets, owned.Intersect(req.need))
+			}
+			if staleLocal != nil {
+				mErrors.Inc()
+				return staleLocal
 			}
 		}
 	}
 
-	return runTransfer[T](c, pl, dataTag, f)
+	return runTransfer[T](c, pl, dataTag, f, budget)
 }

@@ -1,0 +1,57 @@
+// Element-boundary windows over a pairwise message's packed order.
+//
+// PackSlice/UnpackSlice move a whole pairwise message at once; the
+// memory-bounded transfer engine instead moves a message as consecutive
+// chunks, each covering the window [off, off+len(chunk)) of the same
+// packed element order. The range variants below walk the plan's runs,
+// skipping off elements and splitting a run mid-way when a window
+// boundary lands inside it, so chunked and whole-message transfers
+// touch exactly the same local elements in exactly the same order.
+package schedule
+
+// PackSliceRange gathers the window [off, off+len(out)) of plan's
+// packed element order from the source rank's local buffer. Packing
+// consecutive windows that tile [0, plan.Elems) is equivalent to one
+// PackSlice of the whole message.
+func PackSliceRange[T any](plan PairPlan, local, out []T, off int) {
+	k := 0
+	for _, r := range plan.Runs {
+		if off >= r.N {
+			off -= r.N
+			continue
+		}
+		n := r.N - off
+		if rem := len(out) - k; n > rem {
+			n = rem
+		}
+		copy(out[k:k+n], local[r.SrcOff+off:r.SrcOff+off+n])
+		k += n
+		off = 0
+		if k == len(out) {
+			return
+		}
+	}
+}
+
+// UnpackSliceRange scatters a chunk holding the window
+// [off, off+len(data)) of plan's packed element order into the
+// destination rank's local buffer.
+func UnpackSliceRange[T any](plan PairPlan, local, data []T, off int) {
+	k := 0
+	for _, r := range plan.Runs {
+		if off >= r.N {
+			off -= r.N
+			continue
+		}
+		n := r.N - off
+		if rem := len(data) - k; n > rem {
+			n = rem
+		}
+		copy(local[r.DstOff+off:r.DstOff+off+n], data[k:k+n])
+		k += n
+		off = 0
+		if k == len(data) {
+			return
+		}
+	}
+}

@@ -167,6 +167,19 @@ func Exchange(c *Comm, s *Schedule, lay Layout, srcLocal, dstLocal []float64, ba
 	return redist.Exchange(c, s, lay, srcLocal, dstLocal, baseTag)
 }
 
+// TransferOpts tunes a transfer's resource envelope. Setting
+// MaxBytesInFlight bounds the packed bytes a rank holds resident at
+// once: the transfer moves in acknowledged rounds of chunks instead of
+// materializing every pairwise message, with identical destination
+// contents. Every rank of one transfer must pass the same value.
+type TransferOpts = redist.TransferOpts
+
+// ExchangeWith is Exchange with explicit transfer options (for example
+// a MaxBytesInFlight memory budget).
+func ExchangeWith(c *Comm, s *Schedule, lay Layout, srcLocal, dstLocal []float64, baseTag int, opts TransferOpts) error {
+	return redist.ExchangeWith(c, s, lay, srcLocal, dstLocal, baseTag, opts)
+}
+
 // ExecuteLocal runs a whole schedule in one goroutine (reference
 // executor).
 func ExecuteLocal(s *Schedule, srcLocals, dstLocals [][]float64) {
@@ -195,6 +208,11 @@ type Elem = redist.Elem
 // ExchangeT is Exchange for any supported element type.
 func ExchangeT[T Elem](c *Comm, s *Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int) error {
 	return redist.ExchangeT(c, s, lay, srcLocal, dstLocal, baseTag)
+}
+
+// ExchangeWithT is ExchangeWith for any supported element type.
+func ExchangeWithT[T Elem](c *Comm, s *Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int, opts TransferOpts) error {
+	return redist.ExchangeWithT(c, s, lay, srcLocal, dstLocal, baseTag, opts)
 }
 
 // ExecuteLocalT is ExecuteLocal for any supported element type.
