@@ -105,7 +105,10 @@ func runChaosRedist(t *testing.T, policy redist.FailPolicy) {
 	for r := 0; r < n; r++ {
 		go func(r int, c *comm.Comm) {
 			defer wg.Done()
-			hb := core.StartHeartbeats(c, mem, cfg, peers)
+			hb, hbErr := core.StartHeartbeats(c, mem, cfg, peers)
+			if hbErr != nil {
+				panic(hbErr)
+			}
 			defer hb.Stop()
 			if r == victim {
 				// Crash after the cohort is mid-transfer: the victim's

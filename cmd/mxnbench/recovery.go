@@ -68,7 +68,10 @@ func runR1() error {
 	for r := 0; r < n; r++ {
 		go func(r int, c *comm.Comm) {
 			defer wg.Done()
-			hb := core.StartHeartbeats(c, mem, cfg, peers)
+			hb, hbErr := core.StartHeartbeats(c, mem, cfg, peers)
+			if hbErr != nil {
+				panic(hbErr)
+			}
 			defer hb.Stop()
 			if r == victim {
 				time.Sleep(3 * cfg.Interval)

@@ -10,8 +10,13 @@
 // against the patch-enumeration baseline. A HighWater phase measures peak
 // resident packed bytes — unbudgeted against a MaxBytesInFlight-budgeted
 // run over the same world — via the engine's packed-bytes watermark, with
-// runtime.MemStats deltas as corroboration. The headline numbers to watch:
-// cached allocs/op must be 0 (budgeted included), the fast planner must
+// runtime.MemStats deltas as corroboration. A Resize phase runs complete
+// online reconfigurations — prepare fence, planned migration over a cached
+// Remap schedule, commit — alternating grow 2→4 and shrink 4→2, reporting
+// resize wall-clock, planned-migration throughput and the migration path's
+// allocation count, then measures the cached steady state on the
+// post-resize geometry. The headline numbers to watch: cached allocs/op
+// must be 0 (budgeted and post-resize included), the fast planner must
 // beat the enumerator, the cached/uncached throughput gap bounds what a
 // first contact or a post-failure re-plan costs on top of a steady-state
 // transfer, and the budgeted high water must stay within budget per
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"mxn/internal/comm"
+	"mxn/internal/core"
 	"mxn/internal/dad"
 	"mxn/internal/obs"
 	"mxn/internal/redist"
@@ -43,9 +49,9 @@ const benchElems = 1 << 14
 
 type caseResult struct {
 	Name        string  `json:"name"`
-	Phase       string  `json:"phase"` // "transfer", "plan" or "highwater"
+	Phase       string  `json:"phase"` // "transfer", "plan", "highwater" or "resize"
 	Elem        string  `json:"elem,omitempty"`
-	Schedule    string  `json:"schedule"` // transfer: "cached"/"uncached"; plan: "fast"/"enumerator"; highwater: "unbudgeted"/"budgeted"
+	Schedule    string  `json:"schedule"` // transfer: "cached"/"uncached"; plan: "fast"/"enumerator"; highwater: "unbudgeted"/"budgeted"; resize: "migration"/"cached"
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	ElemsPerSec float64 `json:"elems_per_sec,omitempty"`
@@ -398,6 +404,241 @@ func runPlanCase(fast bool) (caseResult, error) {
 	}, nil
 }
 
+// resizeWorld drives full online-resize cycles: a 4-rank world whose
+// cohort alternates between width 2 and width 4, one complete resize
+// (ProposeResize → fenced migration → CommitReconfigure) per step. Both
+// cohorts share the rank prefix (Layout{}), so migrating ranks send and
+// receive concurrently; like budgetWorld, the ranks are persistent worker
+// goroutines so the steady state stays free of per-step setup.
+type resizeWorld struct {
+	mem         *core.Membership
+	cache       *schedule.Cache
+	smallT      *dad.Template // Block(2)
+	bigT        *dad.Template // Block(4)
+	smallLocals [][]float64
+	bigLocals   [][]float64
+	start       []chan *core.Resize
+	done        chan error
+	grown       bool
+}
+
+func newResizeWorld() (*resizeWorld, error) {
+	smallT, err := dad.NewTemplate([]int{benchElems}, []dad.AxisDist{dad.BlockAxis(2)})
+	if err != nil {
+		return nil, err
+	}
+	bigT, err := dad.NewTemplate([]int{benchElems}, []dad.AxisDist{dad.BlockAxis(4)})
+	if err != nil {
+		return nil, err
+	}
+	rw := &resizeWorld{
+		mem:    core.NewMembership(2),
+		cache:  schedule.NewCache(),
+		smallT: smallT, bigT: bigT,
+		done: make(chan error, 4),
+	}
+	for r := 0; r < 2; r++ {
+		rw.smallLocals = append(rw.smallLocals, make([]float64, smallT.LocalCount(r)))
+	}
+	for r := 0; r < 4; r++ {
+		rw.bigLocals = append(rw.bigLocals, make([]float64, bigT.LocalCount(r)))
+	}
+	cs := comm.NewWorld(4).Comms()
+	for r := 0; r < 4; r++ {
+		ch := make(chan *core.Resize, 1)
+		rw.start = append(rw.start, ch)
+		go func(r int, ch chan *core.Resize) {
+			for rz := range ch {
+				oldT, newT := rw.smallT, rw.bigT
+				if rz.OldWidth() == 4 {
+					oldT, newT = rw.bigT, rw.smallT
+				}
+				var sl, dl []float64
+				if r < oldT.NumProcs() {
+					if oldT == rw.smallT {
+						sl = rw.smallLocals[r]
+					} else {
+						sl = rw.bigLocals[r]
+					}
+				}
+				if r < newT.NumProcs() {
+					if newT == rw.smallT {
+						dl = rw.smallLocals[r]
+					} else {
+						dl = rw.bigLocals[r]
+					}
+				}
+				opts := redist.FenceOpts{
+					Membership:   rw.mem,
+					Policy:       redist.FailStrict,
+					PollInterval: 100 * time.Microsecond,
+					Cache:        rw.cache,
+				}
+				_, err := redist.ReconfigureFenced(cs[r], rz, oldT, newT, redist.Layout{}, sl, dl, 0, opts)
+				rw.done <- err
+			}
+		}(r, ch)
+	}
+	return rw, nil
+}
+
+// step runs one complete resize: grow 2→4 or shrink 4→2, alternating.
+func (rw *resizeWorld) step() error {
+	newWidth := 4
+	if rw.grown {
+		newWidth = 2
+	}
+	rz, err := rw.mem.ProposeResize(newWidth)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < 4; r++ {
+		rw.start[r] <- rz
+	}
+	var firstErr error
+	for r := 0; r < 4; r++ {
+		if err := <-rw.done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		rz.Abort()
+		return firstErr
+	}
+	// The templates alternate every step, so the cached migration plans
+	// stay live across iterations: no scoped invalidation here — that
+	// cost belongs to a real geometry retirement, not the steady state.
+	if _, err := redist.CommitReconfigure(rz, nil); err != nil {
+		return err
+	}
+	rw.grown = !rw.grown
+	return nil
+}
+
+func (rw *resizeWorld) close() {
+	for _, ch := range rw.start {
+		close(ch)
+	}
+}
+
+// runResizeCase measures the full resize cycle — prepare fence, planned
+// migration over a cached Remap schedule, commit — reporting resize
+// wall-clock (ns/op), planned-migration throughput (elems/sec) and the
+// allocation count of the migration path.
+func runResizeCase() (caseResult, error) {
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		rw, err := newResizeWorld()
+		if err != nil {
+			runErr = err
+			b.SkipNow()
+		}
+		defer rw.close()
+		for i := 0; i < 4; i++ { // warm both directions' cached plans
+			if err := rw.step(); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(benchElems * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rw.step(); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return caseResult{}, runErr
+	}
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	return caseResult{
+		Name:        "Resize/float64/migration",
+		Phase:       "resize",
+		Elem:        "float64",
+		Schedule:    "migration",
+		Iterations:  res.N,
+		NsPerOp:     nsPerOp,
+		ElemsPerSec: float64(benchElems) * 1e9 / nsPerOp,
+		MBPerSec:    float64(benchElems*8) * 1e3 / nsPerOp,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
+}
+
+// runResizePost measures steady-state cached transfers on the post-resize
+// geometry (the grown Block(4) cohort feeding a Cyclic(4) consumer). It
+// reports Schedule "cached", so the global zero-allocs gate enforces that
+// a resize leaves the steady state allocation-free.
+func runResizePost() (caseResult, error) {
+	src, err := dad.NewTemplate([]int{benchElems}, []dad.AxisDist{dad.BlockAxis(4)})
+	if err != nil {
+		return caseResult{}, err
+	}
+	dst, err := dad.NewTemplate([]int{benchElems}, []dad.AxisDist{dad.CyclicAxis(4)})
+	if err != nil {
+		return caseResult{}, err
+	}
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		return caseResult{}, err
+	}
+	cs := comm.NewWorld(8).Comms()
+	lay := redist.Layout{SrcBase: 0, DstBase: 4}
+	var srcLocals, dstLocals [][]float64
+	for r := 0; r < 4; r++ {
+		srcLocals = append(srcLocals, make([]float64, src.LocalCount(r)))
+		dstLocals = append(dstLocals, make([]float64, dst.LocalCount(r)))
+	}
+	step := func() error {
+		for r := 0; r < 4; r++ {
+			if err := redist.ExchangeT[float64](cs[r], s, lay, srcLocals[r], nil, 0); err != nil {
+				return fmt.Errorf("source rank %d: %w", r, err)
+			}
+		}
+		for r := 0; r < 4; r++ {
+			if err := redist.ExchangeT[float64](cs[4+r], s, lay, nil, dstLocals[r], 0); err != nil {
+				return fmt.Errorf("destination rank %d: %w", r, err)
+			}
+		}
+		return nil
+	}
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		if err := step(); err != nil { // warm pools and mailbox queues
+			runErr = err
+			b.SkipNow()
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(benchElems * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := step(); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return caseResult{}, runErr
+	}
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	return caseResult{
+		Name:        "ResizePost/float64/cached",
+		Phase:       "resize",
+		Elem:        "float64",
+		Schedule:    "cached",
+		Iterations:  res.N,
+		NsPerOp:     nsPerOp,
+		ElemsPerSec: float64(benchElems) * 1e9 / nsPerOp,
+		MBPerSec:    float64(benchElems*8) * 1e3 / nsPerOp,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
+}
+
 func main() {
 	outFlag := flag.String("out", "BENCH_redist.json", "report path ('-' for stdout)")
 	shortFlag := flag.Bool("short", false, "smoke run: fixed small iteration count")
@@ -477,6 +718,27 @@ func main() {
 		fmt.Printf("%-28s %10d steps %12d peak packed bytes  (budget %d)\n",
 			hw.Name, hw.Iterations, hw.PeakPackedBytes, hw.BudgetBytes)
 	}
+	// Online resize: full grow/shrink cycles (prepare fence → planned
+	// migration → commit), then the cached steady state on the post-resize
+	// geometry. The latter carries Schedule "cached" so the zero-alloc gate
+	// below covers it: a resize must not leave allocations behind.
+	rzRes, err := runResizeCase()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resize: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Cases = append(rep.Cases, rzRes)
+	fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8.1f MB/s  %6d B/op  %4d allocs/op\n",
+		rzRes.Name, rzRes.Iterations, rzRes.NsPerOp, rzRes.ElemsPerSec, rzRes.MBPerSec, rzRes.BytesPerOp, rzRes.AllocsPerOp)
+	postRes, err := runResizePost()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resize post: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Cases = append(rep.Cases, postRes)
+	fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8.1f MB/s  %6d B/op  %4d allocs/op\n",
+		postRes.Name, postRes.Iterations, postRes.NsPerOp, postRes.ElemsPerSec, postRes.MBPerSec, postRes.BytesPerOp, postRes.AllocsPerOp)
+
 	rep.Metrics = obs.Default().Snapshot()
 
 	// The engine's contract: steady-state transfers over a cached schedule

@@ -60,7 +60,7 @@ func (c *Comm) BarrierTimeout(d time.Duration) ([]int, error) {
 	if c.rank != 0 {
 		c.send(0, tagBarrierArrive, nil)
 		wait := 2*d + 500*time.Millisecond
-		m, ok := c.group.world.boxes[wme].takeTimeout(c.group.gid, c.group.ranks[0], tagBarrierResult, wait)
+		m, ok := c.group.world.st().boxes[wme].takeTimeout(c.group.gid, c.group.ranks[0], tagBarrierResult, wait)
 		if !ok {
 			mBarrierExpiry.Inc()
 			return nil, &BarrierTimeoutError{RootLost: true}
@@ -81,7 +81,7 @@ func (c *Comm) BarrierTimeout(d time.Duration) ([]int, error) {
 		if remain <= 0 {
 			break
 		}
-		m, ok := c.group.world.boxes[wme].takeTimeout(c.group.gid, AnySource, tagBarrierArrive, remain)
+		m, ok := c.group.world.st().boxes[wme].takeTimeout(c.group.gid, AnySource, tagBarrierArrive, remain)
 		if !ok {
 			break
 		}

@@ -138,12 +138,34 @@ func (mb *mailbox) tryTake(gid uint64, from, tag int) (message, bool) {
 	return message{}, false
 }
 
-// World is a fixed-size set of ranks that can exchange messages.
-// It plays the role of MPI_COMM_WORLD's underlying process set.
+// World is a set of ranks that can exchange messages. It plays the role
+// of MPI_COMM_WORLD's underlying process set, except that — unlike MPI —
+// it can grow: Grow admits new ranks at the top of the rank space so an
+// online cohort resize (core.ProposeResize) has somewhere to put joiners.
+//
+// The rank array is held behind an atomic pointer: sends and receives
+// load the current state with one atomic read (no lock on the hot path),
+// and Grow installs a copied, extended state. Mailboxes and per-rank
+// death flags are shared by pointer between states, so messages queued
+// and Kill marks survive a concurrent grow.
 type World struct {
-	size  int
+	growMu sync.Mutex // serializes Grow
+	state  atomic.Pointer[worldState]
+}
+
+// worldState is one immutable snapshot of the world's rank array.
+type worldState struct {
 	boxes []*mailbox
-	dead  []atomic.Bool
+	dead  []*atomic.Bool
+}
+
+func newWorldState(n int) *worldState {
+	st := &worldState{boxes: make([]*mailbox, n), dead: make([]*atomic.Bool, n)}
+	for i := range st.boxes {
+		st.boxes[i] = newMailbox()
+		st.dead[i] = &atomic.Bool{}
+	}
+	return st
 }
 
 // NewWorld creates a world with n ranks.
@@ -151,15 +173,52 @@ func NewWorld(n int) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("comm: world size must be positive, got %d", n))
 	}
-	w := &World{size: n, boxes: make([]*mailbox, n), dead: make([]atomic.Bool, n)}
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
-	}
+	w := &World{}
+	w.state.Store(newWorldState(n))
 	return w
 }
 
-// Size returns the number of ranks in the world.
-func (w *World) Size() int { return w.size }
+// st returns the current world snapshot.
+func (w *World) st() *worldState { return w.state.Load() }
+
+// Size returns the number of ranks currently in the world.
+func (w *World) Size() int { return len(w.st().boxes) }
+
+// Grow extends the world to newSize ranks, returning the world ranks
+// that were added (empty when newSize equals the current size). The new
+// ranks are alive with empty mailboxes; existing ranks, their queued
+// messages, and their death marks are untouched, and communicators
+// created before the grow keep working — a group is a fixed rank list,
+// so growing the world never changes any existing communicator's
+// membership (again the MPI model: new ranks only communicate through
+// groups created after they exist). Shrinking is not a World operation:
+// a departing rank is either simply abandoned (its mailbox idle) or
+// Killed; the rank space, like an MPI world, never renumbers.
+func (w *World) Grow(newSize int) []int {
+	w.growMu.Lock()
+	defer w.growMu.Unlock()
+	cur := w.st()
+	if newSize < len(cur.boxes) {
+		panic(fmt.Sprintf("comm: Grow to %d below current world size %d", newSize, len(cur.boxes)))
+	}
+	if newSize == len(cur.boxes) {
+		return nil
+	}
+	next := &worldState{
+		boxes: make([]*mailbox, newSize),
+		dead:  make([]*atomic.Bool, newSize),
+	}
+	copy(next.boxes, cur.boxes)
+	copy(next.dead, cur.dead)
+	added := make([]int, 0, newSize-len(cur.boxes))
+	for r := len(cur.boxes); r < newSize; r++ {
+		next.boxes[r] = newMailbox()
+		next.dead[r] = &atomic.Bool{}
+		added = append(added, r)
+	}
+	w.state.Store(next)
+	return added
+}
 
 // Kill marks a world rank crashed: its queued messages are discarded, and
 // from now on every message sent to it or from it silently disappears —
@@ -168,15 +227,16 @@ func (w *World) Size() int { return w.size }
 // harnesses pair Kill with a cooperative exit in the victim and a
 // liveness detector (core.StartHeartbeats) on the survivors. Idempotent.
 func (w *World) Kill(rank int) {
-	if rank < 0 || rank >= w.size {
-		panic(fmt.Sprintf("comm: kill of rank %d outside world of size %d", rank, w.size))
+	st := w.st()
+	if rank < 0 || rank >= len(st.boxes) {
+		panic(fmt.Sprintf("comm: kill of rank %d outside world of size %d", rank, len(st.boxes)))
 	}
-	if w.dead[rank].Swap(true) {
+	if st.dead[rank].Swap(true) {
 		return
 	}
 	mRanksKilled.Inc()
 	// A crashed process loses its unreceived messages with it.
-	b := w.boxes[rank]
+	b := st.boxes[rank]
 	b.mu.Lock()
 	mQueueDepth.Add(-int64(len(b.msgs)))
 	b.msgs = nil
@@ -185,12 +245,12 @@ func (w *World) Kill(rank int) {
 }
 
 // Alive reports whether a world rank has not been killed.
-func (w *World) Alive(rank int) bool { return !w.dead[rank].Load() }
+func (w *World) Alive(rank int) bool { return !w.st().dead[rank].Load() }
 
 // Comms returns one communicator handle per world rank, all belonging to a
 // single group spanning the whole world (the MPI_COMM_WORLD analogue).
 func (w *World) Comms() []*Comm {
-	ranks := make([]int, w.size)
+	ranks := make([]int, w.Size())
 	for i := range ranks {
 		ranks[i] = i
 	}
@@ -201,6 +261,7 @@ func (w *World) Comms() []*Comm {
 // one handle per member, in group order. Collectives on the returned
 // communicators involve exactly these ranks.
 func (w *World) Group(ranks []int) []*Comm {
+	size := w.Size()
 	g := &group{
 		world: w,
 		ranks: append([]int(nil), ranks...),
@@ -208,8 +269,8 @@ func (w *World) Group(ranks []int) []*Comm {
 	}
 	cs := make([]*Comm, len(ranks))
 	for i, r := range ranks {
-		if r < 0 || r >= w.size {
-			panic(fmt.Sprintf("comm: rank %d outside world of size %d", r, w.size))
+		if r < 0 || r >= size {
+			panic(fmt.Sprintf("comm: rank %d outside world of size %d", r, size))
 		}
 		cs[i] = &Comm{group: g, rank: i}
 	}
@@ -273,16 +334,16 @@ func (c *Comm) send(to, tag int, payload any) {
 	if to < 0 || to >= len(c.group.ranks) {
 		panic(fmt.Sprintf("comm: send to rank %d outside group of size %d", to, len(c.group.ranks)))
 	}
-	w := c.group.world
+	st := c.group.world.st()
 	wr := c.group.ranks[to]
 	wme := c.group.ranks[c.rank]
 	// A dead rank neither produces nor consumes traffic: messages to or
 	// from it vanish, exactly as they would with a crashed MPI process.
-	if w.dead[wr].Load() || w.dead[wme].Load() {
+	if st.dead[wr].Load() || st.dead[wme].Load() {
 		mDroppedDead.Inc()
 		return
 	}
-	w.boxes[wr].put(message{from: wme, tag: tag, gid: c.group.gid, payload: payload})
+	st.boxes[wr].put(message{from: wme, tag: tag, gid: c.group.gid, payload: payload})
 }
 
 // Recv blocks until a message with a matching source and tag arrives and
@@ -302,7 +363,7 @@ func (c *Comm) recv(from, tag int) message {
 		wfrom = c.group.ranks[from]
 	}
 	wr := c.group.ranks[c.rank]
-	return c.group.world.boxes[wr].take(c.group.gid, wfrom, tag)
+	return c.group.world.st().boxes[wr].take(c.group.gid, wfrom, tag)
 }
 
 // RecvTimeout is Recv bounded by a timeout: ok reports whether a matching
@@ -317,7 +378,7 @@ func (c *Comm) RecvTimeout(from, tag int, d time.Duration) (payload any, source 
 		wfrom = c.group.ranks[from]
 	}
 	wr := c.group.ranks[c.rank]
-	m, ok := c.group.world.boxes[wr].takeTimeout(c.group.gid, wfrom, tag, d)
+	m, ok := c.group.world.st().boxes[wr].takeTimeout(c.group.gid, wfrom, tag, d)
 	if !ok {
 		return nil, 0, false
 	}
@@ -332,7 +393,7 @@ func (c *Comm) TryRecv(from, tag int) (payload any, source int, ok bool) {
 		wfrom = c.group.ranks[from]
 	}
 	wr := c.group.ranks[c.rank]
-	m, ok := c.group.world.boxes[wr].tryTake(c.group.gid, wfrom, tag)
+	m, ok := c.group.world.st().boxes[wr].tryTake(c.group.gid, wfrom, tag)
 	if !ok {
 		return nil, 0, false
 	}

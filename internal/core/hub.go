@@ -44,20 +44,25 @@ func NewHub(name string, np int, bridge Bridge) *Hub {
 	}
 }
 
-// NumProcs returns the cohort width.
-func (h *Hub) NumProcs() int { return h.np }
+// NumProcs returns the cohort width (the current one, if the hub has
+// been resized).
+func (h *Hub) NumProcs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.np
+}
 
 // Register publishes a distributed data field for M×N transfers. The
 // descriptor's template must be decomposed over exactly the hub's cohort,
 // and the access mode constrains which transfer directions the field may
 // join (read = outbound source, write = inbound destination).
 func (h *Hub) Register(desc *dad.Descriptor) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if desc.Template.NumProcs() != h.np {
 		return fmt.Errorf("core: field %q is decomposed over %d ranks, hub %q has %d",
 			desc.Name, desc.Template.NumProcs(), h.name, h.np)
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	if _, dup := h.fields[desc.Name]; dup {
 		return fmt.Errorf("core: field %q already registered", desc.Name)
 	}
@@ -260,6 +265,8 @@ func (h *Hub) finishConnection(connID string, local, peer *dad.Descriptor, dir D
 	if err != nil {
 		return nil, err
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	c := &Connection{
 		ID:    connID,
 		hub:   h,
@@ -269,8 +276,6 @@ func (h *Hub) finishConnection(connID string, local, peer *dad.Descriptor, dir D
 		local: local,
 		seqs:  make([]uint64, h.np),
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	if _, dup := h.conns[connID]; dup {
 		return nil, fmt.Errorf("core: connection %q already exists", connID)
 	}

@@ -41,31 +41,57 @@ func (e *ErrRankDown) Error() string {
 }
 
 // Membership is a cohort's shared view of which ranks are alive. The epoch
-// starts at 1 and increases by one each time a rank is newly marked down,
-// so any two views with the same epoch agree on the alive set. Epoch 0 is
-// reserved to mean "unstamped" on the wire: a message carrying epoch 0
-// predates failure awareness and is never rejected as stale.
+// starts at 1 and increases by one each time the view changes — a rank
+// newly marked down, or a phase of a planned resize (see ProposeResize in
+// resize.go) — so any two views with the same epoch agree on the alive set
+// and the cohort width. Epoch 0 is reserved to mean "unstamped" on the
+// wire: a message carrying epoch 0 predates failure awareness and is never
+// rejected as stale.
+//
+// The rank universe [0, Size()) is the index space of the liveness bitmap
+// (typically a communicator group's rank space); the cohort width
+// (Width()) is how many of those ranks are current cohort members. The
+// two coincide until a resize commits a different width. The universe
+// only grows (a resize that adds ranks extends it); indices of departed
+// ranks are retained so a later grow can re-admit them.
 //
 // All methods are safe for concurrent use; one Membership value is
 // typically shared by every local rank of a cohort plus its heartbeat
 // goroutines.
 type Membership struct {
-	mu    sync.Mutex
-	n     int
-	epoch uint64
-	down  []bool
+	mu     sync.Mutex
+	n      int
+	width  int
+	epoch  uint64
+	down   []bool
+	resize *Resize // in-flight two-phase resize, nil when none
 }
 
-// NewMembership returns an all-alive view over ranks [0, n) at epoch 1.
+// NewMembership returns an all-alive view over ranks [0, n) at epoch 1,
+// with cohort width n.
 func NewMembership(n int) *Membership {
 	if n <= 0 {
 		panic(fmt.Sprintf("core: NewMembership size %d", n))
 	}
-	return &Membership{n: n, epoch: 1, down: make([]bool, n)}
+	return &Membership{n: n, width: n, epoch: 1, down: make([]bool, n)}
 }
 
-// Size returns the total number of ranks, dead or alive.
-func (m *Membership) Size() int { return m.n }
+// Size returns the rank-universe size: the number of ranks the view
+// tracks, dead or alive, cohort member or not. It grows when a resize
+// admits ranks beyond the current universe and never shrinks.
+func (m *Membership) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Width returns the current cohort width: how many ranks of the universe
+// are cohort members. It changes only when a resize commits.
+func (m *Membership) Width() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.width
+}
 
 // Epoch returns the current membership epoch (≥ 1).
 func (m *Membership) Epoch() uint64 {
@@ -77,11 +103,14 @@ func (m *Membership) Epoch() uint64 {
 // IsAlive reports whether rank has not been marked down. Ranks outside
 // [0, Size()) are reported dead.
 func (m *Membership) IsAlive(rank int) bool {
-	if rank < 0 || rank >= m.n {
+	if rank < 0 {
 		return false
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if rank >= m.n {
+		return false
+	}
 	return !m.down[rank]
 }
 
@@ -89,12 +118,12 @@ func (m *Membership) IsAlive(rank int) bool {
 // an already-dead rank changes nothing and reports false. newly reports
 // whether this call was the one that killed it.
 func (m *Membership) MarkDown(rank int) (newly bool) {
-	if rank < 0 || rank >= m.n {
+	if rank < 0 {
 		return false
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.down[rank] {
+	if rank >= m.n || m.down[rank] {
 		return false
 	}
 	m.down[rank] = true
@@ -178,26 +207,54 @@ func (m *Membership) DownError() error {
 // microseconds, so missed echoes mean the peer stopped serving (crashed,
 // killed via World.Kill, or wedged), not congestion.
 
-// HeartbeatConfig tunes a rank's failure detector.
+// HeartbeatConfig tunes a rank's failure detector. The zero value is not
+// usable: Interval and MissThreshold must be positive (start from
+// DefaultHeartbeatConfig and override). A zero or negative Interval would
+// busy-spin the probers and a non-positive MissThreshold would declare a
+// peer dead on the very first probe, so both are rejected with a typed
+// *HeartbeatConfigError instead of being silently defaulted.
 type HeartbeatConfig struct {
-	// Interval between pings to each peer. Default 50ms.
+	// Interval between pings to each peer. Must be > 0.
 	Interval time.Duration
 	// MissThreshold is how many consecutive unanswered pings declare a
-	// peer dead. Default 3.
+	// peer dead. Must be > 0.
 	MissThreshold int
 	// Tag is the base comm tag; Tag is used for pings and Tag+1 for
-	// echoes, so it must not collide with application traffic. Default
-	// 1 << 28.
+	// echoes, so it must not collide with application traffic. Zero or
+	// negative selects the default, 1 << 28.
 	Tag int
 }
 
-func (cfg HeartbeatConfig) withDefaults() HeartbeatConfig {
+// DefaultHeartbeatConfig returns the recommended detector tuning: 50ms
+// probes, 3 consecutive misses to declare death (~150ms detection
+// latency), tag space 1<<28.
+func DefaultHeartbeatConfig() HeartbeatConfig {
+	return HeartbeatConfig{Interval: 50 * time.Millisecond, MissThreshold: 3, Tag: 1 << 28}
+}
+
+// HeartbeatConfigError reports an invalid HeartbeatConfig field.
+type HeartbeatConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *HeartbeatConfigError) Error() string {
+	return fmt.Sprintf("core: invalid HeartbeatConfig.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the config, returning a typed *HeartbeatConfigError for
+// the first invalid field.
+func (cfg HeartbeatConfig) Validate() error {
 	if cfg.Interval <= 0 {
-		cfg.Interval = 50 * time.Millisecond
+		return &HeartbeatConfigError{Field: "Interval", Reason: fmt.Sprintf("must be positive, got %v", cfg.Interval)}
 	}
 	if cfg.MissThreshold <= 0 {
-		cfg.MissThreshold = 3
+		return &HeartbeatConfigError{Field: "MissThreshold", Reason: fmt.Sprintf("must be positive, got %d", cfg.MissThreshold)}
 	}
+	return nil
+}
+
+func (cfg HeartbeatConfig) withDefaults() HeartbeatConfig {
 	if cfg.Tag <= 0 {
 		cfg.Tag = 1 << 28
 	}
@@ -225,13 +282,21 @@ type heartbeatPing struct {
 
 // StartHeartbeats starts the failure detector for the calling rank of c,
 // probing each group rank in peers and recording deaths in m. Membership
-// ranks are c's group ranks, so m.Size() must equal c.Size(). Every rank
-// that should answer probes must run StartHeartbeats (or at least its
-// responder); a rank that stops responding — for any reason — will be
-// marked down by its probers.
-func StartHeartbeats(c *comm.Comm, m *Membership, cfg HeartbeatConfig, peers []int) *Heartbeater {
-	if m.Size() != c.Size() {
-		panic(fmt.Sprintf("core: membership size %d != comm size %d", m.Size(), c.Size()))
+// ranks are c's group ranks, so the membership universe must cover the
+// whole comm: m.Size() ≥ c.Size() (a resized membership may track more
+// ranks than an old communicator). Every rank that should answer probes
+// must run StartHeartbeats (or at least its responder); a rank that stops
+// responding — for any reason — will be marked down by its probers.
+//
+// The config must pass Validate; an invalid Interval or MissThreshold
+// returns a typed *HeartbeatConfigError rather than silently starting a
+// busy-spinning or hair-trigger detector.
+func StartHeartbeats(c *comm.Comm, m *Membership, cfg HeartbeatConfig, peers []int) (*Heartbeater, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Size() < c.Size() {
+		return nil, fmt.Errorf("core: membership size %d < comm size %d", m.Size(), c.Size())
 	}
 	cfg = cfg.withDefaults()
 	h := &Heartbeater{stop: make(chan struct{})}
@@ -311,5 +376,5 @@ func StartHeartbeats(c *comm.Comm, m *Membership, cfg HeartbeatConfig, peers []i
 			}
 		}(peer)
 	}
-	return h
+	return h, nil
 }

@@ -70,7 +70,11 @@ func TestHeartbeatsDetectKilledRank(t *testing.T) {
 	peers := []int{0, 1, 2}
 	hbs := make([]*Heartbeater, n)
 	for r := 0; r < n; r++ {
-		hbs[r] = StartHeartbeats(cs[r], m, cfg, peers)
+		var err error
+		hbs[r], err = StartHeartbeats(cs[r], m, cfg, peers)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	defer func() {
 		for r := 0; r < n; r++ {

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mxn/internal/comm"
+)
+
+func TestProposeResizeGrow(t *testing.T) {
+	m := NewMembership(4)
+	if m.Epoch() != 1 || m.Width() != 4 || m.Size() != 4 {
+		t.Fatalf("fresh membership: epoch %d width %d size %d", m.Epoch(), m.Width(), m.Size())
+	}
+	rz, err := m.ProposeResize(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rz.OldWidth() != 4 || rz.NewWidth() != 6 {
+		t.Fatalf("widths %d→%d, want 4→6", rz.OldWidth(), rz.NewWidth())
+	}
+	if rz.PrepareEpoch() != 2 || m.Epoch() != 2 {
+		t.Fatalf("prepare epoch %d, live epoch %d, want 2/2", rz.PrepareEpoch(), m.Epoch())
+	}
+	// Prepare grows the rank universe (joiners alive) but not the width.
+	if m.Width() != 4 {
+		t.Fatalf("width switched to %d before commit", m.Width())
+	}
+	if m.Size() != 6 {
+		t.Fatalf("universe size %d, want 6", m.Size())
+	}
+	if !m.IsAlive(4) || !m.IsAlive(5) {
+		t.Fatal("joining ranks not alive after prepare")
+	}
+	if m.Resizing() != rz {
+		t.Fatal("Resizing does not expose the in-flight handle")
+	}
+	if rz.Disturbed() {
+		t.Fatal("undisturbed window reported disturbed")
+	}
+	if err := rz.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Width() != 6 || m.Epoch() != 3 {
+		t.Fatalf("after commit: width %d epoch %d, want 6/3", m.Width(), m.Epoch())
+	}
+	if m.Resizing() != nil {
+		t.Fatal("handle still registered after commit")
+	}
+}
+
+func TestProposeResizeShrinkAbort(t *testing.T) {
+	m := NewMembership(4)
+	rz, err := m.ProposeResize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 4 || m.Width() != 4 {
+		t.Fatalf("shrink prepare changed universe/width: %d/%d", m.Size(), m.Width())
+	}
+	if err := rz.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Width() != 4 {
+		t.Fatalf("abort changed width to %d", m.Width())
+	}
+	if m.Epoch() != 3 {
+		t.Fatalf("abort epoch %d, want 3 (prepare + abort bumps)", m.Epoch())
+	}
+	// An aborted resize can simply be re-proposed.
+	rz2, err := m.ProposeResize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rz2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Width() != 2 || m.Size() != 4 {
+		t.Fatalf("committed shrink: width %d size %d, want 2/4", m.Width(), m.Size())
+	}
+	// The universe never shrinks; the excluded ranks stay addressable.
+	if !m.IsAlive(3) {
+		t.Fatal("rank outside the shrunk width lost liveness")
+	}
+}
+
+func TestProposeResizeConcurrentRejected(t *testing.T) {
+	m := NewMembership(3)
+	rz, err := m.ProposeResize(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.ProposeResize(4)
+	var inprog *ResizeInProgressError
+	if !errors.As(err, &inprog) {
+		t.Fatalf("concurrent proposal: err = %v, want *ResizeInProgressError", err)
+	}
+	if inprog.OldWidth != 3 || inprog.NewWidth != 5 || inprog.PrepareEpoch != rz.PrepareEpoch() {
+		t.Fatalf("error fields %+v do not match the in-flight resize", inprog)
+	}
+	if err := rz.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ProposeResize(4); err != nil {
+		t.Fatalf("proposal after abort: %v", err)
+	}
+}
+
+func TestProposeResizeRejectsDeadRank(t *testing.T) {
+	m := NewMembership(4)
+	m.MarkDown(1)
+	_, err := m.ProposeResize(4)
+	var down *ErrRankDown
+	if !errors.As(err, &down) || down.Rank != 1 {
+		t.Fatalf("resize over dead rank: err = %v, want *ErrRankDown{Rank:1}", err)
+	}
+	// A shrink that excludes the dead rank is fine: mark-down is permanent,
+	// but the dead rank is outside the target cohort.
+	m2 := NewMembership(4)
+	m2.MarkDown(3)
+	rz, err := m2.ProposeResize(2)
+	if err != nil {
+		t.Fatalf("shrink excluding dead rank: %v", err)
+	}
+	if err := rz.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeDisturbedByDeath(t *testing.T) {
+	m := NewMembership(4)
+	rz, err := m.ProposeResize(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MarkDown(2) // death inside the window bumps the epoch past prepare
+	if !rz.Disturbed() {
+		t.Fatal("death inside the resize window not reported")
+	}
+	if err := rz.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeHandleRetiredTyped(t *testing.T) {
+	m := NewMembership(2)
+	rz, err := m.ProposeResize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rz.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var st *ResizeStateError
+	if err := rz.Commit(); !errors.As(err, &st) || st.Op != "Commit" || st.State != "committed" {
+		t.Fatalf("double commit: err = %v, want *ResizeStateError{Commit,committed}", err)
+	}
+	if err := rz.Abort(); !errors.As(err, &st) || st.Op != "Abort" || st.State != "committed" {
+		t.Fatalf("abort after commit: err = %v", err)
+	}
+	if _, err := m.ProposeResize(0); err == nil {
+		t.Fatal("nonpositive width accepted")
+	}
+}
+
+func TestProposeResizeSameWidthQuiesce(t *testing.T) {
+	// Proposing the current width is the uniform "quiesce" primitive: it
+	// still fences (epoch bump) and must be committed or aborted.
+	m := NewMembership(3)
+	rz, err := m.ProposeResize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("quiesce prepare epoch %d, want 2", m.Epoch())
+	}
+	if err := rz.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Width() != 3 || m.Epoch() != 3 {
+		t.Fatalf("after quiesce commit: width %d epoch %d", m.Width(), m.Epoch())
+	}
+}
+
+func TestHeartbeatConfigValidate(t *testing.T) {
+	if err := DefaultHeartbeatConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	var cfgErr *HeartbeatConfigError
+	err := HeartbeatConfig{Interval: 0, MissThreshold: 3}.Validate()
+	if !errors.As(err, &cfgErr) || cfgErr.Field != "Interval" {
+		t.Fatalf("zero interval: err = %v, want *HeartbeatConfigError{Interval}", err)
+	}
+	err = HeartbeatConfig{Interval: -time.Second, MissThreshold: 3}.Validate()
+	if !errors.As(err, &cfgErr) || cfgErr.Field != "Interval" {
+		t.Fatalf("negative interval: err = %v", err)
+	}
+	err = HeartbeatConfig{Interval: time.Millisecond, MissThreshold: 0}.Validate()
+	if !errors.As(err, &cfgErr) || cfgErr.Field != "MissThreshold" {
+		t.Fatalf("zero miss threshold: err = %v, want *HeartbeatConfigError{MissThreshold}", err)
+	}
+	err = HeartbeatConfig{Interval: time.Millisecond, MissThreshold: -1}.Validate()
+	if !errors.As(err, &cfgErr) || cfgErr.Field != "MissThreshold" {
+		t.Fatalf("negative miss threshold: err = %v", err)
+	}
+}
+
+func TestStartHeartbeatsRejectsInvalidConfig(t *testing.T) {
+	w := comm.NewWorld(1)
+	c := w.Comms()[0]
+	m := NewMembership(1)
+	var cfgErr *HeartbeatConfigError
+	if _, err := StartHeartbeats(c, m, HeartbeatConfig{}, nil); !errors.As(err, &cfgErr) {
+		t.Fatalf("zero config accepted: err = %v", err)
+	}
+	// A membership grown by a resize may exceed an old communicator — that
+	// must remain legal.
+	grown := NewMembership(1)
+	if _, err := grown.ProposeResize(3); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := StartHeartbeats(c, grown, DefaultHeartbeatConfig(), nil)
+	if err != nil {
+		t.Fatalf("grown membership rejected: %v", err)
+	}
+	hb.Stop()
+	// The reverse — a membership too small for the comm — is an error.
+	w2 := comm.NewWorld(2)
+	if _, err := StartHeartbeats(w2.Comms()[0], NewMembership(1), DefaultHeartbeatConfig(), nil); err == nil {
+		t.Fatal("undersized membership accepted")
+	}
+}

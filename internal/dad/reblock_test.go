@@ -1,0 +1,167 @@
+package dad
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustTpl(t *testing.T, dims []int, axes ...AxisDist) *Template {
+	t.Helper()
+	tp, err := NewTemplate(dims, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// ownsEachOnce checks the reblocked template is a complete distribution:
+// every rank's local count is consistent with ownership, and the counts
+// sum to the global size.
+func ownsEachOnce(t *testing.T, tp *Template) {
+	t.Helper()
+	sum := 0
+	for r := 0; r < tp.NumProcs(); r++ {
+		sum += tp.LocalCount(r)
+	}
+	if sum != tp.Size() {
+		t.Fatalf("local counts sum to %d, template has %d elements", sum, tp.Size())
+	}
+}
+
+func TestReblockBlock(t *testing.T) {
+	old := mustTpl(t, []int{12}, BlockAxis(3))
+	nt, err := Reblock(old, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustTpl(t, []int{12}, BlockAxis(4))
+	if nt.Key() != want.Key() {
+		t.Fatalf("reblocked key %q, want %q", nt.Key(), want.Key())
+	}
+	ownsEachOnce(t, nt)
+
+	// Shrink keeps the family too.
+	st, err := Reblock(old, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Key() != mustTpl(t, []int{12}, BlockAxis(2)).Key() {
+		t.Fatal("shrunk Block template is not Block over the new width")
+	}
+}
+
+func TestReblockCyclicAndBlockCyclic(t *testing.T) {
+	cy, err := Reblock(mustTpl(t, []int{20}, CyclicAxis(4)), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy.Key() != mustTpl(t, []int{20}, CyclicAxis(5)).Key() {
+		t.Fatal("Cyclic did not stay Cyclic")
+	}
+	// BlockCyclic keeps its block size across the resize.
+	bc, err := Reblock(mustTpl(t, []int{24}, BlockCyclicAxis(3, 2)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Key() != mustTpl(t, []int{24}, BlockCyclicAxis(4, 2)).Key() {
+		t.Fatal("BlockCyclic lost its block size")
+	}
+	ownsEachOnce(t, bc)
+}
+
+func TestReblockGenBlockRebalanced(t *testing.T) {
+	// Lopsided 5/7 split re-derived over 3 ranks becomes balanced 4/4/4.
+	old := mustTpl(t, []int{12}, GenBlockAxis([]int{5, 7}))
+	nt, err := Reblock(old, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Key() != mustTpl(t, []int{12}, GenBlockAxis([]int{4, 4, 4})).Key() {
+		t.Fatalf("rebalanced key %q", nt.Key())
+	}
+	// 5 elements over 3 ranks: ceil blocks 2,2,1.
+	odd, err := Reblock(mustTpl(t, []int{5}, GenBlockAxis([]int{5})), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odd.Key() != mustTpl(t, []int{5}, GenBlockAxis([]int{2, 2, 1})).Key() {
+		t.Fatalf("odd rebalance key %q", odd.Key())
+	}
+	ownsEachOnce(t, odd)
+}
+
+func TestReblockSingleRankGrows(t *testing.T) {
+	// A cohort of one can still grow: the first resizable axis spreads.
+	old := mustTpl(t, []int{16}, BlockAxis(1))
+	nt, err := Reblock(old, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Key() != mustTpl(t, []int{16}, BlockAxis(4)).Key() {
+		t.Fatalf("single-rank grow key %q", nt.Key())
+	}
+	// All-Collapsed template: nothing to spread.
+	flat := mustTpl(t, []int{16}, CollapsedAxis())
+	if same, err := Reblock(flat, 1); err != nil || same != flat {
+		t.Fatalf("collapsed reblock to width 1: %v %v", same, err)
+	}
+	var rbErr *ReblockError
+	if _, err := Reblock(flat, 2); !errors.As(err, &rbErr) {
+		t.Fatalf("collapsed reblock to width 2: err = %v, want *ReblockError", err)
+	}
+}
+
+func TestReblockErrorsTyped(t *testing.T) {
+	var rbErr *ReblockError
+	if _, err := Reblock(mustTpl(t, []int{8}, BlockAxis(2)), 0); !errors.As(err, &rbErr) || rbErr.Axis != -1 {
+		t.Fatalf("width 0: err = %v", err)
+	}
+	// Implicit owner maps have no re-derivation.
+	imp := mustTpl(t, []int{4}, ImplicitAxis(2, []int{0, 1, 1, 0}))
+	if _, err := Reblock(imp, 3); !errors.As(err, &rbErr) || rbErr.Axis != 0 {
+		t.Fatalf("implicit: err = %v, want *ReblockError{Axis:0}", err)
+	}
+	// Explicit patch tilings neither.
+	exp, err := NewExplicitTemplate([]int{8}, 2, []Patch{
+		{Owner: 0, Lo: []int{0}, Hi: []int{4}},
+		{Owner: 1, Lo: []int{4}, Hi: []int{8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reblock(exp, 3); !errors.As(err, &rbErr) || rbErr.Axis != -1 {
+		t.Fatalf("explicit: err = %v", err)
+	}
+	// Two distributed axes are ambiguous for Reblock — ReblockGrid territory.
+	grid := mustTpl(t, []int{8, 8}, BlockAxis(2), BlockAxis(2))
+	if _, err := Reblock(grid, 8); !errors.As(err, &rbErr) || rbErr.Axis != -1 {
+		t.Fatalf("2-D grid via Reblock: err = %v", err)
+	}
+}
+
+func TestReblockGrid(t *testing.T) {
+	old := mustTpl(t, []int{8, 12}, BlockAxis(2), GenBlockAxis([]int{5, 7}))
+	// Resize axis 0 only: axis 1 keeps its GenBlock sizes verbatim.
+	nt, err := ReblockGrid(old, []int{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustTpl(t, []int{8, 12}, BlockAxis(4), GenBlockAxis([]int{5, 7}))
+	if nt.Key() != want.Key() {
+		t.Fatalf("grid reblock key %q, want %q", nt.Key(), want.Key())
+	}
+	if nt.NumProcs() != 8 {
+		t.Fatalf("new width %d, want 8", nt.NumProcs())
+	}
+	ownsEachOnce(t, nt)
+
+	var rbErr *ReblockError
+	if _, err := ReblockGrid(old, []int{4}); !errors.As(err, &rbErr) {
+		t.Fatalf("wrong grid arity: err = %v", err)
+	}
+	// A collapsed axis cannot be asked to spread.
+	coll := mustTpl(t, []int{8, 8}, BlockAxis(2), CollapsedAxis())
+	if _, err := ReblockGrid(coll, []int{2, 3}); !errors.As(err, &rbErr) || rbErr.Axis != 1 {
+		t.Fatalf("spreading collapsed axis: err = %v", err)
+	}
+}

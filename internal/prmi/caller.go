@@ -282,6 +282,28 @@ func (p *CallerPort) Close() error {
 	return nil
 }
 
+// Depart announces that this caller rank is leaving the cohort — the
+// PRMI half of an online shrink. Unlike Close it also tells every callee
+// to drain this caller's exactly-once dedup state and deferred queue:
+// links are FIFO, so by the time the detach is dispatched every call this
+// rank ever issued has been serviced and its dedup entries are settled
+// history, not protection. The port must not be used after Depart; the
+// endpoints' Serve loops keep running for the remaining callers.
+func (p *CallerPort) Depart() error {
+	for j := 0; j < p.nCallee; j++ {
+		if err := p.link.Send(j, []byte{msgDetach}); err != nil {
+			return err
+		}
+	}
+	// Local retry state is dead with the departure: a departed rank never
+	// retries, and dropping the stash frees referenced argument buffers.
+	p.mu.Lock()
+	p.stash = map[stashKey]*stashEntry{}
+	p.watermarks = map[int]uint64{}
+	p.mu.Unlock()
+	return nil
+}
+
 // CallIndependent performs a one-to-one invocation of an independent
 // method on callee rank target (Damevski's non-collective invocation).
 // For oneway methods the result is nil and the call returns immediately.

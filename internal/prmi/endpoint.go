@@ -238,6 +238,9 @@ func (ep *Endpoint) dispatch(src int, raw []byte) (done bool, err error) {
 	case msgShutdown:
 		ep.closed[src] = true
 		return len(ep.closed) == ep.nCaller, nil
+	case msgDetach:
+		ep.detach(src)
+		return len(ep.closed) == ep.nCaller, nil
 	case msgCall:
 		hdr, err := decodeCall(wire.NewDecoder(raw[1:]))
 		if err != nil {
@@ -258,6 +261,26 @@ func (ep *Endpoint) dispatch(src int, raw []byte) (done bool, err error) {
 	default:
 		return false, fmt.Errorf("prmi: endpoint received unexpected message kind %d", raw[0])
 	}
+}
+
+// detach retires a departing caller rank (an online shrink): its
+// exactly-once dedup table and deferred queue are drained and it is
+// counted as closed, so Serve returns once the *remaining* callers shut
+// down. FIFO link delivery guarantees every call the departing rank sent
+// before its detach was already dispatched here, so nothing the dedup
+// table protects can still arrive — the drained state is dead weight a
+// long-lived endpoint serving an elastic cohort must not accumulate.
+// Idempotent; a detach after a shutdown (or vice versa) changes nothing.
+func (ep *Endpoint) detach(src int) {
+	if !ep.closed[src] {
+		ep.closed[src] = true
+		mDetaches.Inc()
+	}
+	if dt := ep.dedup[src]; dt != nil {
+		mDetachDedupDrained.Add(uint64(len(dt.entries)))
+		delete(ep.dedup, src)
+	}
+	delete(ep.pendingRaw, src)
 }
 
 // dedupFor returns (creating if needed) the exactly-once table for one

@@ -12,6 +12,13 @@ const (
 	msgCall byte = iota + 1
 	msgReply
 	msgShutdown
+	// msgDetach announces that a caller rank is leaving the cohort (an
+	// online shrink): the endpoint drops its exactly-once dedup table and
+	// deferred queue and stops expecting its shutdown. Links deliver each
+	// caller's messages in FIFO order, so by the time a detach is
+	// dispatched every call that caller ever sent has been serviced —
+	// the dedup state is fully settled and safe to drain.
+	msgDetach
 )
 
 // namedValue is one simple argument or out-value on the wire.

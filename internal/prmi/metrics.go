@@ -24,4 +24,8 @@ var (
 	mStaleEpochCalls = obs.Default().Counter("prmi.stale_epoch_rejected")
 	mDeferredDropped = obs.Default().Counter("prmi.deferred_dropped")
 	mRankdownErrors  = obs.Default().Counter("prmi.rankdown_errors")
+
+	// Malleability instruments: caller departures during an online shrink.
+	mDetaches           = obs.Default().Counter("prmi.caller_detaches")
+	mDetachDedupDrained = obs.Default().Counter("prmi.detach_dedup_entries_drained")
 )

@@ -215,12 +215,21 @@ type fenceRun struct {
 }
 
 func newFenceRun(opts FenceOpts, abortOnDeadSend bool) *fenceRun {
+	return newFenceRunAt(opts, abortOnDeadSend, opts.Membership.Epoch())
+}
+
+// newFenceRunAt pins an explicit entry epoch instead of sampling the
+// live one. The resize migration uses it: every rank must enter the
+// migration at the resize's prepare epoch, even if a death has already
+// bumped the live epoch past it — otherwise ranks entering before and
+// after the death would fence the same transfer at different epochs and
+// discard each other's traffic as stale.
+func newFenceRunAt(opts FenceOpts, abortOnDeadSend bool, entryEpoch uint64) *fenceRun {
 	opts = opts.withDefaults()
-	epoch := opts.Membership.Epoch()
 	return &fenceRun{
 		opts:            opts,
-		entryEpoch:      epoch,
-		out:             &Outcome{Epoch: epoch},
+		entryEpoch:      entryEpoch,
+		out:             &Outcome{Epoch: entryEpoch},
 		downSeen:        map[int]bool{},
 		abortOnDeadSend: abortOnDeadSend,
 	}

@@ -1,0 +1,166 @@
+// Online reconfiguration: the migration executor of a planned cohort
+// resize (the malleability tentpole — see DESIGN.md "Malleability").
+//
+// The full resize sequence is driven by the caller:
+//
+//	rz, _  := membership.ProposeResize(newWidth)   // prepare fence
+//	newT, _ := dad.Reblock(oldT, newWidth)          // re-derive layout
+//	out, err := redist.ReconfigureFencedT(...)      // migrate (this file)
+//	redist.CommitReconfigure(rz, cache, oldT)       // commit + scoped invalidation
+//	// or redist.AbortReconfigure(rz, cache, newT) on failure
+//
+// ReconfigureFenced is ExchangeFenced with three resize-specific twists:
+// the plan is the old→new migration (schedule.Remap, closed-form when the
+// layouts allow), the fence entry epoch is pinned to the resize's prepare
+// epoch rather than sampled (so every rank enters the migration at the
+// same cut even if a death bumps the live epoch first), and the widths
+// are validated against the Resize handle so a mismatched template pair
+// fails before any data moves.
+package redist
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mxn/internal/comm"
+	"mxn/internal/core"
+	"mxn/internal/dad"
+	"mxn/internal/obs"
+	"mxn/internal/schedule"
+)
+
+var (
+	mReconfigures      = obs.Default().Counter("redist.reconfigures")
+	mReconfigureElems  = obs.Default().Counter("redist.reconfigure_elems")
+	mReconfigureNS     = obs.Default().Histogram("redist.reconfigure_ns")
+	mReconfigCommits   = obs.Default().Counter("redist.reconfigure_commits")
+	mReconfigAborts    = obs.Default().Counter("redist.reconfigure_aborts")
+	mReconfigInvalids  = obs.Default().Counter("redist.reconfigure_cache_invalidations")
+	mReconfigDisturbed = obs.Default().Counter("redist.reconfigure_disturbed")
+)
+
+// ReconfigureError reports a malformed reconfiguration call — template
+// widths that do not match the resize handle, or a communicator group too
+// small to host both cohorts.
+type ReconfigureError struct {
+	Reason string
+}
+
+func (e *ReconfigureError) Error() string {
+	return "redist: reconfigure: " + e.Reason
+}
+
+// ReconfigureFencedT migrates one array from its old-cohort layout to its
+// new-cohort layout inside a prepared resize window. Every member of the
+// communicator group hosting an old-cohort or new-cohort rank must call
+// it: old ranks pass their current local buffer as srcLocal (nil beyond
+// the old width or when the template assigns them nothing), new ranks
+// pass a destination buffer sized newT.LocalCount (nil beyond the new
+// width) — a rank in both cohorts passes both. Layout places the two
+// cohorts in the group exactly as in ExchangeT; the common case is
+// Layout{} with cohort rank == group rank on both sides.
+//
+// The transfer is fenced at rz.PrepareEpoch(): concurrent fenced
+// transfers or PRMI calls entered at earlier epochs drain against their
+// own entry epoch, and traffic straddling the prepare fence surfaces as
+// the existing typed stale-epoch errors — never as silently mixed-epoch
+// data. A rank dying mid-migration follows opts.Policy: FailStrict
+// aborts with *core.ErrRankDown (the caller should then AbortReconfigure
+// and re-propose), FailRedistribute completes on the survivors with the
+// losses recorded in the Outcome's validity bitmap, after which the
+// caller can still commit. Either way rz.Disturbed() reports that the
+// window was not clean.
+//
+// The migration plan comes from opts.Cache when set — several arrays
+// aligned to the same template pair migrate on one plan, built once —
+// and from schedule.Remap otherwise.
+func ReconfigureFencedT[T Elem](c *comm.Comm, rz *core.Resize, oldT, newT *dad.Template, lay Layout,
+	srcLocal, dstLocal []T, baseTag int, opts FenceOpts) (*Outcome, error) {
+
+	if rz == nil {
+		return nil, &ReconfigureError{Reason: "nil Resize handle (call Membership.ProposeResize first)"}
+	}
+	if got, want := oldT.NumProcs(), rz.OldWidth(); got != want {
+		return nil, &ReconfigureError{Reason: fmt.Sprintf("old template spans %d ranks, resize is from width %d", got, want)}
+	}
+	if got, want := newT.NumProcs(), rz.NewWidth(); got != want {
+		return nil, &ReconfigureError{Reason: fmt.Sprintf("new template spans %d ranks, resize is to width %d", got, want)}
+	}
+	if need := lay.SrcBase + oldT.NumProcs(); c.Size() < need {
+		return nil, &ReconfigureError{Reason: fmt.Sprintf("group of %d ranks cannot host old cohort ending at %d", c.Size(), need)}
+	}
+	if need := lay.DstBase + newT.NumProcs(); c.Size() < need {
+		return nil, &ReconfigureError{Reason: fmt.Sprintf("group of %d ranks cannot host new cohort ending at %d", c.Size(), need)}
+	}
+
+	var s *schedule.Schedule
+	var err error
+	if opts.Cache != nil {
+		s, err = opts.Cache.Get(oldT, newT)
+	} else {
+		s, err = schedule.Remap(oldT, newT)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	f := newFenceRunAt(opts, true, rz.PrepareEpoch())
+	err = exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, f, opts.MaxBytesInFlight)
+	sort.Ints(f.out.Down)
+	mReconfigures.Inc()
+	mReconfigureNS.ObserveSince(start)
+	if err == nil {
+		mReconfigureElems.Add(uint64(s.TotalElems()))
+	}
+	if rz.Disturbed() {
+		mReconfigDisturbed.Inc()
+	}
+	return f.out, err
+}
+
+// ReconfigureFenced is ReconfigureFencedT for float64, the historical
+// default.
+func ReconfigureFenced(c *comm.Comm, rz *core.Resize, oldT, newT *dad.Template, lay Layout,
+	srcLocal, dstLocal []float64, baseTag int, opts FenceOpts) (*Outcome, error) {
+	return ReconfigureFencedT[float64](c, rz, oldT, newT, lay, srcLocal, dstLocal, baseTag, opts)
+}
+
+// CommitReconfigure commits the resize and scopes schedule-cache
+// invalidation to the retired templates: every cached plan whose source
+// or destination is one of oldTemplates is dropped (those plans name the
+// old geometry), while plans between unrelated couplings keep their
+// 0-alloc cached steady state. Returns how many cache entries were
+// dropped. The cache may be nil.
+func CommitReconfigure(rz *core.Resize, cache *schedule.Cache, oldTemplates ...*dad.Template) (int, error) {
+	if err := rz.Commit(); err != nil {
+		return 0, err
+	}
+	mReconfigCommits.Inc()
+	return dropTemplates(cache, oldTemplates), nil
+}
+
+// AbortReconfigure rolls the resize back and drops cached plans that
+// reference the abandoned new-cohort templates (they describe a geometry
+// that never materialized). Returns how many cache entries were dropped.
+// The cache may be nil.
+func AbortReconfigure(rz *core.Resize, cache *schedule.Cache, newTemplates ...*dad.Template) (int, error) {
+	if err := rz.Abort(); err != nil {
+		return 0, err
+	}
+	mReconfigAborts.Inc()
+	return dropTemplates(cache, newTemplates), nil
+}
+
+func dropTemplates(cache *schedule.Cache, ts []*dad.Template) int {
+	if cache == nil {
+		return 0
+	}
+	n := 0
+	for _, t := range ts {
+		n += cache.InvalidateTemplate(t)
+	}
+	mReconfigInvalids.Add(uint64(n))
+	return n
+}

@@ -27,6 +27,11 @@
 //     small scientific IDL, ghost invocations and returns for M≠N,
 //     parallel arguments redistributed automatically, and both delivery
 //     strategies of the paper's Figure 5 (Section 2.4).
+//   - Robustness beyond the paper: heartbeat liveness with shared
+//     membership epochs, epoch-fenced transfers with strict and
+//     redistribute failure policies, exactly-once PRMI, and online
+//     cohort resize (grow/shrink) via a two-phase epoch-fenced
+//     migration protocol.
 //   - The surveyed implementations rebuilt on the same substrates:
 //     SCIRun2-style IDL-driven framework, the MPI-flavoured DCA,
 //     InterComm's timestamp-coordinated import/export, the Model Coupling
@@ -401,6 +406,129 @@ func Parallel(name string, t *Template, local []float64) Arg { return prmi.Paral
 
 // FullParticipation declares that every caller cohort rank participates.
 func FullParticipation(cohort *Comm) Participation { return prmi.FullParticipation(cohort) }
+
+// ---- Liveness, fenced transfers and malleability ----
+
+// Membership is a cohort's shared liveness and epoch view: which ranks
+// are alive, the current configuration epoch, and — for malleable
+// cohorts — the active width within the rank universe.
+type Membership = core.Membership
+
+// ErrRankDown is the typed error for operations touching a dead rank.
+type ErrRankDown = core.ErrRankDown
+
+// NewMembership creates an all-alive membership of n ranks at epoch 1.
+func NewMembership(n int) *Membership { return core.NewMembership(n) }
+
+// HeartbeatConfig tunes the failure detector; HeartbeatConfigError is the
+// typed rejection for non-positive intervals or thresholds.
+type (
+	HeartbeatConfig      = core.HeartbeatConfig
+	HeartbeatConfigError = core.HeartbeatConfigError
+	Heartbeater          = core.Heartbeater
+)
+
+// DefaultHeartbeatConfig returns the standard detector tuning.
+func DefaultHeartbeatConfig() HeartbeatConfig { return core.DefaultHeartbeatConfig() }
+
+// StartHeartbeats runs a heartbeat failure detector for this rank,
+// marking peers down in the membership after missed beats.
+func StartHeartbeats(c *Comm, m *Membership, cfg HeartbeatConfig, peers []int) (*Heartbeater, error) {
+	return core.StartHeartbeats(c, m, cfg, peers)
+}
+
+// FenceOpts ties a transfer to a membership epoch; FailPolicy selects
+// abort (FailStrict) versus re-plan over survivors (FailRedistribute).
+type (
+	FenceOpts  = redist.FenceOpts
+	FailPolicy = redist.FailPolicy
+)
+
+// Failure policies.
+const (
+	FailStrict       = redist.FailStrict
+	FailRedistribute = redist.FailRedistribute
+)
+
+// FenceOutcome reports a fenced transfer's entry epoch, the dead ranks it
+// observed, and per-element validity under FailRedistribute.
+type FenceOutcome = redist.Outcome
+
+// ExchangeFenced is Exchange under a liveness view: the transfer enters
+// at the membership's current epoch, cross-epoch traffic is discarded or
+// fails typed, and rank death mid-transfer applies the failure policy.
+func ExchangeFenced(c *Comm, s *Schedule, lay Layout, srcLocal, dstLocal []float64, baseTag int, opts FenceOpts) (*FenceOutcome, error) {
+	return redist.ExchangeFenced(c, s, lay, srcLocal, dstLocal, baseTag, opts)
+}
+
+// ExchangeFencedT is ExchangeFenced for any supported element type.
+func ExchangeFencedT[T Elem](c *Comm, s *Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int, opts FenceOpts) (*FenceOutcome, error) {
+	return redist.ExchangeFencedT(c, s, lay, srcLocal, dstLocal, baseTag, opts)
+}
+
+// RestrictSchedule drops a schedule's messages touching dead ranks — the
+// re-plan under FailRedistribute.
+func RestrictSchedule(s *Schedule, aliveSrc, aliveDst func(rank int) bool) *Schedule {
+	return schedule.Restrict(s, aliveSrc, aliveDst)
+}
+
+// Resize is a two-phase cohort resize in flight: propose → migrate →
+// Commit or Abort. ResizeInProgressError and ResizeStateError are its
+// typed rejections (overlapping proposals, reused handles).
+type (
+	Resize                = core.Resize
+	ResizeInProgressError = core.ResizeInProgressError
+	ResizeStateError      = core.ResizeStateError
+)
+
+// ReblockError is the typed rejection for layouts that cannot be
+// re-derived over a new width (implicit owner maps, explicit tilings).
+type ReblockError = dad.ReblockError
+
+// Reblock re-derives a template's distribution over a new cohort width,
+// preserving each axis's distribution family.
+func Reblock(t *Template, newWidth int) (*Template, error) { return dad.Reblock(t, newWidth) }
+
+// ReblockGrid is Reblock with an explicit per-axis process grid.
+func ReblockGrid(t *Template, newGrid []int) (*Template, error) { return dad.ReblockGrid(t, newGrid) }
+
+// RemapSchedule plans the old-cohort→new-cohort migration between two
+// same-shape templates (the resize counterpart of BuildSchedule).
+func RemapSchedule(old, next *Template) (*Schedule, error) { return schedule.Remap(old, next) }
+
+// ExpandSchedule renumbers a schedule's cohort ranks into a wider
+// universe — the inverse direction of RestrictSchedule.
+func ExpandSchedule(s *Schedule, newSrc, newDst *Template, srcMap, dstMap []int) (*Schedule, error) {
+	return schedule.Expand(s, newSrc, newDst, srcMap, dstMap)
+}
+
+// ReconfigureError is the typed rejection for invalid reconfiguration
+// calls (nil handle, width mismatches, undersized groups).
+type ReconfigureError = redist.ReconfigureError
+
+// ReconfigureFenced migrates one array from its old layout to the new
+// one inside a proposed resize's epoch window, pinned to the prepare
+// epoch so concurrent old-epoch traffic drains or fails typed.
+func ReconfigureFenced(c *Comm, rz *Resize, oldT, newT *Template, lay Layout, srcLocal, dstLocal []float64, baseTag int, opts FenceOpts) (*FenceOutcome, error) {
+	return redist.ReconfigureFenced(c, rz, oldT, newT, lay, srcLocal, dstLocal, baseTag, opts)
+}
+
+// ReconfigureFencedT is ReconfigureFenced for any supported element type.
+func ReconfigureFencedT[T Elem](c *Comm, rz *Resize, oldT, newT *Template, lay Layout, srcLocal, dstLocal []T, baseTag int, opts FenceOpts) (*FenceOutcome, error) {
+	return redist.ReconfigureFencedT(c, rz, oldT, newT, lay, srcLocal, dstLocal, baseTag, opts)
+}
+
+// CommitReconfigure commits a resize (the new width becomes current) and
+// drops the retired old-geometry plans from the cache.
+func CommitReconfigure(rz *Resize, cache *ScheduleCache, oldTemplates ...*Template) (int, error) {
+	return redist.CommitReconfigure(rz, cache, oldTemplates...)
+}
+
+// AbortReconfigure rolls a resize back (the old width stays current) and
+// drops the never-adopted new-geometry plans from the cache.
+func AbortReconfigure(rz *Resize, cache *ScheduleCache, newTemplates ...*Template) (int, error) {
+	return redist.AbortReconfigure(rz, cache, newTemplates...)
+}
 
 // ---- Pipelines (Section 6: composed redistributions and filters) ----
 

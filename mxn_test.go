@@ -3,6 +3,7 @@ package mxn
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestFacadeQuickstart exercises the paper's Figure 1 scenario through
@@ -149,4 +150,68 @@ func TestFacadePRMI(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// TestFacadeResize runs a complete online grow through the public facade
+// alone: propose, migrate on the prepare epoch, commit, then verify the
+// post-resize steady state still exchanges over the grown cohort.
+func TestFacadeResize(t *testing.T) {
+	oldT, err := NewTemplate([]int{24}, []AxisDist{BlockAxis(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newT, err := Reblock(oldT, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMembership(2)
+	rz, err := mem.ProposeResize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewScheduleCache()
+	srcLocals := make([][]float64, 2)
+	for r := range srcLocals {
+		srcLocals[r] = make([]float64, oldT.LocalCount(r))
+		for i := range srcLocals[r] {
+			srcLocals[r][i] = float64(r*1000 + i)
+		}
+	}
+	dstLocals := make([][]float64, 4)
+	var mu sync.Mutex
+	Run(4, func(c *Comm) {
+		opts := FenceOpts{Membership: mem, Policy: FailStrict, PollInterval: time.Millisecond, Cache: cache}
+		var sl []float64
+		if c.Rank() < 2 {
+			sl = srcLocals[c.Rank()]
+		}
+		dl := make([]float64, newT.LocalCount(c.Rank()))
+		out, err := ReconfigureFenced(c, rz, oldT, newT, Layout{}, sl, dl, 0, opts)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		if out.Epoch != rz.PrepareEpoch() {
+			t.Errorf("rank %d entered at epoch %d, want %d", c.Rank(), out.Epoch, rz.PrepareEpoch())
+		}
+		mu.Lock()
+		dstLocals[c.Rank()] = dl
+		mu.Unlock()
+	})
+	if _, err := CommitReconfigure(rz, cache, oldT); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Width() != 4 {
+		t.Fatalf("committed width %d, want 4", mem.Width())
+	}
+	// Every element landed where the grown layout says it lives.
+	for g := 0; g < 24; g++ {
+		idx := []int{g}
+		sr, dr := oldT.OwnerOf(idx), newT.OwnerOf(idx)
+		want := srcLocals[sr][oldT.LocalOffset(sr, idx)]
+		got := dstLocals[dr][newT.LocalOffset(dr, idx)]
+		if got != want {
+			t.Errorf("global %d: got %v want %v", g, got, want)
+		}
+	}
 }
