@@ -7,9 +7,10 @@ FUZZ_TARGETS := \
 	./internal/wire:FuzzReadFrame \
 	./internal/dad:FuzzDecodeTemplate \
 	./internal/dad:FuzzDecodeDescriptor \
-	./internal/schedule:FuzzPlanEquivalence
+	./internal/schedule:FuzzPlanEquivalence \
+	./internal/session:FuzzSessionFrame
 
-.PHONY: all build test race chaos fuzz-short vet bench bench-smoke staticcheck govulncheck
+.PHONY: all build test race chaos chaos-net fuzz-short vet bench bench-smoke staticcheck govulncheck
 
 all: build test
 
@@ -30,6 +31,12 @@ race:
 # the race detector with a hard timeout so a hang fails instead of wedging.
 chaos:
 	$(GO) test -race -run Chaos -count=1 -timeout 120s ./...
+
+# The network chaos soak: fenced transfers and PRMI calls between worlds
+# coupled over real TCP with session-layer reconnection, while the physical
+# links flap and, finally, die past the redial budget.
+chaos-net:
+	$(GO) test -race -run ChaosNet -count=1 -timeout 120s ./internal/chaosnet/
 
 # Run each fuzz target for a short, CI-sized budget. Crash inputs land in
 # <pkg>/testdata/fuzz/<Target>/ and become regression seeds.

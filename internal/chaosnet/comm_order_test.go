@@ -1,0 +1,73 @@
+package chaosnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mxn/internal/comm"
+)
+
+// TestChaosNetCommOrderedExactlyOnce soaks the raw comm layer over a
+// flapping session link: two senders in world A stream sequence-numbered
+// payloads to three receivers in world B; every receiver checks
+// per-sender ordering and exactly-once delivery. This pins the FIFO and
+// no-loss/no-dup guarantees that the redist protocols above (budget.go
+// chunk attribution in particular) rely on.
+func TestChaosNetCommOrderedExactlyOnce(t *testing.T) {
+	defer watchdog(t, 60*time.Second)()
+	const m, n, msgs = 2, 3, 200
+	lst := flappingListener(t, 25)
+	cli, srv := sessionPair(t, lst)
+
+	total := m + n
+	wa := comm.NewWorld(total)
+	wb := comm.NewWorld(total)
+	var srcRanks, dstRanks, all []int
+	for r := 0; r < total; r++ {
+		all = append(all, r)
+		if r < m {
+			srcRanks = append(srcRanks, r)
+		} else {
+			dstRanks = append(dstRanks, r)
+		}
+	}
+	pa := wa.ConnectPeer(cli, dstRanks)
+	pb := wb.ConnectPeer(srv, srcRanks)
+	t.Cleanup(func() { pa.Close(); pb.Close() })
+	csA := wa.SharedGroup(1, all)
+	csB := wb.SharedGroup(1, all)
+
+	var wg sync.WaitGroup
+	wg.Add(total)
+	for r := 0; r < m; r++ {
+		go func(c *comm.Comm) {
+			defer wg.Done()
+			for k := 0; k < msgs; k++ {
+				for d := m; d < total; d++ {
+					c.Send(d, 0, []int{c.Rank(), k})
+				}
+			}
+		}(csA[r])
+	}
+	for r := m; r < total; r++ {
+		go func(c *comm.Comm) {
+			defer wg.Done()
+			next := make([]int, m)
+			for got := 0; got < m*msgs; got++ {
+				v, from := c.Recv(comm.AnySource, 0)
+				p := v.([]int)
+				if p[0] != from {
+					t.Errorf("rank %d: payload claims sender %d, envelope says %d (seq %d)", c.Rank(), p[0], from, p[1])
+					return
+				}
+				if p[1] != next[from] {
+					t.Errorf("rank %d: from %d got seq %d, want %d", c.Rank(), from, p[1], next[from])
+					return
+				}
+				next[from]++
+			}
+		}(csB[r])
+	}
+	wg.Wait()
+}

@@ -153,14 +153,21 @@ type World struct {
 	state  atomic.Pointer[worldState]
 }
 
-// worldState is one immutable snapshot of the world's rank array.
+// worldState is one immutable snapshot of the world's rank array. remote
+// is nil for local ranks and names the ConnectPeer binding for ranks that
+// live on the other side of a connection.
 type worldState struct {
-	boxes []*mailbox
-	dead  []*atomic.Bool
+	boxes  []*mailbox
+	dead   []*atomic.Bool
+	remote []*RemotePeer
 }
 
 func newWorldState(n int) *worldState {
-	st := &worldState{boxes: make([]*mailbox, n), dead: make([]*atomic.Bool, n)}
+	st := &worldState{
+		boxes:  make([]*mailbox, n),
+		dead:   make([]*atomic.Bool, n),
+		remote: make([]*RemotePeer, n),
+	}
 	for i := range st.boxes {
 		st.boxes[i] = newMailbox()
 		st.dead[i] = &atomic.Bool{}
@@ -205,11 +212,13 @@ func (w *World) Grow(newSize int) []int {
 		return nil
 	}
 	next := &worldState{
-		boxes: make([]*mailbox, newSize),
-		dead:  make([]*atomic.Bool, newSize),
+		boxes:  make([]*mailbox, newSize),
+		dead:   make([]*atomic.Bool, newSize),
+		remote: make([]*RemotePeer, newSize),
 	}
 	copy(next.boxes, cur.boxes)
 	copy(next.dead, cur.dead)
+	copy(next.remote, cur.remote)
 	added := make([]int, 0, newSize-len(cur.boxes))
 	for r := len(cur.boxes); r < newSize; r++ {
 		next.boxes[r] = newMailbox()
@@ -341,6 +350,10 @@ func (c *Comm) send(to, tag int, payload any) {
 	// from it vanish, exactly as they would with a crashed MPI process.
 	if st.dead[wr].Load() || st.dead[wme].Load() {
 		mDroppedDead.Inc()
+		return
+	}
+	if rp := st.remote[wr]; rp != nil {
+		rp.forward(wme, wr, tag, c.group.gid, payload)
 		return
 	}
 	st.boxes[wr].put(message{from: wme, tag: tag, gid: c.group.gid, payload: payload})

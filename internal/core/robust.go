@@ -1,219 +1,39 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
-	"mxn/internal/obs"
+	"mxn/internal/session"
 	"mxn/internal/transport"
-	"mxn/internal/wire"
 )
 
-// Bridge instruments, registered in the process-default registry.
-var (
-	mRedials      = obs.Default().Counter("core.redials")
-	mRedialFails  = obs.Default().Counter("core.redial_failures")
-	mFramesResent = obs.Default().Counter("core.frames_resent")
-	mLinkDown     = obs.Default().Counter("core.links_down")
-)
-
-// robustBridge is a netBridge that survives link failure by redialing.
-// The bridge matcher keys fragments by (channel, seq), so delivery is
-// content-addressed and a reconnect is transparent to readers: fragments
-// that were in flight when the link died are simply re-sent by the peer's
-// application-level retry (or lost, exactly as the paper's out-of-band
-// channel permits), while everything already matched stays matched.
+// NewRobustBridge dials a resumable session with dial and wraps it as a
+// Bridge that survives link failure transparently. The session layer
+// (internal/session) sequence-numbers every frame, keeps unacknowledged
+// frames in a bounded replay buffer, redials with jittered backoff when
+// the physical connection dies, and replays from the peer's last
+// delivered sequence — so unlike the pre-session bridge, a frame that the
+// kernel accepted but the peer never processed is re-delivered instead of
+// silently lost, and a frame the peer did process is dropped as a
+// duplicate instead of re-matched. maxRedials bounds reconnect attempts
+// per outage and backoff seeds the jittered exponential backoff between
+// them; once an outage outlives the budget the circuit opens and every
+// pending and future operation reports a session.ErrPeerLost error (which
+// also matches transport.ErrClosed).
 //
-// Redial budget and backoff are fixed at construction. The budget is
-// cumulative over the bridge's lifetime: a flaky link that keeps coming
-// back eventually exhausts it, which turns a silent degradation loop into
-// a reported failure.
-type robustBridge struct {
-	dial    func() (transport.Conn, error)
-	budget  int
-	backoff time.Duration
-
-	mu      sync.Mutex
-	conn    transport.Conn
-	down    error // permanent failure, set once the budget is spent
-	redials int
-
-	in   *matcher
-	ctl  chan []byte
-	once sync.Once
-	wmu  sync.Mutex
-}
-
-// NewRobustBridge dials a connection with dial and wraps it as a Bridge
-// that transparently redials when the link fails, up to maxRedials
-// reconnections over the bridge's lifetime, sleeping backoff before each
-// attempt. Both send and receive paths trigger recovery; once the budget
-// is exhausted every pending and future operation reports the underlying
-// error.
+// The peer must speak the session protocol too: a serving side wraps its
+// listener with session.WrapListener and passes each accepted session to
+// NewNetBridge. Resumed physical connections never surface on Accept, so
+// the serving side's "redial" remains simply accepting the replacement.
 func NewRobustBridge(dial func() (transport.Conn, error), maxRedials int, backoff time.Duration) (Bridge, error) {
-	conn, err := dial()
+	sc, err := session.NewConn(
+		func(context.Context) (transport.Conn, error) { return dial() },
+		session.Config{MaxAttempts: maxRedials, BaseBackoff: backoff},
+	)
 	if err != nil {
-		return nil, fmt.Errorf("core: robust bridge initial dial: %w", err)
+		return nil, fmt.Errorf("core: robust bridge connect: %w", err)
 	}
-	return &robustBridge{
-		dial:    dial,
-		budget:  maxRedials,
-		backoff: backoff,
-		conn:    conn,
-		in:      newMatcher(),
-		ctl:     make(chan []byte, 256),
-	}, nil
-}
-
-// current returns the live connection, or the permanent error.
-func (b *robustBridge) current() (transport.Conn, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.down != nil {
-		return nil, b.down
-	}
-	return b.conn, nil
-}
-
-// redial replaces failed if it is still the current connection. It
-// returns the connection to use next, or the permanent error once the
-// redial budget is spent. Concurrent callers (the receive pump and a
-// sender) serialize here; the loser of the race observes the winner's
-// fresh connection and retries on it without consuming budget.
-func (b *robustBridge) redial(failed transport.Conn, cause error) (transport.Conn, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.down != nil {
-		return nil, b.down
-	}
-	if b.conn != failed {
-		return b.conn, nil // someone already reconnected
-	}
-	failed.Close()
-	for b.redials < b.budget {
-		b.redials++
-		mRedials.Inc()
-		start := time.Now()
-		time.Sleep(b.backoff)
-		conn, err := b.dial()
-		if err != nil {
-			mRedialFails.Inc()
-			cause = err
-			continue
-		}
-		obs.Trace().Span(obs.EvRedial, "bridge", -1, -1, 0, start)
-		b.conn = conn
-		return conn, nil
-	}
-	mLinkDown.Inc()
-	b.down = fmt.Errorf("core: bridge link failed after %d redials: %w", b.redials, cause)
-	return nil, b.down
-}
-
-func (b *robustBridge) pump() {
-	b.once.Do(func() {
-		go func() {
-			fail := func(err error) {
-				b.in.fail(err)
-				close(b.ctl)
-			}
-			conn, err := b.current()
-			for {
-				if err != nil {
-					fail(err)
-					return
-				}
-				msg, rerr := conn.Recv()
-				if rerr != nil {
-					conn, err = b.redial(conn, rerr)
-					continue
-				}
-				d := wire.NewDecoder(msg)
-				switch d.Byte() {
-				case netData:
-					channel := d.String()
-					seq := d.Uint64()
-					data := d.Float64s()
-					if d.Err() != nil {
-						fail(fmt.Errorf("core: corrupt bridge data: %w", d.Err()))
-						return
-					}
-					b.in.put(dataKey{channel: channel, seq: seq}, data)
-				case netCtl:
-					payload := d.Bytes()
-					if d.Err() != nil {
-						fail(fmt.Errorf("core: corrupt bridge control: %w", d.Err()))
-						return
-					}
-					b.ctl <- payload
-				default:
-					fail(fmt.Errorf("core: unknown bridge message kind"))
-					return
-				}
-			}
-		}()
-	})
-}
-
-// send writes one frame, redialing and retrying on link failure. Frames
-// are idempotent at this layer — matching is by (channel, seq) — so a
-// frame that may or may not have left before the link died is safe to
-// send again.
-func (b *robustBridge) send(frame []byte) error {
-	b.wmu.Lock()
-	defer b.wmu.Unlock()
-	conn, err := b.current()
-	for attempt := 0; ; attempt++ {
-		if err != nil {
-			return err
-		}
-		if attempt > 0 {
-			mFramesResent.Inc()
-		}
-		serr := conn.Send(frame)
-		if serr == nil {
-			return nil
-		}
-		conn, err = b.redial(conn, serr)
-	}
-}
-
-func (b *robustBridge) SendData(channel string, seq uint64, data []float64) error {
-	e := wire.NewEncoder(nil)
-	e.PutByte(netData)
-	e.PutString(channel)
-	e.PutUint64(seq)
-	e.PutFloat64s(data)
-	return b.send(e.Bytes())
-}
-
-func (b *robustBridge) RecvData(channel string, seq uint64) ([]float64, error) {
-	b.pump()
-	return b.in.take(dataKey{channel: channel, seq: seq})
-}
-
-func (b *robustBridge) RecvLatest(channel string) (uint64, []float64, error) {
-	b.pump()
-	return b.in.takeLatest(channel)
-}
-
-func (b *robustBridge) SendControl(msg []byte) error {
-	e := wire.NewEncoder(nil)
-	e.PutByte(netCtl)
-	e.PutBytes(msg)
-	return b.send(e.Bytes())
-}
-
-func (b *robustBridge) RecvControl() ([]byte, error) {
-	b.pump()
-	msg, ok := <-b.ctl
-	if !ok {
-		_, err := b.current()
-		if err == nil {
-			err = fmt.Errorf("core: bridge closed")
-		}
-		return nil, err
-	}
-	return msg, nil
+	return NewNetBridge(sc), nil
 }

@@ -9,18 +9,22 @@ import (
 
 	"mxn/internal/dad"
 	"mxn/internal/faultconn"
+	"mxn/internal/session"
 	"mxn/internal/transport"
 	"mxn/internal/wire"
 )
 
-// echoServer accepts connections forever; each connection echoes every
-// data frame back on channel "echo" with the same seq and payload.
-func echoServer(t *testing.T) transport.Listener {
+// echoServer accepts sessions forever; each session echoes every data
+// frame back on channel "echo" with the same seq and payload. Physical
+// reconnects are absorbed by the session listener, so one echo goroutine
+// spans arbitrarily many link failures.
+func echoServer(t *testing.T) *session.Listener {
 	t.Helper()
-	lst, err := transport.Listen("tcp", "127.0.0.1:0")
+	inner, err := transport.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	lst := session.WrapListener(inner, session.Config{})
 	t.Cleanup(func() { lst.Close() })
 	go func() {
 		for {
@@ -215,15 +219,17 @@ func TestRobustBridgeInitialDialFailure(t *testing.T) {
 }
 
 // Two hubs joined by a robust bridge pair survive losing the physical
-// link between connection negotiations: the client side redials, the
-// server side accepts the replacement connection (its "redial" is
-// lst.Accept), and the next propose/accept plus transfer run unchanged.
+// link between connection negotiations: the client side's session
+// redials, the server side's session listener absorbs the replacement
+// connection without a new Accept, and the next propose/accept plus
+// transfer run unchanged.
 func TestHubsReconnectAcrossLinkFailure(t *testing.T) {
 	const m, n, elems = 2, 3, 12
-	lst, err := transport.Listen("tcp", "127.0.0.1:0")
+	raw, err := transport.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	lst := session.WrapListener(raw, session.Config{})
 	t.Cleanup(func() { lst.Close() })
 
 	var mu sync.Mutex
@@ -243,8 +249,12 @@ func TestHubsReconnectAcrossLinkFailure(t *testing.T) {
 	}
 	srvCh := make(chan bres, 1)
 	go func() {
-		b, err := NewRobustBridge(lst.Accept, 3, time.Millisecond)
-		srvCh <- bres{b, err}
+		c, err := lst.Accept()
+		if err != nil {
+			srvCh <- bres{nil, err}
+			return
+		}
+		srvCh <- bres{NewNetBridge(c), nil}
 	}()
 	cliBridge, err := NewRobustBridge(cliDial, 3, time.Millisecond)
 	if err != nil {

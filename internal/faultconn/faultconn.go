@@ -73,6 +73,16 @@ type Scenario struct {
 	// link, so nothing ever errors on its own. Deterministic like every
 	// other fault: the N+1th message observes the crash.
 	CrashAfter int
+	// FlapAfter, when positive, kills the inner conn after that many
+	// messages total (both directions combined); FlapEvery, when
+	// positive, kills it that long after the conn is wrapped. Unlike
+	// FailAfter the failure is a link bounce, not a partition: operations
+	// report ErrFlapped (which matches transport.ErrClosed) and a
+	// Listener carrying the scenario keeps accepting, so a reconnecting
+	// layer above can redial — and the replacement conn flaps too, which
+	// is exactly what a reconnect soak wants.
+	FlapAfter int
+	FlapEvery time.Duration
 }
 
 // Conn injects faults around an inner transport.Conn. It implements
@@ -92,20 +102,26 @@ type Conn struct {
 	recvCount   int
 	partitioned bool
 	crashed     bool
+	flapped     bool
 
+	flapTimer *time.Timer
 	closeOnce sync.Once
 	closedCh  chan struct{} // closed by Close; unblocks crashed Recvs
 }
 
 // Wrap returns a Conn that injects sc's faults around inner.
 func Wrap(inner transport.Conn, sc Scenario) *Conn {
-	return &Conn{
+	c := &Conn{
 		inner:    inner,
 		sc:       sc,
 		sendRng:  rand.New(rand.NewSource(sc.Seed)),
 		recvRng:  rand.New(rand.NewSource(sc.Seed + 1)),
 		closedCh: make(chan struct{}),
 	}
+	if sc.FlapEvery > 0 {
+		c.flapTimer = time.AfterFunc(sc.FlapEvery, c.Flap)
+	}
+	return c
 }
 
 // Pipe returns an in-memory conn pair with sc's faults injected on the
@@ -127,6 +143,46 @@ func (c *Conn) Partition() {
 	if !already {
 		c.inner.Close()
 	}
+}
+
+// ErrFlapped is returned by operations on a conn whose link has flapped
+// (via Flap, Scenario.FlapAfter or Scenario.FlapEvery). It matches
+// errors.Is(err, transport.ErrClosed): to the layers above, a flap is a
+// dead link — the difference from a partition is that redialing works.
+var ErrFlapped = fmt.Errorf("faultconn: link flapped (%w)", transport.ErrClosed)
+
+// Flap kills the inner conn as a link bounce: subsequent operations on
+// this conn report ErrFlapped, but nothing is said about the network —
+// a fresh dial through the same Listener succeeds. Scenario.FlapAfter
+// and Scenario.FlapEvery trigger this automatically.
+func (c *Conn) Flap() {
+	c.mu.Lock()
+	already := c.flapped || c.partitioned
+	c.flapped = true
+	c.mu.Unlock()
+	if !already {
+		c.inner.Close()
+	}
+}
+
+// Flapped reports whether the link has flapped.
+func (c *Conn) Flapped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flapped
+}
+
+// flapAfterLocked applies the message-count flap trigger; the caller
+// holds c.mu. It returns true once the conn has flapped.
+func (c *Conn) flapAfterLocked() bool {
+	if c.flapped {
+		return true
+	}
+	if c.sc.FlapAfter > 0 && c.sendCount+c.recvCount > c.sc.FlapAfter {
+		c.flapped = true
+		c.inner.Close()
+	}
+	return c.flapped
 }
 
 // ErrCrashed is returned by Recv on a crashed conn once it is Closed. It
@@ -168,7 +224,12 @@ func (c *Conn) blockCrashed(ctx context.Context) ([]byte, error) {
 
 // Close closes the inner connection.
 func (c *Conn) Close() error {
-	c.closeOnce.Do(func() { close(c.closedCh) })
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		if c.flapTimer != nil {
+			c.flapTimer.Stop()
+		}
+	})
 	return c.inner.Close()
 }
 
@@ -197,6 +258,9 @@ func (c *Conn) planSend(msg []byte) sendPlan {
 	}
 	if c.crashed {
 		return sendPlan{} // swallowed: a crashed process sends nothing
+	}
+	if c.flapAfterLocked() {
+		return sendPlan{blocked: ErrFlapped}
 	}
 	if f.FailAfter > 0 && c.sendCount > f.FailAfter {
 		c.partitioned = true
@@ -257,6 +321,10 @@ func (c *Conn) RecvContext(ctx context.Context) ([]byte, error) {
 			c.mu.Unlock()
 			return nil, ErrPartitioned
 		}
+		if c.flapped {
+			c.mu.Unlock()
+			return nil, ErrFlapped
+		}
 		if c.crashed {
 			c.mu.Unlock()
 			return c.blockCrashed(ctx)
@@ -272,10 +340,15 @@ func (c *Conn) RecvContext(ctx context.Context) ([]byte, error) {
 		msg, err := c.inner.RecvContext(ctx)
 		if err != nil {
 			c.mu.Lock()
-			partitioned := c.partitioned
+			partitioned, flapped := c.partitioned, c.flapped
 			c.mu.Unlock()
-			if partitioned && errors.Is(err, transport.ErrClosed) {
-				return nil, ErrPartitioned
+			if errors.Is(err, transport.ErrClosed) {
+				if partitioned {
+					return nil, ErrPartitioned
+				}
+				if flapped {
+					return nil, ErrFlapped
+				}
 			}
 			return nil, err
 		}
@@ -290,6 +363,12 @@ func (c *Conn) RecvContext(ctx context.Context) ([]byte, error) {
 			// The message arrived after the crash: it was never read.
 			c.mu.Unlock()
 			return c.blockCrashed(ctx)
+		}
+		if c.flapAfterLocked() {
+			// The link bounced while this message was in flight: it is
+			// lost with the conn, like bytes in a dying socket buffer.
+			c.mu.Unlock()
+			return nil, ErrFlapped
 		}
 		if f.BlackholeAfter > 0 && c.recvCount > f.BlackholeAfter {
 			c.mu.Unlock()

@@ -109,6 +109,8 @@ type FenceOpts struct {
 	// memory-bounded chunked protocol (see TransferOpts and budget.go).
 	// Rounds carry the entry epoch on every chunk, and the failure
 	// policies apply per chunk exactly as they apply per message.
+	// Back-to-back budgeted transfers between the same ranks must use
+	// distinct base tags (see TransferOpts.MaxBytesInFlight).
 	MaxBytesInFlight int
 }
 

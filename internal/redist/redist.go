@@ -169,6 +169,14 @@ type TransferOpts struct {
 	//
 	// Budgets smaller than two elements degrade to element-at-a-time
 	// chunks, making the bound best-effort rather than hard.
+	//
+	// The chunk/ack protocol multiplexes every peer's traffic under the
+	// transfer's data tag (an any-source receive loop), so back-to-back
+	// transfers between the same ranks must use distinct base tags when
+	// either is budgeted: with no barrier between them, a rank that
+	// finishes early can land its next transfer's messages inside a
+	// slower peer's still-running loop. The unbudgeted path receives
+	// from specific peers in plan order and tolerates tag reuse.
 	MaxBytesInFlight int
 }
 

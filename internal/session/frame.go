@@ -1,0 +1,161 @@
+// Session frame codec. Every message a session.Conn puts on the inner
+// transport is one of five frames, distinguished by a leading kind byte
+// with fixed little-endian headers — no varints, so the data header can be
+// written in place into a pooled buffer without measuring first.
+//
+//	hello   [kind u8][session id u64][last delivered u64][flags u8]
+//	welcome [kind u8][session id u64][last delivered u64]
+//	reject  [kind u8][session id u64][reason bytes...]
+//	data    [kind u8][seq u64][ack u64][payload bytes...]
+//	ack     [kind u8][ack u64]
+//
+// hello flows dialer→listener as the first frame of every physical
+// connection; welcome (or reject) is the listener's sole reply before data
+// may flow. "last delivered" is the cumulative sequence number of the
+// highest in-order frame the sender of the handshake frame has delivered
+// to its application side; the peer trims its replay buffer to it and
+// re-sends everything after it. data.ack piggybacks the same cumulative
+// acknowledgement on every data frame; ack carries it alone when traffic
+// is one-sided.
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	kindHello   byte = 0x01
+	kindWelcome byte = 0x02
+	kindReject  byte = 0x03
+	kindData    byte = 0x04
+	kindAck     byte = 0x05
+)
+
+const (
+	helloLen   = 1 + 8 + 8 + 1
+	welcomeLen = 1 + 8 + 8
+	rejectMin  = 1 + 8
+	dataHdrLen = 1 + 8 + 8
+	ackLen     = 1 + 8
+
+	// flagResume marks a hello that resumes an established session (as
+	// opposed to opening a new one). A listener that does not know the
+	// session must reject a resume: inventing a fresh session would
+	// silently void the exactly-once guarantee.
+	flagResume byte = 1 << 0
+)
+
+// ErrBadFrame reports a session frame that does not decode.
+var ErrBadFrame = errors.New("session: malformed frame")
+
+// frame is the decoded form of any session frame. Fields are populated
+// according to kind; payload aliases the input buffer.
+type frame struct {
+	kind    byte
+	id      uint64 // hello, welcome, reject
+	seq     uint64 // data
+	ack     uint64 // data, ack; hello/welcome: last delivered
+	resume  bool   // hello
+	payload []byte // data payload; reject reason
+}
+
+// decodeFrame parses one session frame. It never panics and never
+// allocates beyond the returned struct: payload aliases b.
+func decodeFrame(b []byte) (frame, error) {
+	if len(b) == 0 {
+		return frame{}, fmt.Errorf("%w: empty", ErrBadFrame)
+	}
+	switch b[0] {
+	case kindHello:
+		if len(b) != helloLen {
+			return frame{}, fmt.Errorf("%w: hello length %d", ErrBadFrame, len(b))
+		}
+		if b[17]&^flagResume != 0 {
+			return frame{}, fmt.Errorf("%w: unknown hello flags %#02x", ErrBadFrame, b[17])
+		}
+		return frame{
+			kind:   kindHello,
+			id:     binary.LittleEndian.Uint64(b[1:]),
+			ack:    binary.LittleEndian.Uint64(b[9:]),
+			resume: b[17]&flagResume != 0,
+		}, nil
+	case kindWelcome:
+		if len(b) != welcomeLen {
+			return frame{}, fmt.Errorf("%w: welcome length %d", ErrBadFrame, len(b))
+		}
+		return frame{
+			kind: kindWelcome,
+			id:   binary.LittleEndian.Uint64(b[1:]),
+			ack:  binary.LittleEndian.Uint64(b[9:]),
+		}, nil
+	case kindReject:
+		if len(b) < rejectMin {
+			return frame{}, fmt.Errorf("%w: reject length %d", ErrBadFrame, len(b))
+		}
+		return frame{
+			kind:    kindReject,
+			id:      binary.LittleEndian.Uint64(b[1:]),
+			payload: b[rejectMin:],
+		}, nil
+	case kindData:
+		if len(b) < dataHdrLen {
+			return frame{}, fmt.Errorf("%w: data length %d", ErrBadFrame, len(b))
+		}
+		return frame{
+			kind:    kindData,
+			seq:     binary.LittleEndian.Uint64(b[1:]),
+			ack:     binary.LittleEndian.Uint64(b[9:]),
+			payload: b[dataHdrLen:],
+		}, nil
+	case kindAck:
+		if len(b) != ackLen {
+			return frame{}, fmt.Errorf("%w: ack length %d", ErrBadFrame, len(b))
+		}
+		return frame{kind: kindAck, ack: binary.LittleEndian.Uint64(b[1:])}, nil
+	default:
+		return frame{}, fmt.Errorf("%w: unknown kind %#02x", ErrBadFrame, b[0])
+	}
+}
+
+// encodeHello appends a hello frame to dst.
+func encodeHello(dst []byte, id, delivered uint64, resume bool) []byte {
+	dst = append(dst, kindHello)
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint64(dst, delivered)
+	var flags byte
+	if resume {
+		flags |= flagResume
+	}
+	return append(dst, flags)
+}
+
+// encodeWelcome appends a welcome frame to dst.
+func encodeWelcome(dst []byte, id, delivered uint64) []byte {
+	dst = append(dst, kindWelcome)
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	return binary.LittleEndian.AppendUint64(dst, delivered)
+}
+
+// encodeReject appends a reject frame to dst.
+func encodeReject(dst []byte, id uint64, reason string) []byte {
+	dst = append(dst, kindReject)
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	return append(dst, reason...)
+}
+
+// putDataHeader writes the data frame header into buf[:dataHdrLen]; the
+// payload follows in the same buffer. In-place so the send path can fill a
+// pooled buffer without a second copy or an allocation.
+func putDataHeader(buf []byte, seq, ack uint64) {
+	buf[0] = kindData
+	binary.LittleEndian.PutUint64(buf[1:], seq)
+	binary.LittleEndian.PutUint64(buf[9:], ack)
+}
+
+// putAck writes an ack frame into buf[:ackLen].
+func putAck(buf []byte, ack uint64) {
+	buf[0] = kindAck
+	binary.LittleEndian.PutUint64(buf[1:], ack)
+}

@@ -1,0 +1,908 @@
+// Package session provides resumable, exactly-once connections over
+// internal/transport: the self-healing link substrate beneath the M×N
+// out-of-band bridge, the PRMI conn mesh, and remote comm mailboxes.
+//
+// A session.Conn wraps a physical transport.Conn and a way to get a new
+// one (a dial function on the active side, a Listener re-attach on the
+// passive side). Every frame is sequence-numbered and held in a bounded
+// replay buffer until the peer's cumulative acknowledgement — piggybacked
+// on data frames, or standalone when traffic is one-sided — covers it.
+// When the physical connection fails, the active side redials with
+// jittered exponential backoff, the two sides exchange resume offsets in
+// a small handshake, and each replays the frames the other has not
+// delivered. Duplicates created by replay are dropped by sequence number,
+// so across arbitrary reconnects every frame sent is delivered to the
+// peer's application exactly once, in order.
+//
+// Failure stays a recoverable event until the attempt/deadline budget in
+// Config is exhausted; then the circuit opens and every pending and
+// future operation reports a *PeerLostError (matching ErrPeerLost and
+// transport.ErrClosed), which hands the failure to the liveness and
+// fenced-transfer machinery above — link death escalates to rank death
+// only when the link is genuinely unrecoverable.
+//
+// This is the transparent-reconnection idiom of distributed middleware
+// for long-running parallel applications; the session layer exists so
+// that a multi-tenant coupling daemon can survive the connection churn a
+// real network produces without losing or duplicating a single frame.
+package session
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mxn/internal/bufpool"
+	"mxn/internal/obs"
+	"mxn/internal/transport"
+)
+
+// Session instruments, registered in the process-default registry (and so
+// published through expvar wherever obs.PublishExpvar is mounted).
+var (
+	mConnsOpen         = obs.Default().Gauge("session.conns_open")
+	mReconnects        = obs.Default().Counter("session.reconnects")
+	mReconnectAttempts = obs.Default().Counter("session.reconnect_attempts")
+	mReconnectFails    = obs.Default().Counter("session.reconnect_failures")
+	mReattaches        = obs.Default().Counter("session.reattaches")
+	mFramesReplayed    = obs.Default().Counter("session.frames_replayed")
+	mDupDropped        = obs.Default().Counter("session.frames_dup_dropped")
+	mAcksSent          = obs.Default().Counter("session.acks_sent")
+	mPeerLost          = obs.Default().Counter("session.peer_lost")
+	mRejects           = obs.Default().Counter("session.rejects")
+	mReplayDepth       = obs.Default().Gauge("session.replay_depth")
+)
+
+// ErrPeerLost is matched (via errors.Is) by the *PeerLostError every
+// operation returns once a session's reconnect budget is exhausted.
+var ErrPeerLost = errors.New("session: peer lost")
+
+// PeerLostError reports an unrecoverable session: the reconnect budget
+// was spent without re-establishing the link. It matches both ErrPeerLost
+// and transport.ErrClosed, so layers written against the transport error
+// contract (PRMI's ErrLinkDown mapping, the bridge, comm remote peers)
+// see a dead link without importing this package.
+type PeerLostError struct {
+	SessionID uint64
+	Attempts  int           // reconnect attempts spent (0: passive side)
+	Elapsed   time.Duration // time since the link went down
+	Cause     error         // last underlying failure
+}
+
+func (e *PeerLostError) Error() string {
+	return fmt.Sprintf("session %#x: peer lost after %d reconnect attempts over %v: %v",
+		e.SessionID, e.Attempts, e.Elapsed.Round(time.Millisecond), e.Cause)
+}
+
+func (e *PeerLostError) Unwrap() error { return e.Cause }
+
+func (e *PeerLostError) Is(target error) bool {
+	return target == ErrPeerLost || target == transport.ErrClosed
+}
+
+// RejectedError reports that the peer's listener refused to resume the
+// session (typically because it restarted and lost the session state).
+// Resuming without state would void the exactly-once guarantee, so this
+// is terminal: the circuit opens immediately instead of burning the
+// remaining reconnect budget.
+type RejectedError struct {
+	SessionID uint64
+	Reason    string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("session %#x: peer rejected resume: %s", e.SessionID, e.Reason)
+}
+
+// DialFunc obtains a fresh physical connection. It is called for the
+// initial connect and for every reconnect attempt; ctx carries the
+// per-attempt handshake timeout.
+type DialFunc func(ctx context.Context) (transport.Conn, error)
+
+// Config tunes a session. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// MaxAttempts bounds reconnect attempts per outage (default 8). The
+	// budget resets once a reconnect succeeds: a flaky link that keeps
+	// coming back keeps getting repaired; only a continuous outage opens
+	// the circuit.
+	MaxAttempts int
+	// MaxElapsed bounds the wall-clock length of one outage (default
+	// 30s). On the passive (listener) side, where no redial is possible,
+	// it is the resume window: how long a downed session waits for the
+	// peer to come back before opening the circuit.
+	MaxElapsed time.Duration
+	// BaseBackoff and MaxBackoff shape the jittered exponential backoff
+	// between reconnect attempts (defaults 20ms and 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HandshakeTimeout bounds each dial + hello/welcome exchange
+	// (default 5s).
+	HandshakeTimeout time.Duration
+	// MaxReplayFrames and MaxReplayBytes bound the replay buffer of
+	// unacknowledged sent frames (defaults 1024 frames, 8 MiB). Send
+	// blocks when the buffer is full — the session's flow control. A
+	// single frame larger than MaxReplayBytes is always admitted (alone).
+	MaxReplayFrames int
+	MaxReplayBytes  int
+	// AckEvery and AckBytes set how much one-sided traffic the receive
+	// side absorbs before volunteering a standalone acknowledgement
+	// (defaults 16 frames, 256 KiB). Both are clamped to half the
+	// corresponding replay bound so a silent receiver can never starve
+	// the peer's replay buffer into a deadlock.
+	AckEvery int
+	AckBytes int
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	defD := func(v *time.Duration, d time.Duration) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&c.MaxAttempts, 8)
+	defD(&c.MaxElapsed, 30*time.Second)
+	defD(&c.BaseBackoff, 20*time.Millisecond)
+	defD(&c.MaxBackoff, 2*time.Second)
+	defD(&c.HandshakeTimeout, 5*time.Second)
+	def(&c.MaxReplayFrames, 1024)
+	def(&c.MaxReplayBytes, 8<<20)
+	def(&c.AckEvery, 16)
+	def(&c.AckBytes, 256<<10)
+	if c.AckEvery > c.MaxReplayFrames/2 {
+		c.AckEvery = max(c.MaxReplayFrames/2, 1)
+	}
+	if c.AckBytes > c.MaxReplayBytes/2 {
+		c.AckBytes = max(c.MaxReplayBytes/2, 1)
+	}
+	return c
+}
+
+// replayEntry is one unacknowledged sent frame: the full wire frame
+// (header + payload) in a pooled buffer, keyed by its sequence number.
+type replayEntry struct {
+	seq uint64
+	buf []byte
+}
+
+// replayRing is a fixed-capacity circular queue of replay entries,
+// allocated once at session construction so steady-state pushes and pops
+// never allocate.
+type replayRing struct {
+	ents []replayEntry
+	head int // index of the oldest entry
+	n    int
+}
+
+func (r *replayRing) init(capacity int) { r.ents = make([]replayEntry, capacity) }
+func (r *replayRing) len() int          { return r.n }
+
+// at returns the i-th oldest entry.
+func (r *replayRing) at(i int) replayEntry { return r.ents[(r.head+i)%len(r.ents)] }
+
+// push appends an entry; the caller guarantees space (flow control blocks
+// Send before the ring fills).
+func (r *replayRing) push(e replayEntry) {
+	r.ents[(r.head+r.n)%len(r.ents)] = e
+	r.n++
+}
+
+// popFront removes and returns the oldest entry.
+func (r *replayRing) popFront() replayEntry {
+	e := r.ents[r.head]
+	r.ents[r.head] = replayEntry{}
+	r.head = (r.head + 1) % len(r.ents)
+	r.n--
+	return e
+}
+
+// Conn is a resumable, exactly-once connection. It implements
+// transport.Conn and is safe for the same concurrent use (one sender and
+// one receiver; internal state is mutex-guarded, so stricter callers may
+// also use it from multiple goroutines per direction).
+type Conn struct {
+	cfg  Config
+	id   uint64
+	dial DialFunc  // nil on the passive (listener-owned) side
+	lst  *Listener // non-nil on the passive side
+
+	// wmu serializes writes to the current physical connection (app
+	// sends, standalone acks, handshake replays). Never held together
+	// with mu across a blocking operation.
+	wmu sync.Mutex
+	// attachMu serializes passive re-attaches so two racing resumes of
+	// the same session cannot interleave their replays.
+	attachMu sync.Mutex
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cur     transport.Conn // live physical conn; nil while down
+	gen     uint64         // incarnation counter, bumped per install
+	closed  bool
+	dead    error // *PeerLostError once the circuit opens
+	counted bool  // conns_open gauge accounting
+
+	// Sender state: frames buffered until the peer acknowledges them.
+	nextSeq     uint64
+	replay      replayRing
+	replayBytes int
+	scratch     [][]byte // reused batch during replays
+	// While an install's replay is in flight, acknowledged buffers are
+	// parked here instead of returned to the pool: an ack racing the
+	// replay must not recycle a buffer the replay is still writing to
+	// the wire.
+	installing  bool
+	pendingFree [][]byte
+
+	// Receiver state. lastDelivered is the cumulative acknowledgement we
+	// owe the peer: the highest in-order sequence enqueued to the inbox.
+	lastDelivered uint64
+	recvSinceAck  int
+	bytesSinceAck int
+	inbox         [][]byte
+	inboxHead     int
+
+	downTimer *time.Timer // passive resume deadline
+}
+
+// errSessionStopped is an internal signal that an install lost the race
+// with Close or circuit-open; no recovery should follow it.
+var errSessionStopped = errors.New("session: stopped")
+
+// idFallback backs newSessionID if crypto/rand fails.
+var idFallback atomic.Uint64
+
+func newSessionID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return idFallback.Add(1) | 1<<63
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1 // nonzero
+}
+
+// NewConn establishes a session by dialing. The initial connect gets the
+// same attempt/deadline budget as a reconnect, so it tolerates racing the
+// peer's startup; if the budget is spent, the error is returned (no Conn
+// exists yet, so no circuit opens).
+func NewConn(dial DialFunc, cfg Config) (*Conn, error) {
+	c := &Conn{cfg: cfg.withDefaults(), id: newSessionID(), dial: dial}
+	c.cond = sync.NewCond(&c.mu)
+	c.replay.init(c.cfg.MaxReplayFrames)
+
+	start := time.Now()
+	backoff := c.cfg.BaseBackoff
+	var cause error
+	for attempt := 1; ; attempt++ {
+		if attempt > c.cfg.MaxAttempts || time.Since(start) > c.cfg.MaxElapsed {
+			return nil, fmt.Errorf("session: connect failed after %d attempts: %w", attempt-1, cause)
+		}
+		if attempt > 1 {
+			sleepJitter(backoff)
+			backoff = minDuration(backoff*2, c.cfg.MaxBackoff)
+		}
+		nc, err := c.dialOnce()
+		if err != nil {
+			cause = err
+			continue
+		}
+		peerDelivered, err := c.handshake(nc, false)
+		if err != nil {
+			nc.Close()
+			var rej *RejectedError
+			if errors.As(err, &rej) {
+				return nil, err
+			}
+			cause = err
+			continue
+		}
+		if err := c.installConn(nc, peerDelivered); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		c.mu.Lock()
+		c.counted = true
+		c.mu.Unlock()
+		mConnsOpen.Add(1)
+		return c, nil
+	}
+}
+
+// Dial establishes a session over a fresh transport connection to addr,
+// redialing the same address on every reconnect.
+func Dial(network, addr string, cfg Config) (*Conn, error) {
+	return NewConn(func(ctx context.Context) (transport.Conn, error) {
+		return transport.DialContext(ctx, network, addr)
+	}, cfg)
+}
+
+// newPassiveConn builds the listener-owned side of a session. The caller
+// (the listener's handshake) installs the first physical conn.
+func newPassiveConn(l *Listener, id uint64, cfg Config) *Conn {
+	c := &Conn{cfg: cfg, id: id, lst: l}
+	c.cond = sync.NewCond(&c.mu)
+	c.replay.init(c.cfg.MaxReplayFrames)
+	return c
+}
+
+// ID returns the session's identity (stable across reconnects).
+func (c *Conn) ID() uint64 { return c.id }
+
+func (c *Conn) dialOnce() (transport.Conn, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HandshakeTimeout)
+	defer cancel()
+	return c.dial(ctx)
+}
+
+// handshake runs the dialer side of the hello/welcome exchange on a fresh
+// physical conn, returning the peer's resume offset.
+func (c *Conn) handshake(nc transport.Conn, resume bool) (uint64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HandshakeTimeout)
+	defer cancel()
+	c.mu.Lock()
+	delivered := c.lastDelivered
+	c.mu.Unlock()
+	if err := nc.SendContext(ctx, encodeHello(make([]byte, 0, helloLen), c.id, delivered, resume)); err != nil {
+		return 0, fmt.Errorf("session: hello: %w", err)
+	}
+	msg, err := nc.RecvContext(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("session: welcome: %w", err)
+	}
+	f, err := decodeFrame(msg)
+	if err != nil {
+		return 0, err
+	}
+	switch f.kind {
+	case kindWelcome:
+		if f.id != c.id {
+			return 0, fmt.Errorf("session: welcome for session %#x, want %#x", f.id, c.id)
+		}
+		return f.ack, nil
+	case kindReject:
+		return 0, &RejectedError{SessionID: f.id, Reason: string(f.payload)}
+	default:
+		return 0, fmt.Errorf("session: expected welcome, got frame kind %#02x", f.kind)
+	}
+}
+
+// installConn trims the replay buffer to the peer's resume offset,
+// replays everything it has not delivered, and promotes nc to the live
+// connection. The pump starts before the replay so the peer's concurrent
+// replay in the other direction is drained — two large simultaneous
+// resumes must not deadlock on full socket buffers; acks arriving during
+// the replay park their buffers in pendingFree instead of recycling them
+// out from under the in-flight writes. Frames buffered by concurrent
+// Sends during the replay are caught up before the promotion, so nothing
+// is ever left unsent.
+func (c *Conn) installConn(nc transport.Conn, peerDelivered uint64) error {
+	c.mu.Lock()
+	if c.closed || c.dead != nil {
+		c.mu.Unlock()
+		return errSessionStopped
+	}
+	c.installing = true
+	c.ackUpToLocked(peerDelivered)
+	c.mu.Unlock()
+	go c.pump(nc)
+	lastSent := peerDelivered
+	for {
+		c.mu.Lock()
+		if c.closed || c.dead != nil {
+			c.finishInstallLocked()
+			c.mu.Unlock()
+			return errSessionStopped
+		}
+		batch := c.scratch[:0]
+		for i := 0; i < c.replay.len(); i++ {
+			if e := c.replay.at(i); e.seq > lastSent {
+				batch = append(batch, e.buf)
+				lastSent = e.seq
+			}
+		}
+		c.scratch = batch[:0]
+		if len(batch) == 0 {
+			c.cur = nc
+			c.gen++
+			if c.downTimer != nil {
+				c.downTimer.Stop()
+				c.downTimer = nil
+			}
+			c.finishInstallLocked()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return nil
+		}
+		c.mu.Unlock()
+		c.wmu.Lock()
+		var err error
+		for _, buf := range batch {
+			if err = nc.Send(buf); err != nil {
+				break
+			}
+		}
+		c.wmu.Unlock()
+		if err != nil {
+			c.mu.Lock()
+			c.finishInstallLocked()
+			c.mu.Unlock()
+			return fmt.Errorf("session: replay: %w", err)
+		}
+		mFramesReplayed.Add(uint64(len(batch)))
+	}
+}
+
+// finishInstallLocked ends an install: buffers whose acknowledgement
+// raced the replay are now safely off the wire and return to the pool.
+func (c *Conn) finishInstallLocked() {
+	c.installing = false
+	for i, b := range c.pendingFree {
+		bufpool.Put(b)
+		c.pendingFree[i] = nil
+	}
+	c.pendingFree = c.pendingFree[:0]
+}
+
+// connFailed records the loss of a physical connection and starts
+// recovery: a redial loop on the active side, a resume deadline on the
+// passive side. Every path that observes a failure funnels here; only the
+// caller that actually transitions the live conn to down starts recovery.
+func (c *Conn) connFailed(failed transport.Conn, cause error) {
+	c.mu.Lock()
+	if c.closed || c.dead != nil || c.cur != failed {
+		c.mu.Unlock()
+		return
+	}
+	c.cur = nil
+	gen := c.gen
+	c.mu.Unlock()
+	failed.Close()
+	if c.dial != nil {
+		go c.redialLoop(cause)
+	} else {
+		c.armResumeDeadline(gen, cause)
+	}
+}
+
+// armResumeDeadline opens the circuit if the passive side is still down
+// when the resume window closes. The generation check self-disarms a
+// timer from an outage that has since been repaired.
+func (c *Conn) armResumeDeadline(gen uint64, cause error) {
+	t := time.AfterFunc(c.cfg.MaxElapsed, func() {
+		c.mu.Lock()
+		expired := c.cur == nil && !c.closed && c.dead == nil && c.gen == gen
+		c.mu.Unlock()
+		if expired {
+			c.markDead(0, c.cfg.MaxElapsed, fmt.Errorf("no resume within %v: %w", c.cfg.MaxElapsed, cause))
+		}
+	})
+	c.mu.Lock()
+	if c.downTimer != nil {
+		c.downTimer.Stop()
+	}
+	c.downTimer = t
+	if c.closed || c.dead != nil || c.cur != nil {
+		// Lost a race with Close/attach; the gen check would catch it,
+		// but stop the timer promptly anyway.
+		t.Stop()
+	}
+	c.mu.Unlock()
+}
+
+// redialLoop is the active side's recovery: jittered exponential backoff
+// dials until the session resumes or the budget opens the circuit.
+func (c *Conn) redialLoop(cause error) {
+	start := time.Now()
+	backoff := c.cfg.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		c.mu.Lock()
+		stopped := c.closed || c.dead != nil
+		c.mu.Unlock()
+		if stopped {
+			return
+		}
+		if attempt > c.cfg.MaxAttempts || time.Since(start) > c.cfg.MaxElapsed {
+			c.markDead(attempt-1, time.Since(start), cause)
+			return
+		}
+		sleepJitter(backoff)
+		backoff = minDuration(backoff*2, c.cfg.MaxBackoff)
+		mReconnectAttempts.Inc()
+		nc, err := c.dialOnce()
+		if err != nil {
+			mReconnectFails.Inc()
+			cause = err
+			continue
+		}
+		peerDelivered, err := c.handshake(nc, true)
+		if err != nil {
+			nc.Close()
+			var rej *RejectedError
+			if errors.As(err, &rej) {
+				c.markDead(attempt, time.Since(start), err)
+				return
+			}
+			mReconnectFails.Inc()
+			cause = err
+			continue
+		}
+		if err := c.installConn(nc, peerDelivered); err != nil {
+			nc.Close()
+			if errors.Is(err, errSessionStopped) {
+				return
+			}
+			mReconnectFails.Inc()
+			cause = err
+			continue
+		}
+		mReconnects.Inc()
+		obs.Trace().Span(obs.EvRedial, "session", -1, -1, 0, start)
+		return
+	}
+}
+
+// attach resumes a downed (or stale) passive session on a fresh physical
+// connection accepted by the listener: welcome with our resume offset,
+// replay what the peer missed, promote.
+func (c *Conn) attach(nc transport.Conn, peerDelivered uint64) {
+	c.attachMu.Lock()
+	defer c.attachMu.Unlock()
+	c.mu.Lock()
+	if c.closed || c.dead != nil {
+		c.mu.Unlock()
+		nc.Close()
+		return
+	}
+	if old := c.cur; old != nil {
+		// The peer redialed while we still considered the link live: the
+		// old incarnation is stale. Its pump observes the close and
+		// finds it is no longer current.
+		c.cur = nil
+		c.mu.Unlock()
+		old.Close()
+		c.mu.Lock()
+	}
+	delivered := c.lastDelivered
+	gen := c.gen
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HandshakeTimeout)
+	err := nc.SendContext(ctx, encodeWelcome(make([]byte, 0, welcomeLen), c.id, delivered))
+	cancel()
+	if err == nil {
+		err = c.installConn(nc, peerDelivered)
+	}
+	if err != nil {
+		nc.Close()
+		if !errors.Is(err, errSessionStopped) {
+			c.armResumeDeadline(gen, err)
+		}
+		return
+	}
+	mReattaches.Inc()
+}
+
+// markDead opens the circuit: every pending and future operation reports
+// the same *PeerLostError, and the replay buffer returns to the pool.
+func (c *Conn) markDead(attempts int, elapsed time.Duration, cause error) {
+	c.mu.Lock()
+	if c.dead != nil || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = &PeerLostError{SessionID: c.id, Attempts: attempts, Elapsed: elapsed, Cause: cause}
+	c.freeReplayLocked()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	mPeerLost.Inc()
+	if c.lst != nil {
+		c.lst.remove(c.id)
+	}
+}
+
+// ackUpToLocked releases replay entries covered by a cumulative ack.
+// During an install the buffers are parked rather than pooled (see
+// installConn); a frame already snapshot into a replay batch may still be
+// sent after its ack lands — the receiver drops it by sequence number.
+func (c *Conn) ackUpToLocked(ack uint64) {
+	freed := false
+	for c.replay.len() > 0 && c.replay.at(0).seq <= ack {
+		e := c.replay.popFront()
+		c.replayBytes -= len(e.buf)
+		if c.installing {
+			c.pendingFree = append(c.pendingFree, e.buf)
+		} else {
+			bufpool.Put(e.buf)
+		}
+		mReplayDepth.Add(-1)
+		freed = true
+	}
+	if freed {
+		c.cond.Broadcast()
+	}
+}
+
+func (c *Conn) freeReplayLocked() {
+	c.ackUpToLocked(^uint64(0))
+}
+
+// replayFullLocked reports whether Send must block for flow control. A
+// single frame larger than MaxReplayBytes is admitted when alone, so an
+// oversized message can never wedge an idle session.
+func (c *Conn) replayFullLocked() bool {
+	return c.replay.len() >= c.cfg.MaxReplayFrames ||
+		(c.replay.len() > 0 && c.replayBytes >= c.cfg.MaxReplayBytes)
+}
+
+// pump is the per-incarnation reader: it drains the physical connection,
+// releases acknowledged replay entries, enqueues in-order data to the
+// inbox, drops replay duplicates, and volunteers standalone acks when
+// one-sided traffic crosses the ack thresholds.
+func (c *Conn) pump(conn transport.Conn) {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			c.connFailed(conn, err)
+			return
+		}
+		f, derr := decodeFrame(msg)
+		if derr != nil {
+			c.connFailed(conn, derr)
+			return
+		}
+		switch f.kind {
+		case kindAck:
+			c.mu.Lock()
+			c.ackUpToLocked(f.ack)
+			c.mu.Unlock()
+		case kindData:
+			c.mu.Lock()
+			c.ackUpToLocked(f.ack)
+			switch {
+			case f.seq == c.lastDelivered+1:
+				c.lastDelivered = f.seq
+				c.inbox = append(c.inbox, f.payload)
+				c.recvSinceAck++
+				c.bytesSinceAck += len(f.payload)
+				var ackNow uint64
+				sendAck := false
+				if c.recvSinceAck >= c.cfg.AckEvery || c.bytesSinceAck >= c.cfg.AckBytes {
+					ackNow, sendAck = c.lastDelivered, true
+					c.recvSinceAck, c.bytesSinceAck = 0, 0
+				}
+				c.cond.Broadcast()
+				c.mu.Unlock()
+				if sendAck {
+					c.sendAck(conn, ackNow)
+				}
+			case f.seq <= c.lastDelivered:
+				// A replay duplicate: the peer resumed from an offset we
+				// had already passed. Exactly-once is enforced here.
+				c.mu.Unlock()
+				mDupDropped.Inc()
+			default:
+				// A gap is a protocol violation (the transport is ordered
+				// and resumes replay from our offset); treat it as link
+				// failure so a reconnect re-synchronizes both sides.
+				c.mu.Unlock()
+				c.connFailed(conn, fmt.Errorf("session: sequence gap: got %d, delivered %d", f.seq, c.lastDelivered))
+				return
+			}
+		default:
+			c.connFailed(conn, fmt.Errorf("session: unexpected frame kind %#02x on established session", f.kind))
+			return
+		}
+	}
+}
+
+// sendAck writes a standalone cumulative acknowledgement, best-effort: a
+// failure is handled as a link failure, and the resume handshake carries
+// the offset anyway.
+func (c *Conn) sendAck(conn transport.Conn, ack uint64) {
+	var b [ackLen]byte
+	putAck(b[:], ack)
+	c.wmu.Lock()
+	err := conn.Send(b[:])
+	c.wmu.Unlock()
+	if err != nil {
+		c.connFailed(conn, err)
+		return
+	}
+	mAcksSent.Inc()
+}
+
+// Send transmits one message with exactly-once delivery across
+// reconnects. It blocks only for flow control (replay buffer full); the
+// frame is buffered before any physical write, so a link failure after
+// Send returns cannot lose it. Send reports an error only once the
+// circuit is open (*PeerLostError) or the session is closed.
+func (c *Conn) Send(msg []byte) error {
+	return c.SendContext(context.Background(), msg)
+}
+
+// SendContext is Send with the flow-control wait bounded by ctx. Deadline
+// expiry reports transport.ErrTimeout (wrapped); the physical write
+// itself is not bounded — an abandoned mid-frame write would poison the
+// stream, and reconnection already bounds a stuck link.
+func (c *Conn) SendContext(ctx context.Context, msg []byte) error {
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+		defer stop()
+	}
+	c.mu.Lock()
+	for c.replayFullLocked() && !c.closed && c.dead == nil && ctx.Err() == nil {
+		c.cond.Wait()
+	}
+	switch {
+	case c.closed:
+		c.mu.Unlock()
+		return transport.ErrClosed
+	case c.dead != nil:
+		err := c.dead
+		c.mu.Unlock()
+		return err
+	case ctx.Err() != nil:
+		c.mu.Unlock()
+		return ctxErr(ctx)
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	buf := bufpool.Get(dataHdrLen + len(msg))
+	putDataHeader(buf, seq, c.lastDelivered)
+	copy(buf[dataHdrLen:], msg)
+	c.recvSinceAck, c.bytesSinceAck = 0, 0 // the header piggybacks the ack
+	c.replay.push(replayEntry{seq: seq, buf: buf})
+	c.replayBytes += len(buf)
+	mReplayDepth.Add(1)
+	conn := c.cur
+	c.mu.Unlock()
+	if conn == nil {
+		// Down: recovery is already running and will replay this frame.
+		return nil
+	}
+	c.wmu.Lock()
+	err := conn.Send(buf)
+	c.wmu.Unlock()
+	if err != nil {
+		// The frame is in the replay buffer; the resume replays it.
+		c.connFailed(conn, err)
+	}
+	return nil
+}
+
+// Recv blocks until the next in-order message is available and returns
+// it. Frames keep arriving across reconnects; Recv fails only once the
+// circuit is open or the session is closed.
+func (c *Conn) Recv() ([]byte, error) {
+	return c.RecvContext(context.Background())
+}
+
+// RecvContext is Recv bounded by ctx: expiry reports transport.ErrTimeout
+// (wrapped), cancellation reports ctx.Err().
+func (c *Conn) RecvContext(ctx context.Context) ([]byte, error) {
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+		defer stop()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.inboxHead < len(c.inbox) {
+			m := c.inbox[c.inboxHead]
+			c.inbox[c.inboxHead] = nil
+			c.inboxHead++
+			if c.inboxHead == len(c.inbox) {
+				c.inbox = c.inbox[:0]
+				c.inboxHead = 0
+			} else if c.inboxHead >= 256 {
+				n := copy(c.inbox, c.inbox[c.inboxHead:])
+				c.inbox = c.inbox[:n]
+				c.inboxHead = 0
+			}
+			return m, nil
+		}
+		if c.closed {
+			return nil, transport.ErrClosed
+		}
+		if c.dead != nil {
+			return nil, c.dead
+		}
+		if ctx.Err() != nil {
+			return nil, ctxErr(ctx)
+		}
+		c.cond.Wait()
+	}
+}
+
+// Close releases the session on this side. Pending and future operations
+// report transport.ErrClosed; the peer sees a link failure and, unable to
+// resume (the listener forgets closed sessions), eventually opens its
+// circuit.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.cur
+	c.cur = nil
+	c.freeReplayLocked()
+	if c.downTimer != nil {
+		c.downTimer.Stop()
+		c.downTimer = nil
+	}
+	counted := c.counted
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	if c.lst != nil {
+		c.lst.remove(c.id)
+	}
+	if counted {
+		mConnsOpen.Add(-1)
+	}
+	return nil
+}
+
+// Down reports whether the session is currently between physical
+// connections (recovering), and Dead whether the circuit has opened.
+func (c *Conn) Down() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur == nil && !c.closed && c.dead == nil
+}
+
+// Err returns the terminal error once the circuit has opened, else nil.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// ctxErr maps a finished context to the transport error contract.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", transport.ErrTimeout, err)
+	}
+	return ctx.Err()
+}
+
+// sleepJitter sleeps between half and the full backoff, decorrelating
+// reconnect storms from many sessions that failed together.
+func sleepJitter(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	half := int64(d) / 2
+	time.Sleep(time.Duration(half + rand.Int63n(half+1)))
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mxn/internal/obs"
+)
+
+// Dial-retry instruments, published via expvar wherever the default
+// registry is mounted (obs.PublishExpvar).
+var (
+	mDialRetryAttempts = obs.Default().Counter("transport.dial_retry_attempts")
+	mDialRetryFails    = obs.Default().Counter("transport.dial_retry_failures")
+	mDialRetryOK       = obs.Default().Counter("transport.dial_retry_connects")
+)
+
+// RetryPolicy shapes DialRetry's jittered exponential backoff. The zero
+// value selects the defaults noted on each field.
+type RetryPolicy struct {
+	// MaxAttempts bounds the number of dials (default 8).
+	MaxAttempts int
+	// MaxElapsed bounds the total wall-clock spent retrying (default 30s).
+	MaxElapsed time.Duration
+	// BaseBackoff is the first inter-attempt delay; it doubles per
+	// attempt, jittered to [d/2, d], up to MaxBackoff (defaults 20ms, 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.MaxElapsed <= 0 {
+		p.MaxElapsed = 30 * time.Second
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 20 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	return p
+}
+
+// DialRetry connects to a listener, retrying transient failures with
+// jittered exponential backoff. A plain Dial fails hard on the first
+// refusal, which races the peer's startup; DialRetry absorbs that race.
+// It stops early when ctx is done (reporting ctx's error per the
+// transport contract) and otherwise returns the last dial error once the
+// policy's attempt or elapsed budget is spent.
+func DialRetry(ctx context.Context, network, addr string, policy RetryPolicy) (Conn, error) {
+	p := policy.withDefaults()
+	start := time.Now()
+	backoff := p.BaseBackoff
+	var last error
+	for attempt := 1; ; attempt++ {
+		if attempt > p.MaxAttempts {
+			mDialRetryFails.Inc()
+			return nil, fmt.Errorf("transport: dial %s %s failed after %d attempts: %w",
+				network, addr, p.MaxAttempts, last)
+		}
+		if attempt > 1 {
+			if elapsed := time.Since(start); elapsed > p.MaxElapsed {
+				mDialRetryFails.Inc()
+				return nil, fmt.Errorf("transport: dial %s %s failed after %v: %w",
+					network, addr, elapsed.Round(time.Millisecond), last)
+			}
+			// Jitter to [backoff/2, backoff] so many dialers racing the
+			// same startup don't re-collide in lockstep.
+			half := int64(backoff) / 2
+			select {
+			case <-time.After(time.Duration(half + rand.Int63n(half+1))):
+			case <-ctx.Done():
+				return nil, ctxErr(ctx)
+			}
+			if backoff *= 2; backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+		}
+		mDialRetryAttempts.Inc()
+		c, err := DialContext(ctx, network, addr)
+		if err == nil {
+			mDialRetryOK.Inc()
+			return c, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctxErr(ctx)
+		}
+		last = err
+	}
+}

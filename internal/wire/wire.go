@@ -51,6 +51,9 @@ func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 // Len returns the current encoded length in bytes.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Unwrite removes the last n appended bytes, undoing a speculative write.
+func (e *Encoder) Unwrite(n int) { e.buf = e.buf[:len(e.buf)-n] }
+
 // PutUint64 appends a fixed-width 64-bit unsigned integer.
 func (e *Encoder) PutUint64(v uint64) {
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
@@ -398,14 +401,15 @@ const (
 	tagInt32s
 	tagComplex128s
 	tagComplex128
+	tagUint64
 )
 
 // PutValue appends a self-describing encoding of v. Supported dynamic
-// types: nil, bool, int, int64, float64, complex128, string, []byte,
-// []float64, []float32, []int64, []int32, []int, []complex128 and []any
-// (recursively). Other types panic: the caller is middleware code that
-// controls what crosses the wire, so an unsupported type is a programming
-// error, not input.
+// types: nil, bool, int, int64, uint64, float64, complex128, string,
+// []byte, []float64, []float32, []int64, []int32, []int, []complex128 and
+// []any (recursively). Other types panic: the caller is middleware code
+// that controls what crosses the wire, so an unsupported type is a
+// programming error, not input.
 func (e *Encoder) PutValue(v any) {
 	switch x := v.(type) {
 	case nil:
@@ -419,6 +423,9 @@ func (e *Encoder) PutValue(v any) {
 	case int64:
 		e.PutByte(tagInt64)
 		e.PutInt64(x)
+	case uint64:
+		e.PutByte(tagUint64)
+		e.PutUint64(x)
 	case float64:
 		e.PutByte(tagFloat64)
 		e.PutFloat64(x)
@@ -460,7 +467,8 @@ func (e *Encoder) PutValue(v any) {
 	}
 }
 
-// Value reads a value written by PutValue. Integers decode as int64.
+// Value reads a value written by PutValue. Signed integers decode as
+// int64; uint64 round-trips as uint64.
 func (d *Decoder) Value() any {
 	tag := d.Byte()
 	if d.err != nil {
@@ -473,6 +481,8 @@ func (d *Decoder) Value() any {
 		return d.Bool()
 	case tagInt64:
 		return d.Int64()
+	case tagUint64:
+		return d.Uint64()
 	case tagFloat64:
 		return d.Float64()
 	case tagString:

@@ -52,6 +52,7 @@ import (
 	"mxn/internal/prmi"
 	"mxn/internal/redist"
 	"mxn/internal/schedule"
+	"mxn/internal/session"
 	"mxn/internal/sidl"
 	"mxn/internal/transport"
 )
@@ -326,6 +327,37 @@ func Dial(network, addr string) (Conn, error) { return transport.Dial(network, a
 
 // Pipe returns a connected in-memory transport pair.
 func Pipe() (Conn, Conn) { return transport.Pipe() }
+
+// ---- Session layer ----
+
+// SessionConfig tunes a resumable session; the zero value selects the
+// defaults documented on each field.
+type SessionConfig = session.Config
+
+// SessionListener accepts resumable sessions. Accept yields each
+// session exactly once; a reconnecting peer is absorbed into its
+// existing session silently.
+type SessionListener = session.Listener
+
+// ErrPeerLost reports a session whose per-outage reconnect budget was
+// exhausted: the link stayed down past MaxAttempts/MaxElapsed and the
+// circuit is open. The concrete error is *session.PeerLostError, which
+// also matches transport's ErrClosed.
+var ErrPeerLost = session.ErrPeerLost
+
+// DialSession connects a resumable exactly-once session to a
+// WrapSessionListener peer. The returned Conn transparently redials
+// (jittered exponential backoff) and replays unacknowledged messages
+// across physical connection loss, so everything layered on it — a net
+// bridge, a PRMI link, a ConnectPeer coupling — survives link flaps.
+func DialSession(network, addr string, cfg SessionConfig) (Conn, error) {
+	return session.Dial(network, addr, cfg)
+}
+
+// WrapSessionListener layers session resumption over any listener.
+func WrapSessionListener(inner Listener, cfg SessionConfig) *SessionListener {
+	return session.WrapListener(inner, cfg)
+}
 
 // ---- SIDL and PRMI ----
 

@@ -215,3 +215,53 @@ func TestFacadeResize(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeSession exercises the session re-exports: a resumable
+// connection established through the facade alone round-trips messages.
+// (The chaos behaviors — resume, replay, ErrPeerLost — are soaked in
+// internal/session and internal/chaosnet.)
+func TestFacadeSession(t *testing.T) {
+	raw, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst := WrapSessionListener(raw, SessionConfig{})
+	defer lst.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := lst.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		msg, err := c.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- c.Send(msg)
+	}()
+
+	cfg := SessionConfig{MaxAttempts: 2, MaxElapsed: 2 * time.Second,
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	conn, err := DialSession("tcp", lst.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	echo, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(echo) != "ping" {
+		t.Fatalf("echo = %q", echo)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
