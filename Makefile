@@ -5,6 +5,7 @@ FUZZTIME ?= 10s
 FUZZ_TARGETS := \
 	./internal/wire:FuzzDecoder \
 	./internal/wire:FuzzReadFrame \
+	./internal/wire:FuzzWireFrameV \
 	./internal/dad:FuzzDecodeTemplate \
 	./internal/dad:FuzzDecodeDescriptor \
 	./internal/schedule:FuzzPlanEquivalence \

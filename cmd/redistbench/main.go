@@ -49,9 +49,9 @@ const benchElems = 1 << 14
 
 type caseResult struct {
 	Name        string  `json:"name"`
-	Phase       string  `json:"phase"` // "transfer", "plan", "highwater" or "resize"
+	Phase       string  `json:"phase"` // "transfer", "plan", "highwater", "resize" or "wirepath"
 	Elem        string  `json:"elem,omitempty"`
-	Schedule    string  `json:"schedule"` // transfer: "cached"/"uncached"; plan: "fast"/"enumerator"; highwater: "unbudgeted"/"budgeted"; resize: "migration"/"cached"
+	Schedule    string  `json:"schedule"` // transfer: "cached"/"uncached"; plan: "fast"/"enumerator"; highwater: "unbudgeted"/"budgeted"; resize: "migration"/"cached"; wirepath: "legacy"/"zerocopy"
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	ElemsPerSec float64 `json:"elems_per_sec,omitempty"`
@@ -346,6 +346,135 @@ func runHighWater(budget int) (unb, bud caseResult, err error) {
 		BudgetBytes: budget, PeakPackedBytes: peak, TotalAllocDelta: alloc,
 	}
 	return unb, bud, nil
+}
+
+// wireElems is the global element count of each WirePath transfer: a
+// large contiguous all-to-all so per-message payloads are megabytes and
+// the copy-vs-lend difference dominates protocol overhead.
+const wireElems = 1 << 20
+
+// wireWorld drives the WirePath phase: a complex128 block(3) → block(4)
+// all-to-all transpose where every cross-rank message is one contiguous
+// run of the source array. With ZeroCopyLocal the engine lends views of
+// the source slices and rendezvouses with the receivers, so ranks are
+// persistent worker goroutines (the sequential harness would deadlock
+// on the rendezvous).
+type wireWorld struct {
+	start []chan struct{}
+	done  chan error
+}
+
+func newWireWorld(zc bool) (*wireWorld, error) {
+	src, err := dad.NewTemplate([]int{wireElems}, []dad.AxisDist{dad.BlockAxis(3)})
+	if err != nil {
+		return nil, err
+	}
+	dst, err := dad.NewTemplate([]int{wireElems}, []dad.AxisDist{dad.BlockAxis(4)})
+	if err != nil {
+		return nil, err
+	}
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	cs := comm.NewWorld(7).Comms()
+	lay := redist.Layout{SrcBase: 0, DstBase: 3}
+	w := &wireWorld{done: make(chan error, 7)}
+	for r := 0; r < 7; r++ {
+		ch := make(chan struct{}, 1)
+		w.start = append(w.start, ch)
+		go func(r int, ch chan struct{}) {
+			var sl, dl []complex128
+			if r < 3 {
+				sl = make([]complex128, src.LocalCount(r))
+			} else {
+				dl = make([]complex128, dst.LocalCount(r-3))
+			}
+			opts := redist.TransferOpts{ZeroCopyLocal: zc}
+			for range ch {
+				w.done <- redist.ExchangeWithT(cs[r], s, lay, sl, dl, 0, opts)
+			}
+		}(r, ch)
+	}
+	return w, nil
+}
+
+func (w *wireWorld) step() error {
+	for _, ch := range w.start {
+		ch <- struct{}{}
+	}
+	var firstErr error
+	for range w.start {
+		if err := <-w.done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (w *wireWorld) close() {
+	for _, ch := range w.start {
+		close(ch)
+	}
+}
+
+// runWirePathCase measures one WirePath row. For the zero-copy row it
+// additionally verifies that the measured steps packed nothing: the
+// contiguous fast path's claim is zero copies on the send side, and
+// redist.elems_packed is the copy counter that proves it.
+func runWirePathCase(zc bool) (caseResult, error) {
+	packed := obs.Default().Counter("redist.elems_packed")
+	var runErr error
+	var packedDelta uint64
+	res := testing.Benchmark(func(b *testing.B) {
+		w, err := newWireWorld(zc)
+		if err != nil {
+			runErr = err
+			b.SkipNow()
+		}
+		defer w.close()
+		for i := 0; i < 2; i++ { // warm pools, mailboxes and worker stacks
+			if err := w.step(); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(wireElems * 16))
+		before := packed.Value()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.step(); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		}
+		b.StopTimer()
+		packedDelta = packed.Value() - before
+	})
+	if runErr != nil {
+		return caseResult{}, runErr
+	}
+	mode := "legacy"
+	if zc {
+		mode = "zerocopy"
+		if packedDelta != 0 {
+			return caseResult{}, fmt.Errorf("zero-copy WirePath packed %d elements, want 0", packedDelta)
+		}
+	}
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	return caseResult{
+		Name:        "WirePath/complex128/" + mode,
+		Phase:       "wirepath",
+		Elem:        "complex128",
+		Schedule:    mode,
+		Iterations:  res.N,
+		NsPerOp:     nsPerOp,
+		ElemsPerSec: float64(wireElems) * 1e9 / nsPerOp,
+		MBPerSec:    float64(wireElems*16) * 1e3 / nsPerOp,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
 }
 
 // runPlanCase isolates the planning phase: repeated schedule construction
@@ -739,12 +868,30 @@ func main() {
 	fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8.1f MB/s  %6d B/op  %4d allocs/op\n",
 		postRes.Name, postRes.Iterations, postRes.NsPerOp, postRes.ElemsPerSec, postRes.MBPerSec, postRes.BytesPerOp, postRes.AllocsPerOp)
 
+	// WirePath: the large contiguous all-to-all transpose, legacy copying
+	// vs the contiguous zero-copy fast path. The zero-copy row must pack
+	// nothing (verified inside the runner) and may not be slower.
+	var wpLegacy, wpZC caseResult
+	if wpLegacy, err = runWirePathCase(false); err != nil {
+		fmt.Fprintf(os.Stderr, "wirepath legacy: %v\n", err)
+		os.Exit(1)
+	}
+	if wpZC, err = runWirePathCase(true); err != nil {
+		fmt.Fprintf(os.Stderr, "wirepath zerocopy: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Cases = append(rep.Cases, wpLegacy, wpZC)
+	for _, wp := range []caseResult{wpLegacy, wpZC} {
+		fmt.Printf("%-28s %10d iter  %12.0f ns/op  %14.0f elems/sec  %8.1f MB/s  %6d B/op  %4d allocs/op\n",
+			wp.Name, wp.Iterations, wp.NsPerOp, wp.ElemsPerSec, wp.MBPerSec, wp.BytesPerOp, wp.AllocsPerOp)
+	}
+
 	rep.Metrics = obs.Default().Snapshot()
 
 	// The engine's contract: steady-state transfers over a cached schedule
 	// are allocation-free. Fail loudly if a regression sneaks in.
 	for _, c := range rep.Cases {
-		if c.Schedule == "cached" && c.AllocsPerOp != 0 {
+		if (c.Schedule == "cached" || c.Phase == "wirepath") && c.AllocsPerOp != 0 {
 			fmt.Fprintf(os.Stderr, "REGRESSION: %s allocates %d allocs/op (want 0)\n", c.Name, c.AllocsPerOp)
 			os.Exit(1)
 		}
@@ -772,6 +919,14 @@ func main() {
 	if hwBud.PeakPackedBytes >= hwUnb.PeakPackedBytes {
 		fmt.Fprintf(os.Stderr, "REGRESSION: budgeted high water %d bytes is no lower than unbudgeted %d\n",
 			hwBud.PeakPackedBytes, hwUnb.PeakPackedBytes)
+		os.Exit(1)
+	}
+	// The wire path's contract: lending contiguous views must not be
+	// slower than packing them (a small tolerance absorbs scheduler
+	// noise at these millisecond step times).
+	if wpZC.NsPerOp > wpLegacy.NsPerOp*1.15 {
+		fmt.Fprintf(os.Stderr, "REGRESSION: zero-copy WirePath (%.0f ns/op) is slower than the legacy copy path (%.0f ns/op)\n",
+			wpZC.NsPerOp, wpLegacy.NsPerOp)
 		os.Exit(1)
 	}
 

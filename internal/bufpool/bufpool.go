@@ -137,6 +137,17 @@ func (p *Pool) Put(b []byte) {
 	mDropped.Inc()
 }
 
+// Outstanding returns the number of Get calls not yet matched by a Put.
+// The counters are process-wide (shared by every Pool), zero-length Gets
+// and nil Puts are not counted on either side, and oversize buffers
+// count symmetrically even though they are never retained — so the value
+// is exactly the number of live buffers callers still owe the pool. The
+// borrow-path leak tests assert it returns to a baseline after every
+// ownership-transfer scenario.
+func Outstanding() int64 {
+	return int64(mGets.Value()) - int64(mPuts.Value())
+}
+
 // Get returns a length-n buffer from the process-default pool.
 func Get(n int) []byte { return defaultPool.Get(n) }
 

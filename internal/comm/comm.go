@@ -339,6 +339,25 @@ func (c *Comm) Send(to, tag int, payload any) {
 	c.send(to, tag, payload)
 }
 
+// DeliverableLocal reports whether a message sent now to group rank "to"
+// would be enqueued into an in-process mailbox: the destination resolves
+// locally (no remote peer binding) and neither end is currently marked
+// dead. The zero-copy transfer fast path uses it to decide whether a
+// payload may be lent to the receiver by reference — an in-process
+// mailbox delivers the same slice, so borrowing is sound; a remote or
+// dead destination is not eligible. The answer is advisory: world state
+// can change between the check and the send, with the same
+// dropped-message consequences any unfenced transfer already accepts.
+func (c *Comm) DeliverableLocal(to int) bool {
+	if to < 0 || to >= len(c.group.ranks) {
+		return false
+	}
+	st := c.group.world.st()
+	wr := c.group.ranks[to]
+	wme := c.group.ranks[c.rank]
+	return st.remote[wr] == nil && !st.dead[wr].Load() && !st.dead[wme].Load()
+}
+
 func (c *Comm) send(to, tag int, payload any) {
 	if to < 0 || to >= len(c.group.ranks) {
 		panic(fmt.Sprintf("comm: send to rank %d outside group of size %d", to, len(c.group.ranks)))

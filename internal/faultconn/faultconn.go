@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"time"
 
@@ -235,6 +236,23 @@ func (c *Conn) Close() error {
 
 func (c *Conn) Send(msg []byte) error {
 	return c.SendContext(context.Background(), msg)
+}
+
+// SendV implements transport.VectorWriter by flattening the segments
+// into one message and running it through the normal per-message fault
+// pipeline. Vectored callers therefore observe exactly the
+// frame-granularity drop/corrupt/duplicate/flap semantics that flat
+// callers do — the fault plan never sees segment boundaries.
+func (c *Conn) SendV(segs net.Buffers) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	flat := make([]byte, 0, total)
+	for _, s := range segs {
+		flat = append(flat, s...)
+	}
+	return c.Send(flat)
 }
 
 // sendPlan is the outcome of rolling the send-direction faults for one

@@ -145,3 +145,88 @@ func benchSteady(b *testing.B, cached bool) {
 
 func BenchmarkExchangeSteadyCached(b *testing.B)   { benchSteady(b, true) }
 func BenchmarkExchangeSteadyUncached(b *testing.B) { benchSteady(b, false) }
+
+// zcSteadyWorld is steadyWorld for the zero-copy fast path. The
+// rendezvous (senders wait for receivers to unpack the lent views)
+// means ranks cannot run sequentially in one goroutine, so the ranks
+// are persistent workers signalled over pre-allocated channels —
+// testing.AllocsPerRun counts mallocs process-wide, so the workers'
+// allocations are still observed.
+type zcSteadyWorld struct {
+	start []chan struct{}
+	done  chan error
+}
+
+func newZCSteadyWorld(t testing.TB) *zcSteadyWorld {
+	// Block → block with different widths: every cross-rank message is a
+	// single contiguous run, so the whole steady state rides the lent-view
+	// path (no pack, no pooled data buffer).
+	src, err := dad.NewTemplate([]int{1 << 10}, []dad.AxisDist{dad.BlockAxis(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := dad.NewTemplate([]int{1 << 10}, []dad.AxisDist{dad.BlockAxis(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := comm.NewWorld(5).Comms()
+	lay := Layout{SrcBase: 0, DstBase: 2}
+	w := &zcSteadyWorld{done: make(chan error, 5)}
+	for r := 0; r < 5; r++ {
+		ch := make(chan struct{}, 1)
+		w.start = append(w.start, ch)
+		go func(r int, ch chan struct{}) {
+			var sl, dl []float64
+			if r < 2 {
+				sl = make([]float64, src.LocalCount(r))
+			} else {
+				dl = make([]float64, dst.LocalCount(r-2))
+			}
+			opts := TransferOpts{ZeroCopyLocal: true}
+			for range ch {
+				w.done <- ExchangeWithT(cs[r], s, lay, sl, dl, 0, opts)
+			}
+		}(r, ch)
+	}
+	return w
+}
+
+func (w *zcSteadyWorld) step(t testing.TB) {
+	for _, ch := range w.start {
+		ch <- struct{}{}
+	}
+	for range w.start {
+		if err := <-w.done; err != nil {
+			t.Fatalf("zero-copy step: %v", err)
+		}
+	}
+}
+
+func (w *zcSteadyWorld) close() {
+	for _, ch := range w.start {
+		close(ch)
+	}
+}
+
+// The fast path's own guarantee: lending views instead of packing must
+// not re-introduce allocations — message structs and rendezvous wait
+// groups cycle through free lists like everything else.
+func TestZeroCopyExchangeSteadyStateZeroAlloc(t *testing.T) {
+	obs.DisableTracing()
+	hits := mZeroCopyHits.Value()
+	w := newZCSteadyWorld(t)
+	defer w.close()
+	w.step(t)
+	w.step(t) // warm pools, mailboxes and worker stacks
+	if mZeroCopyHits.Value() == hits {
+		t.Fatal("warm-up took no fast-path sends; the shape is wrong for this test")
+	}
+	allocs := testing.AllocsPerRun(50, func() { w.step(t) })
+	if allocs != 0 {
+		t.Fatalf("steady-state zero-copy Exchange allocates: %v allocs per transfer step", allocs)
+	}
+}

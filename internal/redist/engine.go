@@ -47,6 +47,12 @@ type xferMsg struct {
 	// data, sent back to a chunk's sender on the same data tag after the
 	// chunk is unpacked (see budget.go).
 	ack bool
+	// done, when non-nil, marks a zero-copy message: data is a borrowed
+	// view of the sender's source slice, not a pooled buffer. recycle
+	// signals done instead of returning data to the pool, and the sending
+	// engine waits on it before returning to the caller — the rendezvous
+	// that makes lending the caller's memory safe.
+	done *sync.WaitGroup
 }
 
 // maxFreeMsgs bounds the message free list; surplus puts go to the GC.
@@ -108,6 +114,14 @@ var (
 func init() {
 	obs.Default().RegisterFunc("redist.packed_bytes_in_flight", bytesInFlight.Load)
 	obs.Default().RegisterFunc("redist.packed_bytes_high_water", bytesHighWater.Load)
+	obs.Default().RegisterFunc("redist.zerocopy_hit_rate_pct", func() int64 {
+		h := int64(mZeroCopyHits.Value())
+		m := int64(mZeroCopyMisses.Value())
+		if h+m == 0 {
+			return 0
+		}
+		return h * 100 / (h + m)
+	})
 }
 
 func addInFlight(n int) {
@@ -132,16 +146,66 @@ func PackedBytesHighWater() int64 { return bytesHighWater.Load() }
 // currently in flight, so a measurement phase sees only its own peak.
 func ResetPackedBytesHighWater() { bytesHighWater.Store(bytesInFlight.Load()) }
 
-// recycle returns a message and its buffer to their pools.
+// recycle returns a message and its buffer to their pools. A zero-copy
+// message's data is the sender's own memory, not a pooled buffer: it is
+// released by signalling the rendezvous (after the message itself is
+// back in the pool, so the sender's Wait orders after all receiver work).
 func recycle(m *xferMsg) {
+	if done := m.done; done != nil {
+		*m = xferMsg{}
+		putMsg(m)
+		done.Done()
+		return
+	}
 	bytesInFlight.Add(-int64(len(m.data)))
 	bufpool.Put(m.data)
 	*m = xferMsg{}
+	putMsg(m)
+}
+
+func putMsg(m *xferMsg) {
 	msgPool.mu.Lock()
 	if len(msgPool.free) < maxFreeMsgs {
 		msgPool.free = append(msgPool.free, m)
 	}
 	msgPool.mu.Unlock()
+}
+
+// Zero-copy fast-path instruments: hits are messages sent directly from
+// the caller's source slice (no pack, no copy), misses are messages that
+// were eligible for consideration (opt-in set) but had to fall back to
+// packing. The derived gauge exposes the hit rate in Snapshot/expvar.
+var (
+	mZeroCopyHits   = obs.Default().Counter("redist.zerocopy_hits")
+	mZeroCopyMisses = obs.Default().Counter("redist.zerocopy_misses")
+)
+
+// zcWaitPool recycles the rendezvous WaitGroups of zero-copy sends so
+// the steady-state path stays allocation-free.
+var zcWaitPool = struct {
+	mu   sync.Mutex
+	free []*sync.WaitGroup
+}{}
+
+func getZCWait() *sync.WaitGroup {
+	zcWaitPool.mu.Lock()
+	if n := len(zcWaitPool.free); n > 0 {
+		wg := zcWaitPool.free[n-1]
+		zcWaitPool.free[n-1] = nil
+		zcWaitPool.free = zcWaitPool.free[:n-1]
+		zcWaitPool.mu.Unlock()
+		return wg
+	}
+	zcWaitPool.mu.Unlock()
+	return new(sync.WaitGroup)
+}
+
+func putZCWait(wg *sync.WaitGroup) {
+	zcWaitPool.mu.Lock()
+	if len(zcWaitPool.free) < 64 {
+		zcWaitPool.free = append(zcWaitPool.free, wg)
+	}
+	zcWaitPool.mu.Unlock()
 }
 
 // pairOp describes one pairwise message of a plan from the local rank's
@@ -170,6 +234,13 @@ type plan[T Elem] interface {
 	// sendSet returns position metadata to attach to the i'th outgoing
 	// message (linear replies); nil for schedule-driven messages.
 	sendSet(i int) linear.Set
+	// sendView returns a byte view taken directly from the caller's
+	// source slice for the i'th outgoing message when that message is a
+	// single run contiguous (and suitably aligned) in it and the plan's
+	// zero-copy opt-in is set; nil when the message must be packed. The
+	// view aliases the caller's memory — the engine only lends it to
+	// in-process receivers and rendezvouses before returning.
+	sendView(i int) []byte
 	pack(i int, out []T)
 	// packRange packs the window [elemOff, elemOff+len(out)) of the
 	// i'th outgoing message's packed element order: the chunk primitive
@@ -253,6 +324,23 @@ func runTransfer[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun
 	if budget > 0 {
 		return runBudgeted[T](c, pl, dataTag, f, budget)
 	}
+	// Zero-copy sends lend the caller's source slice to in-process
+	// receivers; the rendezvous below holds this rank until every lent
+	// view has been unpacked and recycled, so the caller may mutate its
+	// source the moment runTransfer returns — error paths included, since
+	// receivers recycle every expected message even while draining.
+	var zcWait *sync.WaitGroup
+	err := runDirect[T](c, pl, dataTag, f, &zcWait)
+	if zcWait != nil {
+		zcWait.Wait()
+		putZCWait(zcWait)
+	}
+	return err
+}
+
+// runDirect is the unbudgeted transfer loop body; zcWait is created
+// lazily on the first zero-copy send so the legacy path pays nothing.
+func runDirect[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun, zcWait **sync.WaitGroup) error {
 	tr := obs.Trace()
 	wantKind := kindOf[T]()
 	esz := elemSize[T]()
@@ -279,6 +367,35 @@ func runTransfer[T Elem, P plan[T]](c *comm.Comm, pl P, dataTag int, f *fenceRun
 				break
 			}
 			continue
+		}
+		if f == nil {
+			if view := pl.sendView(i); view != nil {
+				// Contiguous-run fast path: send a view of the caller's
+				// slice, zero pack, zero copy. Only for in-process peers
+				// (a mailbox delivers the same slice) and never to self —
+				// the legacy path's pack keeps aliased src/dst safe there.
+				if op.group != c.Rank() && c.DeliverableLocal(op.group) {
+					m := getMsg()
+					m.epoch = epoch
+					m.kind = wantKind
+					m.elems = op.elems
+					m.data = view
+					m.have = pl.sendSet(i)
+					if *zcWait == nil {
+						*zcWait = getZCWait()
+					}
+					(*zcWait).Add(1)
+					m.done = *zcWait
+					start := time.Now()
+					c.Send(op.group, dataTag, m)
+					mMsgsSent.Inc()
+					mZeroCopyHits.Inc()
+					mMsgElems.Observe(int64(op.elems))
+					tr.Span(obs.EvSend, "", pl.srcRank(), op.rank, int64(op.elems), start)
+					continue
+				}
+				mZeroCopyMisses.Inc()
+			}
 		}
 		m := newMsg[T](epoch, op.elems)
 		m.have = pl.sendSet(i)
@@ -439,6 +556,7 @@ type schedPlan[T Elem] struct {
 	src, dst int // cohort ranks, -1 outside the cohort
 	srcLocal []T
 	dstLocal []T
+	zc       bool // TransferOpts.ZeroCopyLocal: offer contiguous-run views
 }
 
 func (p schedPlan[T]) proto() string { return "exchange" }
@@ -459,6 +577,30 @@ func (p schedPlan[T]) sendOp(i int) pairOp {
 }
 
 func (p schedPlan[T]) sendSet(i int) linear.Set { return nil }
+
+// sendView offers the contiguous-run fast path: a message whose schedule
+// entry is a single run contiguous in srcLocal can be sent as a view of
+// the caller's slice, skipping pack and buffer entirely. Gated on the
+// ZeroCopyLocal opt-in, on single-run shape, and on the element view
+// meeting the alignment bufpool buffers guarantee (so the receive-side
+// reinterpret sees no difference from a pooled buffer).
+func (p schedPlan[T]) sendView(i int) []byte {
+	if !p.zc {
+		return nil
+	}
+	pp := p.s.OutgoingAt(p.src, i)
+	if len(pp.Runs) != 1 {
+		mZeroCopyMisses.Inc()
+		return nil
+	}
+	run := pp.Runs[0]
+	view := p.srcLocal[run.SrcOff : run.SrcOff+run.N]
+	if !alignedFor(view) {
+		mZeroCopyMisses.Inc()
+		return nil
+	}
+	return bytesOf(view)
+}
 
 func (p schedPlan[T]) pack(i int, out []T) {
 	schedule.PackSlice(p.s.OutgoingAt(p.src, i), p.srcLocal, out)
@@ -568,6 +710,10 @@ func (p *linPlan[T]) sendOp(i int) pairOp {
 }
 
 func (p *linPlan[T]) sendSet(i int) linear.Set { return p.outSets[i] }
+
+// sendView is always nil: linear replies are gathered through a
+// Linearizer and have no contiguous-run representation to borrow.
+func (p *linPlan[T]) sendView(i int) []byte { return nil }
 
 func (p *linPlan[T]) pack(i int, out []T) {
 	p.srcLin.Pack(p.src, p.srcLocal, p.outSets[i], out)

@@ -151,7 +151,7 @@ func ExchangeFencedT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, src
 	// FailStrict: the destination's missing message would wedge the
 	// collective protocol.
 	f := newFenceRun(opts, true)
-	err := exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, f, opts.MaxBytesInFlight)
+	err := exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, f, opts.MaxBytesInFlight, false)
 	sort.Ints(f.out.Down)
 	return f.out, err
 }

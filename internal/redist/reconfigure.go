@@ -107,7 +107,7 @@ func ReconfigureFencedT[T Elem](c *comm.Comm, rz *core.Resize, oldT, newT *dad.T
 
 	start := time.Now()
 	f := newFenceRunAt(opts, true, rz.PrepareEpoch())
-	err = exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, f, opts.MaxBytesInFlight)
+	err = exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, f, opts.MaxBytesInFlight, false)
 	sort.Ints(f.out.Down)
 	mReconfigures.Inc()
 	mReconfigureNS.ObserveSince(start)

@@ -148,12 +148,12 @@ type Layout struct {
 // the rest of its expected messages before returning the error, keeping
 // the tag namespace clean for the next transfer.
 func ExchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int) error {
-	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, 0)
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, 0, false)
 }
 
 // Exchange is ExchangeT for float64, the historical default.
 func Exchange(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []float64, baseTag int) error {
-	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, 0)
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, 0, false)
 }
 
 // TransferOpts tunes a transfer's resource envelope.
@@ -178,25 +178,37 @@ type TransferOpts struct {
 	// slower peer's still-running loop. The unbudgeted path receives
 	// from specific peers in plan order and tolerates tag reuse.
 	MaxBytesInFlight int
+
+	// ZeroCopyLocal opts this rank's sends into the contiguous-run fast
+	// path: an outgoing pairwise message that is a single run contiguous
+	// in srcLocal is lent to in-process receivers as a view of the
+	// caller's slice — zero pack, zero copy. The engine rendezvouses
+	// with those receivers before Exchange returns, so the caller may
+	// mutate srcLocal immediately afterwards, exactly as on the copying
+	// path; the cost is that a source rank no longer returns before its
+	// in-process destinations have unpacked. Remote destinations,
+	// fenced transfers and budgeted (MaxBytesInFlight > 0) transfers
+	// always use the copying path regardless of this flag.
+	ZeroCopyLocal bool
 }
 
 // ExchangeWithT is ExchangeT with explicit transfer options; identical
 // destination contents, different peak-memory profile.
 func ExchangeWithT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T,
 	baseTag int, opts TransferOpts) error {
-	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, opts.MaxBytesInFlight)
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, opts.MaxBytesInFlight, opts.ZeroCopyLocal)
 }
 
 // ExchangeWith is ExchangeWithT for float64, the historical default.
 func ExchangeWith(c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []float64,
 	baseTag int, opts TransferOpts) error {
-	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, opts.MaxBytesInFlight)
+	return exchangeT(c, s, lay, srcLocal, dstLocal, baseTag, nil, opts.MaxBytesInFlight, opts.ZeroCopyLocal)
 }
 
 // exchangeT validates cohort membership and buffer sizes, builds the
 // schedule plan and runs the engine. f selects fenced (non-nil) vs plain
 // operation; both Exchange and ExchangeFenced land here.
-func exchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int, f *fenceRun, budget int) error {
+func exchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal, dstLocal []T, baseTag int, f *fenceRun, budget int, zc bool) error {
 	me := c.Rank()
 	srcRank := me - lay.SrcBase
 	dstRank := me - lay.DstBase
@@ -221,7 +233,7 @@ func exchangeT[T Elem](c *comm.Comm, s *schedule.Schedule, lay Layout, srcLocal,
 			return fmt.Errorf("redist: destination rank %d buffer has %d elements, template says %d", dstRank, len(dstLocal), want)
 		}
 	}
-	pl := schedPlan[T]{s: s, lay: lay, src: -1, dst: -1, srcLocal: srcLocal, dstLocal: dstLocal}
+	pl := schedPlan[T]{s: s, lay: lay, src: -1, dst: -1, srcLocal: srcLocal, dstLocal: dstLocal, zc: zc && budget <= 0}
 	if isSrc {
 		pl.src = srcRank
 	}

@@ -32,6 +32,13 @@ func init() {
 // transfers ownership to the receiver, and for a remote destination the
 // wire is the receiver — recycling here balances the newMsg accounting
 // exactly as the far side's decode re-opens it.
+//
+// The element bytes are the final field so that, on a borrow-mode
+// encoder (an OwnedSender connection), they can leave the process as a
+// borrowed payload segment instead of being copied into the frame
+// encoding: ownership of the pooled data buffer passes to the
+// connection, which returns it to the pool once the peer has
+// acknowledged the frame. The wire bytes are identical either way.
 func encodeXferMsg(e *wire.Encoder, v any) bool {
 	m, ok := v.(*xferMsg)
 	if !ok {
@@ -41,8 +48,24 @@ func encodeXferMsg(e *wire.Encoder, v any) bool {
 	e.PutByte(byte(m.kind))
 	e.PutUvarint(uint64(m.elems))
 	e.PutBool(m.ack)
-	e.PutBytes(m.data)
 	putLinearSet(e, m.have)
+	if e.Borrowing() && m.done == nil && len(m.data) > 0 {
+		// Lend the pooled payload to the connection instead of copying:
+		// detach it before recycle (which must not Put it) and close the
+		// in-flight accounting here, exactly where the copying path's
+		// recycle would.
+		data := m.data
+		m.data = nil
+		bytesInFlight.Add(-int64(len(data)))
+		recycle(m)
+		e.PutBytesRef(data)
+		return true
+	}
+	// Copying path: plain encoders, and the defensive case of a borrowed
+	// source view (m.done != nil) that raced its way to a remote peer —
+	// the view's bytes are copied so the caller's slice is never lent
+	// across the process boundary.
+	e.PutBytes(m.data)
 	recycle(m)
 	return true
 }
@@ -53,8 +76,10 @@ func decodeXferMsg(d *wire.Decoder) (any, error) {
 	m.kind = dad.ElemKind(d.Byte())
 	m.elems = int(d.Uvarint())
 	m.ack = d.Bool()
-	raw := d.Bytes()
 	m.have = getLinearSet(d)
+	// Borrow the payload view from the frame buffer — the copy below is
+	// the only one on the receive path (Decoder.Bytes would add a second).
+	raw := d.BorrowBytes()
 	if d.Err() != nil {
 		// m.data is still nil here, so recycle is pure pool bookkeeping.
 		recycle(m)

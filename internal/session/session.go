@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -169,12 +170,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// replayEntry is one unacknowledged sent frame: the full wire frame
-// (header + payload) in a pooled buffer, keyed by its sequence number.
+// replayEntry is one unacknowledged sent frame, keyed by its sequence
+// number. hdr is a pooled buffer holding the session data header plus
+// any caller head bytes; data, when non-nil, is a pooled payload buffer
+// retained by reference (SendOwned) rather than re-copied into the
+// frame. The frame's wire bytes are hdr ++ data. Both buffers return to
+// the pool exactly once, when the peer's cumulative ack covers the entry
+// or the session tears down.
 type replayEntry struct {
-	seq uint64
-	buf []byte
+	seq  uint64
+	hdr  []byte
+	data []byte
 }
+
+// size is the entry's contribution to the replay-byte budget.
+func (e replayEntry) size() int { return len(e.hdr) + len(e.data) }
 
 // replayRing is a fixed-capacity circular queue of replay entries,
 // allocated once at session construction so steady-state pushes and pops
@@ -237,7 +247,8 @@ type Conn struct {
 	nextSeq     uint64
 	replay      replayRing
 	replayBytes int
-	scratch     [][]byte // reused batch during replays
+	scratch     []replayEntry // reused batch during replays
+	iov         net.Buffers   // scatter-gather scratch, guarded by wmu
 	// While an install's replay is in flight, acknowledged buffers are
 	// parked here instead of returned to the pool: an ack racing the
 	// replay must not recycle a buffer the replay is still writing to
@@ -406,7 +417,7 @@ func (c *Conn) installConn(nc transport.Conn, peerDelivered uint64) error {
 		batch := c.scratch[:0]
 		for i := 0; i < c.replay.len(); i++ {
 			if e := c.replay.at(i); e.seq > lastSent {
-				batch = append(batch, e.buf)
+				batch = append(batch, e)
 				lastSent = e.seq
 			}
 		}
@@ -426,8 +437,8 @@ func (c *Conn) installConn(nc transport.Conn, peerDelivered uint64) error {
 		c.mu.Unlock()
 		c.wmu.Lock()
 		var err error
-		for _, buf := range batch {
-			if err = nc.Send(buf); err != nil {
+		for _, e := range batch {
+			if err = c.writeEntry(nc, e.hdr, e.data); err != nil {
 				break
 			}
 		}
@@ -618,11 +629,15 @@ func (c *Conn) ackUpToLocked(ack uint64) {
 	freed := false
 	for c.replay.len() > 0 && c.replay.at(0).seq <= ack {
 		e := c.replay.popFront()
-		c.replayBytes -= len(e.buf)
+		c.replayBytes -= e.size()
 		if c.installing {
-			c.pendingFree = append(c.pendingFree, e.buf)
+			c.pendingFree = append(c.pendingFree, e.hdr)
+			if e.data != nil {
+				c.pendingFree = append(c.pendingFree, e.data)
+			}
 		} else {
-			bufpool.Put(e.buf)
+			bufpool.Put(e.hdr)
+			bufpool.Put(e.data)
 		}
 		mReplayDepth.Add(-1)
 		freed = true
@@ -766,7 +781,7 @@ func (c *Conn) SendContext(ctx context.Context, msg []byte) error {
 	putDataHeader(buf, seq, c.lastDelivered)
 	copy(buf[dataHdrLen:], msg)
 	c.recvSinceAck, c.bytesSinceAck = 0, 0 // the header piggybacks the ack
-	c.replay.push(replayEntry{seq: seq, buf: buf})
+	c.replay.push(replayEntry{seq: seq, hdr: buf})
 	c.replayBytes += len(buf)
 	mReplayDepth.Add(1)
 	conn := c.cur
@@ -783,6 +798,82 @@ func (c *Conn) SendContext(ctx context.Context, msg []byte) error {
 		c.connFailed(conn, err)
 	}
 	return nil
+}
+
+// SendOwned implements transport.OwnedSender: the message's bytes are
+// head followed by payload, with ownership of payload (a bufpool buffer)
+// transferring to the session on the call. The session header and head
+// go into one small pooled buffer; payload is retained by reference in
+// the replay ring — no payload byte is copied between here and the
+// socket when the physical transport supports scatter-gather. The
+// payload returns to the pool exactly once: when the peer's cumulative
+// ack covers the frame, when the session tears down (Close, circuit
+// open), or right here if the send is refused. Delivery semantics are
+// identical to Send.
+func (c *Conn) SendOwned(head, payload []byte) error {
+	c.mu.Lock()
+	for c.replayFullLocked() && !c.closed && c.dead == nil {
+		c.cond.Wait()
+	}
+	switch {
+	case c.closed:
+		c.mu.Unlock()
+		bufpool.Put(payload)
+		return transport.ErrClosed
+	case c.dead != nil:
+		err := c.dead
+		c.mu.Unlock()
+		bufpool.Put(payload)
+		return err
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	if len(payload) == 0 {
+		payload = nil
+	}
+	hdr := bufpool.Get(dataHdrLen + len(head))
+	putDataHeader(hdr, seq, c.lastDelivered)
+	copy(hdr[dataHdrLen:], head)
+	c.recvSinceAck, c.bytesSinceAck = 0, 0 // the header piggybacks the ack
+	c.replay.push(replayEntry{seq: seq, hdr: hdr, data: payload})
+	c.replayBytes += len(hdr) + len(payload)
+	mReplayDepth.Add(1)
+	conn := c.cur
+	c.mu.Unlock()
+	if conn == nil {
+		// Down: recovery is already running and will replay this frame.
+		return nil
+	}
+	c.wmu.Lock()
+	err := c.writeEntry(conn, hdr, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		// The frame is in the replay buffer; the resume replays it.
+		c.connFailed(conn, err)
+	}
+	return nil
+}
+
+// writeEntry writes one buffered frame to the physical connection; the
+// caller holds wmu. Two-segment entries take the scatter-gather path
+// when the transport supports it and are flattened through a pooled
+// buffer (one copy, released immediately) when it does not.
+func (c *Conn) writeEntry(conn transport.Conn, hdr, data []byte) error {
+	if data == nil {
+		return conn.Send(hdr)
+	}
+	if vw, ok := conn.(transport.VectorWriter); ok {
+		c.iov = append(c.iov[:0], hdr, data)
+		err := vw.SendV(c.iov)
+		c.iov[0], c.iov[1] = nil, nil
+		return err
+	}
+	flat := bufpool.Get(len(hdr) + len(data))
+	n := copy(flat, hdr)
+	copy(flat[n:], data)
+	err := conn.Send(flat)
+	bufpool.Put(flat)
+	return err
 }
 
 // Recv blocks until the next in-order message is available and returns

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"mxn/internal/bufpool"
 	"mxn/internal/obs"
 	"mxn/internal/wire"
 )
@@ -43,6 +44,33 @@ var ErrClosed = errors.New("transport: closed")
 // SendContext, RecvContext or DialContext. It is distinct from ErrClosed so
 // callers can tell a slow peer from a dead link and decide whether to retry.
 var ErrTimeout = errors.New("transport: timeout")
+
+// VectorWriter is implemented by Conns whose send path can transmit one
+// message assembled from several byte segments without flattening them
+// first. The TCP transport maps SendV onto a single writev via
+// net.Buffers.WriteTo; transports without scatter-gather support either
+// flatten internally (one copy, at the transport boundary) or simply do
+// not implement the interface, in which case callers fall back to Send
+// with a flattened buffer. SendV never retains segs or its segments past
+// the call. The parameter is a slice (not variadic) so hot callers can
+// reuse a preallocated vector without the call escaping it to the heap.
+type VectorWriter interface {
+	SendV(segs net.Buffers) error
+}
+
+// OwnedSender is implemented by Conns that can take ownership of a
+// pooled payload buffer. SendOwned transmits one message whose bytes are
+// head followed by payload; head is only read during the call, while
+// ownership of payload (which must be a bufpool buffer) transfers to the
+// conn unconditionally — success or error — and the conn returns it to
+// the pool once the bytes can no longer be needed. For plain transports
+// that is immediately after the physical write; for the session layer it
+// is after the peer acknowledges the frame (or the session is torn
+// down). This is the hook that lets the redistribution engine lend its
+// pack buffer to the wire instead of having every layer re-copy it.
+type OwnedSender interface {
+	SendOwned(head, payload []byte) error
+}
 
 // Conn is a reliable, ordered, full-duplex message connection.
 type Conn interface {
@@ -176,17 +204,58 @@ func (c *chanConn) SendContext(ctx context.Context, msg []byte) error {
 	// Copy so the caller may reuse its buffer, matching TCP semantics.
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
+	return c.enqueue(ctx, cp)
+}
+
+// enqueue delivers an already-private buffer to the peer.
+func (c *chanConn) enqueue(ctx context.Context, cp []byte) error {
 	select {
 	case <-c.closed:
 		return ErrClosed
 	case c.out <- cp:
 		mInprocSent.Inc()
-		mInprocBytes.Add(uint64(len(msg)))
+		mInprocBytes.Add(uint64(len(cp)))
 		mInprocPending.Add(1)
 		return nil
 	case <-ctx.Done():
 		return ctxErr(ctx)
 	}
+}
+
+// SendV implements VectorWriter by flattening the segments once — the
+// same single copy Send makes — and enqueueing the private buffer.
+func (c *chanConn) SendV(segs net.Buffers) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	cp := make([]byte, 0, total)
+	for _, s := range segs {
+		cp = append(cp, s...)
+	}
+	return c.enqueue(context.Background(), cp)
+}
+
+// SendOwned implements OwnedSender: the payload is flattened with the
+// head into the queued message and returned to the pool immediately — a
+// pipe delivers by reference, so the bytes are private after one copy.
+func (c *chanConn) SendOwned(head, payload []byte) error {
+	select {
+	case <-c.closed:
+		bufpool.Put(payload)
+		return ErrClosed
+	default:
+	}
+	cp := make([]byte, 0, len(head)+len(payload))
+	cp = append(cp, head...)
+	cp = append(cp, payload...)
+	bufpool.Put(payload)
+	return c.enqueue(context.Background(), cp)
 }
 
 func (c *chanConn) Recv() ([]byte, error) {
@@ -285,8 +354,9 @@ func (l *inprocListener) Addr() string { return l.addr }
 // tcpConn frames messages over a net.Conn using the wire framing.
 type tcpConn struct {
 	nc   net.Conn
-	sMu  sync.Mutex // serializes writers
-	rMu  sync.Mutex // serializes readers
+	sMu  sync.Mutex  // serializes writers
+	rMu  sync.Mutex  // serializes readers
+	iov  net.Buffers // SendOwned scratch, guarded by sMu
 	once sync.Once
 }
 
@@ -299,6 +369,28 @@ func (c *tcpConn) Send(msg []byte) error {
 	c.sMu.Lock()
 	defer c.sMu.Unlock()
 	return wire.WriteFrame(c.nc, msg)
+}
+
+// SendV implements VectorWriter: the frame header and every segment go
+// to the socket in one writev (net.Buffers.WriteTo), so no payload byte
+// is copied on the way out.
+func (c *tcpConn) SendV(segs net.Buffers) error {
+	c.sMu.Lock()
+	defer c.sMu.Unlock()
+	return wire.WriteFrameV(c.nc, segs)
+}
+
+// SendOwned implements OwnedSender: the payload rides the scatter-gather
+// path and is released to the pool as soon as the write returns, since
+// TCP has consumed the bytes by then.
+func (c *tcpConn) SendOwned(head, payload []byte) error {
+	c.sMu.Lock()
+	c.iov = append(c.iov[:0], head, payload)
+	err := wire.WriteFrameV(c.nc, c.iov)
+	c.iov[0], c.iov[1] = nil, nil
+	c.sMu.Unlock()
+	bufpool.Put(payload)
+	return err
 }
 
 func (c *tcpConn) SendContext(ctx context.Context, msg []byte) error {

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"net"
 	"testing"
 )
 
@@ -83,6 +84,51 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
 			t.Fatalf("accepted frame does not round-trip")
+		}
+	})
+}
+
+// FuzzWireFrameV round-trips arbitrary payloads through the vectored
+// framer at arbitrary segment boundaries: the wire bytes must be
+// bit-identical to the legacy WriteFrame of the concatenated payload,
+// and ReadFrame must recover the payload exactly.
+func FuzzWireFrameV(f *testing.F) {
+	f.Add([]byte("seed payload"), uint16(3))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0}, uint16(1))
+	f.Add(bytes.Repeat([]byte{0xAB}, 300), uint16(17))
+
+	f.Fuzz(func(t *testing.T, payload []byte, chop uint16) {
+		// Derive a segmentation from chop: cut every (chop%31)+1 bytes,
+		// and make every fourth segment empty to exercise zero-length
+		// iovec entries.
+		step := int(chop%31) + 1
+		var segs net.Buffers
+		for off := 0; off < len(payload); off += step {
+			end := min(off+step, len(payload))
+			segs = append(segs, payload[off:end])
+			if len(segs)%4 == 0 {
+				segs = append(segs, nil)
+			}
+		}
+
+		var vec bytes.Buffer
+		if err := WriteFrameV(&vec, segs); err != nil {
+			t.Fatalf("WriteFrameV: %v", err)
+		}
+		var legacy bytes.Buffer
+		if err := WriteFrame(&legacy, payload); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		if !bytes.Equal(vec.Bytes(), legacy.Bytes()) {
+			t.Fatalf("vectored frame differs from legacy frame for %d segments", len(segs))
+		}
+		got, err := ReadFrame(&vec)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round-trip payload mismatch")
 		}
 	})
 }

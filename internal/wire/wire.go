@@ -16,16 +16,25 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"net"
+	"sync"
 
 	"mxn/internal/obs"
 )
 
 // Frame-level instruments, registered in the process-default registry.
+// bytes_vectored vs bytes_copied split the payload bytes of written
+// frames by path: scatter-gather frames (WriteFrameV) never flatten
+// their segments, flat frames (WriteFrame) carry payloads that were
+// materialized contiguously by the caller. The ratio is the headline of
+// the zero-copy wire path.
 var (
 	mFramesWritten    = obs.Default().Counter("wire.frames_written")
 	mFramesRead       = obs.Default().Counter("wire.frames_read")
 	mBytesWritten     = obs.Default().Counter("wire.bytes_written")
 	mBytesRead        = obs.Default().Counter("wire.bytes_read")
+	mBytesVectored    = obs.Default().Counter("wire.bytes_vectored")
+	mBytesCopied      = obs.Default().Counter("wire.bytes_copied")
 	mChecksumFailures = obs.Default().Counter("wire.checksum_failures")
 	mFrameBytes       = obs.Default().Histogram("wire.frame_bytes")
 )
@@ -35,18 +44,49 @@ var ErrCorrupt = errors.New("wire: corrupt data")
 
 // Encoder appends encoded values to a byte buffer. The zero value is ready
 // to use; Bytes returns the accumulated encoding.
+//
+// An encoder created with NewEncoderV additionally operates in borrow
+// mode: PutBytesRef records a reference to the caller's slice instead of
+// copying it into the buffer, and Vector returns the (header, payload)
+// pair for scatter-gather framing via WriteFrameV. Borrow mode exists so
+// large payloads travel from the pack buffer to the socket without an
+// intermediate flatten.
 type Encoder struct {
-	buf []byte
+	buf     []byte
+	payload []byte
+	borrow  bool
 }
 
 // NewEncoder returns an encoder that appends to buf (which may be nil).
 func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
 
-// Bytes returns the encoded buffer.
+// NewEncoderV returns a borrow-mode encoder appending header bytes to buf
+// (which may be nil). In borrow mode PutBytesRef records the payload
+// slice by reference; retrieve both segments with Vector. At most one
+// slice may be borrowed per encoding and it must be the final
+// variable-length field, since on the wire the borrowed bytes follow
+// every header byte.
+func NewEncoderV(buf []byte) *Encoder { return &Encoder{buf: buf, borrow: true} }
+
+// Borrowing reports whether the encoder was created with NewEncoderV and
+// will record PutBytesRef slices by reference instead of copying them.
+func (e *Encoder) Borrowing() bool { return e.borrow }
+
+// Bytes returns the encoded buffer. On a borrow-mode encoder that has
+// recorded a payload this is only the header segment; use Vector.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
-// Reset discards the accumulated encoding but keeps the capacity.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+// Vector returns the header bytes and the borrowed payload segment (nil
+// when nothing was borrowed, including on plain encoders). The wire
+// representation is the concatenation head ++ payload.
+func (e *Encoder) Vector() (head, payload []byte) { return e.buf, e.payload }
+
+// Reset discards the accumulated encoding (and any borrowed payload) but
+// keeps the capacity.
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.payload = nil
+}
 
 // Len returns the current encoded length in bytes.
 func (e *Encoder) Len() int { return len(e.buf) }
@@ -95,6 +135,25 @@ func (e *Encoder) PutString(s string) {
 func (e *Encoder) PutBytes(b []byte) {
 	e.PutUvarint(uint64(len(b)))
 	e.buf = append(e.buf, b...)
+}
+
+// PutBytesRef appends a length-prefixed byte slice without copying it
+// when the encoder is in borrow mode: the length prefix lands in the
+// header buffer and b itself is recorded as the payload segment returned
+// by Vector. The caller must not mutate b until the frame carrying it
+// has been written (or, for owned transfers, until the transport releases
+// it). On a plain encoder this is identical to PutBytes. An empty b is
+// never borrowed, so Vector stays nil for zero-length payloads.
+func (e *Encoder) PutBytesRef(b []byte) {
+	if !e.borrow || len(b) == 0 {
+		e.PutBytes(b)
+		return
+	}
+	if e.payload != nil {
+		panic("wire: second PutBytesRef on a borrow-mode encoder")
+	}
+	e.PutUvarint(uint64(len(b)))
+	e.payload = b
 }
 
 // PutFloat64s appends a length-prefixed []float64.
@@ -277,6 +336,20 @@ func (d *Decoder) Bytes() []byte {
 	out := make([]byte, n)
 	copy(out, b)
 	return out
+}
+
+// BorrowBytes reads a length-prefixed byte slice without copying: the
+// result aliases the decoder's input buffer. The caller owns the view
+// only as long as it owns the input buffer — it must copy out (or finish
+// consuming) the bytes before the buffer is reused or returned to a
+// pool. The hot receive path uses this to skip the defensive copy Bytes
+// makes.
+func (d *Decoder) BorrowBytes() []byte {
+	n, ok := d.lenPrefix()
+	if !ok {
+		return nil
+	}
+	return d.take(n)
 }
 
 // Float64s reads a length-prefixed []float64.
@@ -546,7 +619,97 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	}
 	mFramesWritten.Inc()
 	mBytesWritten.Add(uint64(len(hdr) + len(payload)))
+	mBytesCopied.Add(uint64(len(payload)))
 	mFrameBytes.Observe(int64(len(payload)))
+	return nil
+}
+
+// vecState is the per-write scratch for WriteFrameV: the 8-byte frame
+// header plus the iovec slice handed to net.Buffers.WriteTo. States are
+// recycled through a mutex-guarded free list so the healthy send path
+// performs no allocations.
+type vecState struct {
+	hdr  [8]byte
+	iov  [][]byte
+	next *vecState
+}
+
+var vecPool struct {
+	mu   sync.Mutex
+	free *vecState
+	n    int
+}
+
+const maxFreeVecStates = 16
+
+func getVecState() *vecState {
+	vecPool.mu.Lock()
+	v := vecPool.free
+	if v != nil {
+		vecPool.free = v.next
+		vecPool.n--
+	}
+	vecPool.mu.Unlock()
+	if v == nil {
+		v = &vecState{iov: make([][]byte, 0, 8)}
+	}
+	v.next = nil
+	return v
+}
+
+func putVecState(v *vecState) {
+	// Drop segment references so pooled states do not pin payload
+	// buffers between writes.
+	for i := range v.iov {
+		v.iov[i] = nil
+	}
+	vecPool.mu.Lock()
+	if vecPool.n < maxFreeVecStates {
+		v.next = vecPool.free
+		vecPool.free = v
+		vecPool.n++
+	}
+	vecPool.mu.Unlock()
+}
+
+// WriteFrameV writes one frame whose payload is the concatenation of
+// segs, without flattening the segments: the CRC-32C is computed
+// incrementally across them and the header plus every segment are handed
+// to the writer as a single net.Buffers, which net.TCPConn turns into
+// one writev call. The bytes on the wire are identical to
+// WriteFrame(w, concat(segs...)). segs itself is never mutated (WriteTo
+// consumes an internal copy of the vector), so callers may reuse their
+// slice immediately.
+func WriteFrameV(w io.Writer, segs net.Buffers) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if total > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", total, MaxFrame)
+	}
+	var crc uint32
+	for _, s := range segs {
+		crc = crc32.Update(crc, frameTable, s)
+	}
+	v := getVecState()
+	binary.LittleEndian.PutUint32(v.hdr[:4], uint32(total))
+	binary.LittleEndian.PutUint32(v.hdr[4:], crc)
+	v.iov = append(v.iov[:0], v.hdr[:])
+	v.iov = append(v.iov, segs...)
+	// WriteTo advances (and so mutates) the vector it is invoked on;
+	// give it a local slice header over the pooled backing array so the
+	// array's full capacity survives for the next frame.
+	bufs := net.Buffers(v.iov)
+	_, err := bufs.WriteTo(w)
+	putVecState(v)
+	if err != nil {
+		return err
+	}
+	mFramesWritten.Inc()
+	mBytesWritten.Add(uint64(8 + total))
+	mBytesVectored.Add(uint64(total))
+	mFrameBytes.Observe(int64(total))
 	return nil
 }
 
